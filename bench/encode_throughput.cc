@@ -1,0 +1,108 @@
+// Encoding/decoding/repair throughput of every scheme -- the "encoding
+// duration" metric the paper lists as future work (Section 5), measured
+// with google-benchmark.
+//
+// Reported as bytes/second of *data* processed (not stored bytes), so the
+// schemes are directly comparable at equal logical input.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "ec/registry.h"
+
+namespace {
+
+using namespace dblrep;
+
+std::vector<Buffer> make_data(const ec::CodeScheme& code,
+                              std::size_t block_size) {
+  std::vector<Buffer> data;
+  for (std::size_t i = 0; i < code.data_blocks(); ++i) {
+    data.push_back(random_buffer(block_size, i + 1));
+  }
+  return data;
+}
+
+void bench_encode(benchmark::State& state, const std::string& spec) {
+  const auto code = ec::make_code(spec).value();
+  const auto block_size = static_cast<std::size_t>(state.range(0));
+  const auto data = make_data(*code, block_size);
+  for (auto _ : state) {
+    auto symbols = code->encode_symbols(data);
+    benchmark::DoNotOptimize(symbols);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(code->data_blocks() * block_size));
+}
+
+void bench_decode_worst_case(benchmark::State& state, const std::string& spec) {
+  // Decode with the maximum tolerated failures down: the hardest path
+  // (Gaussian elimination for the GF codes, copies for replication).
+  const auto code = ec::make_code(spec).value();
+  const auto block_size = static_cast<std::size_t>(state.range(0));
+  const auto data = make_data(*code, block_size);
+  const auto slots = code->encode(data);
+  std::set<ec::NodeIndex> failed;
+  for (int i = 0; i < code->params().fault_tolerance; ++i) failed.insert(i);
+  ec::SlotStore store;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (!failed.contains(code->layout().node_of_slot(s))) store[s] = slots[s];
+  }
+  for (auto _ : state) {
+    auto decoded = code->decode(store, block_size);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(code->data_blocks() * block_size));
+}
+
+void bench_degraded_read(benchmark::State& state, const std::string& spec) {
+  // Execute the on-the-fly repair plan for a doubly-lost block.
+  const auto code = ec::make_code(spec).value();
+  const auto block_size = static_cast<std::size_t>(state.range(0));
+  const auto data = make_data(*code, block_size);
+  const auto slots = code->encode(data);
+  // Fail the two holders of symbol 0.
+  std::set<ec::NodeIndex> failed;
+  for (std::size_t slot : code->layout().slots_of_symbol(0)) {
+    failed.insert(code->layout().node_of_slot(slot));
+  }
+  const auto plan = code->plan_degraded_read(0, failed);
+  ec::SlotStore store;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (!failed.contains(code->layout().node_of_slot(s))) store[s] = slots[s];
+  }
+  ec::PlanExecutor executor(code->layout());
+  for (auto _ : state) {
+    ec::SlotStore working = store;
+    auto delivered = executor.execute(*plan, working);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block_size));
+}
+
+}  // namespace
+
+// 64 KiB and 1 MiB blocks keep the suite fast while showing the asymptote.
+BENCHMARK_CAPTURE(bench_encode, pentagon, "pentagon")->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK_CAPTURE(bench_encode, heptagon, "heptagon")->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK_CAPTURE(bench_encode, heptagon_local, "heptagon-local")
+    ->Arg(64 << 10)
+    ->Arg(1 << 20);
+BENCHMARK_CAPTURE(bench_encode, raidm9, "raidm-9")->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK_CAPTURE(bench_encode, rs_10_4, "rs-10-4")->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK_CAPTURE(bench_encode, rep3, "3-rep")->Arg(64 << 10)->Arg(1 << 20);
+
+BENCHMARK_CAPTURE(bench_decode_worst_case, pentagon, "pentagon")->Arg(1 << 20);
+BENCHMARK_CAPTURE(bench_decode_worst_case, heptagon_local, "heptagon-local")
+    ->Arg(1 << 20);
+BENCHMARK_CAPTURE(bench_decode_worst_case, rs_10_4, "rs-10-4")->Arg(1 << 20);
+
+BENCHMARK_CAPTURE(bench_degraded_read, pentagon, "pentagon")->Arg(1 << 20);
+BENCHMARK_CAPTURE(bench_degraded_read, raidm9, "raidm-9")->Arg(1 << 20);
+
+BENCHMARK_MAIN();

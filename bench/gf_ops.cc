@@ -1,0 +1,54 @@
+// Microbenchmarks for the GF(2^8) kernels underlying every encoder: XOR,
+// addmul (table lookup), and matrix inversion.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "gf/gf256.h"
+#include "gf/matrix.h"
+
+namespace {
+
+using namespace dblrep;
+
+void bench_xor(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  Buffer dst = random_buffer(size, 1);
+  const Buffer src = random_buffer(size, 2);
+  for (auto _ : state) {
+    xor_into(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+
+void bench_addmul(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  Buffer dst = random_buffer(size, 3);
+  const Buffer src = random_buffer(size, 4);
+  for (auto _ : state) {
+    gf::addmul_slice(dst, src, 0x1d);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+
+void bench_matrix_inverse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<unsigned> exponents(n);
+  for (std::size_t i = 0; i < n; ++i) exponents[i] = static_cast<unsigned>(i);
+  const gf::Matrix vandermonde = gf::Matrix::vandermonde(exponents, n);
+  for (auto _ : state) {
+    auto inverse = vandermonde.inverse();
+    benchmark::DoNotOptimize(inverse);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(bench_xor)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+BENCHMARK(bench_addmul)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+BENCHMARK(bench_matrix_inverse)->Arg(9)->Arg(20)->Arg(40);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// dfsctl: a small command-driven shell over the mini-HDFS, for poking at
+// the coded data plane interactively or from scripts.
+//
+// Usage: dfsctl [nodes] [racks]      (then commands on stdin)
+//
+// Commands:
+//   write <path> <code> <blocks>   write <blocks> random data blocks
+//   read <path>                    read the whole file (reports bytes, crc)
+//   stat <path>                    show file info
+//   ls                             list files
+//   rm <path>                      delete a file
+//   raid <path> <code>             re-encode a file (HDFS-RAID style)
+//   fail <node> | restart <node>   membership control
+//   repair <node> | repair-all     rebuild lost blocks
+//   scrub | heal                   verify / verify-and-fix all stripes
+//   traffic                        show network counters
+//   quit
+//
+// Example session:
+//   echo "write /a pentagon 9
+//   fail 0
+//   fail 1
+//   read /a
+//   repair-all
+//   traffic
+//   quit" | ./build/examples/dfsctl
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/bytes.h"
+#include "hdfs/minidfs.h"
+#include "hdfs/raidnode.h"
+
+int main(int argc, char** argv) {
+  using namespace dblrep;
+  constexpr std::size_t kBlock = 4096;
+
+  cluster::Topology topology;
+  if (argc > 1) topology.num_nodes = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) topology.num_racks = std::strtoul(argv[2], nullptr, 10);
+  hdfs::MiniDfs dfs(topology, /*seed=*/2014);
+  hdfs::RaidNode raid(dfs);
+
+  std::cout << "mini-DFS up: " << topology.num_nodes << " nodes, "
+            << topology.num_racks << " rack(s), block size " << kBlock
+            << " B. Type commands ('quit' to exit).\n";
+
+  std::string line;
+  std::uint64_t write_seed = 1;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd.empty() || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "write") {
+      std::string path, code;
+      std::size_t blocks = 0;
+      in >> path >> code >> blocks;
+      const Buffer data = random_buffer(kBlock * blocks, write_seed++);
+      const auto status = dfs.write_file(path, data, code, kBlock);
+      std::cout << (status.is_ok()
+                        ? "wrote " + std::to_string(data.size()) + " bytes"
+                        : status.to_string())
+                << "\n";
+    } else if (cmd == "read") {
+      std::string path;
+      in >> path;
+      const auto data = dfs.read_file(path);
+      if (data.is_ok()) {
+        std::cout << "read " << data->size() << " bytes, crc32c=" << std::hex
+                  << crc32c(*data) << std::dec << "\n";
+      } else {
+        std::cout << data.status().to_string() << "\n";
+      }
+    } else if (cmd == "stat") {
+      std::string path;
+      in >> path;
+      const auto info = dfs.stat(path);
+      if (info.is_ok()) {
+        std::cout << path << ": " << info->length << " bytes, code "
+                  << info->code_spec << ", " << info->stripes.size()
+                  << " stripe(s)\n";
+      } else {
+        std::cout << info.status().to_string() << "\n";
+      }
+    } else if (cmd == "ls") {
+      for (const auto& path : dfs.list_files()) std::cout << path << "\n";
+    } else if (cmd == "rm") {
+      std::string path;
+      in >> path;
+      std::cout << dfs.delete_file(path).to_string() << "\n";
+    } else if (cmd == "raid") {
+      std::string path, code;
+      in >> path >> code;
+      const auto report = raid.raid_file(path, code);
+      if (report.is_ok()) {
+        std::cout << "raided: " << report->bytes_before << " -> "
+                  << report->bytes_after << " stored bytes\n";
+      } else {
+        std::cout << report.status().to_string() << "\n";
+      }
+    } else if (cmd == "fail" || cmd == "restart" || cmd == "repair") {
+      int node = -1;
+      in >> node;
+      const Status status = cmd == "fail"      ? dfs.fail_node(node)
+                            : cmd == "restart" ? dfs.restart_node(node)
+                                               : dfs.repair_node(node);
+      std::cout << status.to_string() << "\n";
+    } else if (cmd == "repair-all") {
+      std::cout << dfs.repair_all().to_string() << "\n";
+    } else if (cmd == "scrub") {
+      std::cout << dfs.scrub().to_string() << "\n";
+    } else if (cmd == "heal") {
+      const auto healed = dfs.scrub_repair();
+      if (healed.is_ok()) {
+        std::cout << "healed " << *healed << " block(s)\n";
+      } else {
+        std::cout << healed.status().to_string() << "\n";
+      }
+    } else if (cmd == "traffic") {
+      std::cout << "network total: " << format_bytes(dfs.traffic().total_bytes())
+                << ", cross-rack: "
+                << format_bytes(dfs.traffic().cross_rack_bytes()) << "\n";
+    } else {
+      std::cout << "unknown command: " << cmd << "\n";
+    }
+  }
+  return 0;
+}

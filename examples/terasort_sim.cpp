@@ -1,0 +1,63 @@
+// Run a Terasort simulation from the command line.
+//
+// Usage: terasort_sim [code] [load%] [map_slots] [nodes] [down_nodes...]
+//   e.g. terasort_sim pentagon 75 4 25
+//        terasort_sim heptagon 100 2 25 3 7      (nodes 3 and 7 down)
+//
+// Defaults reproduce one point of the paper's Fig. 4 (set-up 1).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "ec/registry.h"
+#include "mapred/terasort_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace dblrep;
+
+  const std::string spec = argc > 1 ? argv[1] : "pentagon";
+  const double load = argc > 2 ? std::atof(argv[2]) / 100.0 : 1.0;
+  const int slots = argc > 3 ? std::atoi(argv[3]) : 2;
+  const std::size_t nodes = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 25;
+
+  auto code = ec::make_code(spec);
+  if (!code.is_ok()) {
+    std::cerr << code.status().to_string() << "\n";
+    return 1;
+  }
+
+  mapred::JobConfig config = mapred::setup1_config();
+  config.topology.num_nodes = nodes;
+  config.map_slots = slots;
+  config.load = load;
+  config.trials = 10;
+  for (int i = 5; i < argc; ++i) {
+    config.down_nodes.insert(std::atoi(argv[i]));
+  }
+
+  if ((*code)->num_nodes() > nodes) {
+    std::cerr << spec << " needs " << (*code)->num_nodes()
+              << " nodes, cluster has " << nodes << "\n";
+    return 1;
+  }
+
+  sched::DelayScheduler scheduler;
+  const auto metrics = mapred::run_terasort(**code, scheduler, config);
+
+  std::cout << "Terasort, " << spec << ", " << nodes << " nodes, " << slots
+            << " map slots, load " << load * 100 << "%";
+  if (!config.down_nodes.empty()) {
+    std::cout << ", " << config.down_nodes.size() << " node(s) down";
+  }
+  std::cout << "\n  job time:        " << metrics.job_seconds << " s\n"
+            << "  network traffic: " << metrics.map_input_traffic_bytes / 1e9
+            << " GB (map input)\n"
+            << "  shuffle:         " << metrics.shuffle_traffic_bytes / 1e9
+            << " GB\n"
+            << "  data locality:   " << metrics.locality * 100 << " %\n"
+            << "  degraded reads:  " << metrics.degraded_read_tasks
+            << " task(s), " << metrics.degraded_read_bytes / 1e9 << " GB\n"
+            << "  unrunnable:      " << metrics.unrunnable_tasks
+            << " task(s)\n";
+  return 0;
+}

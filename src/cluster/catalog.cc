@@ -1,0 +1,113 @@
+#include "cluster/catalog.h"
+
+#include <algorithm>
+
+namespace dblrep::cluster {
+
+Result<StripeId> BlockCatalog::register_stripe(const ec::CodeScheme& code,
+                                               std::vector<NodeId> group) {
+  if (group.size() != code.num_nodes()) {
+    return invalid_argument_error("placement group size != code length");
+  }
+  std::set<NodeId> unique(group.begin(), group.end());
+  if (unique.size() != group.size()) {
+    return invalid_argument_error("placement group has duplicate nodes");
+  }
+  for (NodeId node : group) {
+    if (node < 0 || static_cast<std::size_t>(node) >= topology_->num_nodes) {
+      return invalid_argument_error("placement group node out of range");
+    }
+  }
+  const StripeId id = stripes_.size();
+  stripes_.push_back({&code, group});
+  for (std::size_t slot = 0; slot < code.layout().num_slots(); ++slot) {
+    const NodeId node =
+        group[static_cast<std::size_t>(code.layout().node_of_slot(slot))];
+    node_slots_[node].push_back({id, slot});
+  }
+  return id;
+}
+
+Status BlockCatalog::unregister_stripe(StripeId id) {
+  if (id >= stripes_.size() || stripes_[id].code == nullptr) {
+    return not_found_error("no such stripe");
+  }
+  const StripeInfo& info = stripes_[id];
+  for (std::size_t slot = 0; slot < info.code->layout().num_slots(); ++slot) {
+    const NodeId node =
+        info.group[static_cast<std::size_t>(info.code->layout().node_of_slot(slot))];
+    auto& slots = node_slots_[node];
+    std::erase_if(slots, [&](const SlotAddress& address) {
+      return address.stripe == id;
+    });
+  }
+  stripes_[id].code = nullptr;  // tombstone; ids stay stable
+  stripes_[id].group.clear();
+  return Status::ok();
+}
+
+bool BlockCatalog::is_registered(StripeId id) const {
+  return id < stripes_.size() && stripes_[id].code != nullptr;
+}
+
+std::size_t BlockCatalog::num_stripes() const {
+  std::size_t live = 0;
+  for (const auto& info : stripes_) {
+    if (info.code != nullptr) ++live;
+  }
+  return live;
+}
+
+const StripeInfo& BlockCatalog::stripe(StripeId id) const {
+  DBLREP_CHECK_LT(id, stripes_.size());
+  DBLREP_CHECK_MSG(stripes_[id].code != nullptr, "stripe " << id << " deleted");
+  return stripes_[id];
+}
+
+NodeId BlockCatalog::node_of(SlotAddress address) const {
+  const StripeInfo& info = stripe(address.stripe);
+  return info.group[static_cast<std::size_t>(
+      info.code->layout().node_of_slot(address.slot))];
+}
+
+std::vector<NodeId> BlockCatalog::replica_nodes(StripeId id,
+                                                std::size_t symbol) const {
+  const StripeInfo& info = stripe(id);
+  std::vector<NodeId> nodes;
+  for (std::size_t slot : info.code->layout().slots_of_symbol(symbol)) {
+    nodes.push_back(node_of({id, slot}));
+  }
+  return nodes;
+}
+
+const std::vector<SlotAddress>& BlockCatalog::slots_on_node(
+    NodeId node) const {
+  static const std::vector<SlotAddress> kEmpty;
+  const auto it = node_slots_.find(node);
+  return it == node_slots_.end() ? kEmpty : it->second;
+}
+
+std::set<ec::NodeIndex> BlockCatalog::failed_in_stripe(
+    StripeId id, const std::set<NodeId>& down_nodes) const {
+  const StripeInfo& info = stripe(id);
+  std::set<ec::NodeIndex> failed;
+  for (std::size_t i = 0; i < info.group.size(); ++i) {
+    if (down_nodes.contains(info.group[i])) {
+      failed.insert(static_cast<ec::NodeIndex>(i));
+    }
+  }
+  return failed;
+}
+
+std::vector<StripeId> BlockCatalog::stripes_on_node(NodeId node) const {
+  std::vector<StripeId> out;
+  for (const auto& address : slots_on_node(node)) {
+    if (out.empty() || out.back() != address.stripe) {
+      out.push_back(address.stripe);
+    }
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dblrep::cluster

@@ -1,0 +1,77 @@
+// Cluster-level block catalog: which stripe's slots live on which node.
+//
+// The catalog is the NameNode's structural view (no bytes): every stripe
+// registered here carries its code scheme and a placement group mapping
+// code-local node indices to cluster nodes. The HDFS layer stores the
+// actual block payloads; the repair engine and the MapReduce simulator
+// both consult the catalog for replica locations.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "cluster/topology.h"
+#include "ec/code.h"
+
+namespace dblrep::cluster {
+
+using StripeId = std::size_t;
+
+/// Globally unique block-slot address.
+struct SlotAddress {
+  StripeId stripe = 0;
+  std::size_t slot = 0;  // code-local slot index
+
+  auto operator<=>(const SlotAddress&) const = default;
+};
+
+struct StripeInfo {
+  const ec::CodeScheme* code = nullptr;  // not owned
+  std::vector<NodeId> group;             // code node i -> cluster node
+};
+
+class BlockCatalog {
+ public:
+  explicit BlockCatalog(const Topology& topology) : topology_(&topology) {}
+
+  /// Registers a stripe placed on `group` (one cluster node per code node,
+  /// all distinct). Returns its id.
+  Result<StripeId> register_stripe(const ec::CodeScheme& code,
+                                   std::vector<NodeId> group);
+
+  /// Removes a stripe (file deletion); its id becomes a tombstone and its
+  /// slots disappear from every node's listing.
+  Status unregister_stripe(StripeId id);
+
+  /// Ids of live (non-tombstoned) stripes. num_stripes counts live only.
+  bool is_registered(StripeId id) const;
+  std::size_t num_stripes() const;
+  const StripeInfo& stripe(StripeId id) const;
+
+  /// Cluster node hosting a slot.
+  NodeId node_of(SlotAddress address) const;
+
+  /// Cluster nodes holding replicas of (stripe, symbol), in slot order.
+  std::vector<NodeId> replica_nodes(StripeId id, std::size_t symbol) const;
+
+  /// All slots a cluster node hosts (across stripes).
+  const std::vector<SlotAddress>& slots_on_node(NodeId node) const;
+
+  /// Code-local failed set for a stripe, given cluster-level down nodes.
+  std::set<ec::NodeIndex> failed_in_stripe(
+      StripeId id, const std::set<NodeId>& down_nodes) const;
+
+  /// Stripes that have at least one slot on `node`.
+  std::vector<StripeId> stripes_on_node(NodeId node) const;
+
+ private:
+  const Topology* topology_;
+  std::vector<StripeInfo> stripes_;
+  std::map<NodeId, std::vector<SlotAddress>> node_slots_;
+};
+
+}  // namespace dblrep::cluster

@@ -1,0 +1,26 @@
+#include "cluster/topology.h"
+
+namespace dblrep::cluster {
+
+Topology setup1_topology() {
+  Topology t;
+  t.num_nodes = 25;
+  t.num_racks = 1;
+  // Laptop-class disks are slower than server drives.
+  t.disk_bytes_per_sec = 60e6;
+  t.nic_bytes_per_sec = 1.25e9;
+  t.switch_bytes_per_sec = 4 * 1.25e9;
+  return t;
+}
+
+Topology setup2_topology() {
+  Topology t;
+  t.num_nodes = 9;
+  t.num_racks = 1;
+  t.disk_bytes_per_sec = 120e6;
+  t.nic_bytes_per_sec = 1.25e9;
+  t.switch_bytes_per_sec = 4 * 1.25e9;
+  return t;
+}
+
+}  // namespace dblrep::cluster

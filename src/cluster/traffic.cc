@@ -1,0 +1,44 @@
+#include "cluster/traffic.h"
+
+namespace dblrep::cluster {
+
+TrafficMeter::TrafficMeter(const Topology& topology)
+    : topology_(&topology),
+      sent_(topology.num_nodes, 0.0),
+      received_(topology.num_nodes, 0.0) {}
+
+void TrafficMeter::record(NodeId from, NodeId to, double bytes) {
+  DBLREP_CHECK_GE(bytes, 0.0);
+  if (from == to) return;
+  total_ += bytes;
+  if (!topology_->same_rack(from, to)) cross_rack_ += bytes;
+  sent_[static_cast<std::size_t>(from)] += bytes;
+  received_[static_cast<std::size_t>(to)] += bytes;
+}
+
+void TrafficMeter::record_to_client(NodeId from, double bytes) {
+  DBLREP_CHECK_GE(bytes, 0.0);
+  total_ += bytes;
+  sent_[static_cast<std::size_t>(from)] += bytes;
+}
+
+double TrafficMeter::node_sent_bytes(NodeId node) const {
+  DBLREP_CHECK_GE(node, 0);
+  DBLREP_CHECK_LT(static_cast<std::size_t>(node), sent_.size());
+  return sent_[static_cast<std::size_t>(node)];
+}
+
+double TrafficMeter::node_received_bytes(NodeId node) const {
+  DBLREP_CHECK_GE(node, 0);
+  DBLREP_CHECK_LT(static_cast<std::size_t>(node), received_.size());
+  return received_[static_cast<std::size_t>(node)];
+}
+
+void TrafficMeter::reset() {
+  total_ = 0;
+  cross_rack_ = 0;
+  std::fill(sent_.begin(), sent_.end(), 0.0);
+  std::fill(received_.begin(), received_.end(), 0.0);
+}
+
+}  // namespace dblrep::cluster

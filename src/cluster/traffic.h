@@ -1,0 +1,38 @@
+// Network traffic accounting -- the middle panel of Fig. 4 and left panel
+// of Fig. 5 report "network traffic (GB) during job execution".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/topology.h"
+
+namespace dblrep::cluster {
+
+class TrafficMeter {
+ public:
+  explicit TrafficMeter(const Topology& topology);
+
+  /// Records `bytes` moving from `from` to `to`. Self-transfers (local
+  /// reads) are ignored -- they never touch the network.
+  void record(NodeId from, NodeId to, double bytes);
+
+  /// Records bytes delivered to an off-cluster client (always network).
+  void record_to_client(NodeId from, double bytes);
+
+  double total_bytes() const { return total_; }
+  double cross_rack_bytes() const { return cross_rack_; }
+  double node_sent_bytes(NodeId node) const;
+  double node_received_bytes(NodeId node) const;
+
+  void reset();
+
+ private:
+  const Topology* topology_;
+  double total_ = 0;
+  double cross_rack_ = 0;
+  std::vector<double> sent_;
+  std::vector<double> received_;
+};
+
+}  // namespace dblrep::cluster

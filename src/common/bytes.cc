@@ -1,0 +1,102 @@
+#include "common/bytes.h"
+
+#include <array>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace dblrep {
+
+void xor_into(MutableByteSpan dst, ByteSpan src) {
+  DBLREP_CHECK_EQ(dst.size(), src.size());
+  // Word-at-a-time main loop; tails byte-wise. memcpy keeps it well-defined
+  // under strict aliasing.
+  std::size_t i = 0;
+  const std::size_t n = dst.size();
+  for (; i + sizeof(std::uint64_t) <= n; i += sizeof(std::uint64_t)) {
+    std::uint64_t a, b;
+    __builtin_memcpy(&a, dst.data() + i, sizeof(a));
+    __builtin_memcpy(&b, src.data() + i, sizeof(b));
+    a ^= b;
+    __builtin_memcpy(dst.data() + i, &a, sizeof(a));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+Buffer xor_buffers(ByteSpan a, ByteSpan b) {
+  DBLREP_CHECK_EQ(a.size(), b.size());
+  Buffer out(a.begin(), a.end());
+  xor_into(out, b);
+  return out;
+}
+
+Buffer random_buffer(std::size_t size, std::uint64_t seed) {
+  // SplitMix64 stream; stable across platforms so tests can hard-code hashes.
+  Buffer out(size);
+  std::uint64_t state = seed;
+  std::size_t i = 0;
+  while (i < size) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    for (int b = 0; b < 8 && i < size; ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(z >> (8 * b));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) {
+  static const auto table = make_crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xffu];
+  }
+  return ~crc;
+}
+
+std::string hex_preview(ByteSpan data, std::size_t max_bytes) {
+  static const char* digits = "0123456789abcdef";
+  const std::size_t n = std::min(data.size(), max_bytes);
+  std::string out;
+  out.reserve(2 * n + 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(digits[data[i] >> 4]);
+    out.push_back(digits[data[i] & 0xf]);
+  }
+  if (n < data.size()) out += "...";
+  return out;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[unit]);
+  return buf;
+}
+
+}  // namespace dblrep

@@ -1,0 +1,39 @@
+// Byte-buffer helpers shared by the coding and data-plane layers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dblrep {
+
+/// Owning byte buffer. Blocks are dense and fixed-size, so a plain vector is
+/// the right representation; views are passed as std::span.
+using Buffer = std::vector<std::uint8_t>;
+
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+/// dst ^= src, element-wise. Sizes must match. The compiler vectorizes this
+/// loop; it is the hot kernel for XOR parities and partial parities.
+void xor_into(MutableByteSpan dst, ByteSpan src);
+
+/// out = a ^ b into a fresh buffer.
+Buffer xor_buffers(ByteSpan a, ByteSpan b);
+
+/// Deterministic pseudo-random buffer (seeded), for tests and workloads.
+Buffer random_buffer(std::size_t size, std::uint64_t seed);
+
+/// CRC-32C (Castagnoli), the checksum HDFS uses per chunk. Software
+/// slice-by-1 table implementation; speed is not critical here.
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed = 0);
+
+/// Lowercase hex of the first `max_bytes` bytes (debugging aid).
+std::string hex_preview(ByteSpan data, std::size_t max_bytes = 16);
+
+/// "1.5 GiB"-style rendering of byte counts for report tables.
+std::string format_bytes(double bytes);
+
+}  // namespace dblrep

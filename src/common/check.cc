@@ -1,0 +1,14 @@
+#include "common/check.h"
+
+namespace dblrep::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation at " << file << ":" << line << ": CHECK(" << expr
+     << ")";
+  if (!msg.empty()) os << " -- " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace dblrep::detail

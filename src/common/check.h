@@ -1,0 +1,60 @@
+// Contract-checking macros for programmer errors.
+//
+// These are for *bugs* (violated preconditions / invariants), not for
+// recoverable storage errors -- those use Status / Result<T> (see status.h).
+// A failed check throws dblrep::ContractViolation carrying file:line and the
+// failed expression, so tests can assert on contract enforcement.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dblrep {
+
+/// Thrown when a DBLREP_CHECK* contract fails. Deriving from logic_error
+/// signals "programmer error" as opposed to runtime storage failure.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace dblrep
+
+/// Always-on invariant check (storage code keeps checks in release builds;
+/// silent corruption is worse than an abort).
+#define DBLREP_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::dblrep::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                   \
+  } while (0)
+
+/// Check with a streamed message: DBLREP_CHECK_MSG(a == b, "a=" << a).
+#define DBLREP_CHECK_MSG(expr, stream_expr)                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream dblrep_check_os_;                                   \
+      dblrep_check_os_ << stream_expr;                                       \
+      ::dblrep::detail::check_failed(#expr, __FILE__, __LINE__,              \
+                                     dblrep_check_os_.str());                \
+    }                                                                        \
+  } while (0)
+
+#define DBLREP_CHECK_EQ(a, b) \
+  DBLREP_CHECK_MSG((a) == (b), "lhs=" << (a) << " rhs=" << (b))
+#define DBLREP_CHECK_NE(a, b) \
+  DBLREP_CHECK_MSG((a) != (b), "lhs=" << (a) << " rhs=" << (b))
+#define DBLREP_CHECK_LT(a, b) \
+  DBLREP_CHECK_MSG((a) < (b), "lhs=" << (a) << " rhs=" << (b))
+#define DBLREP_CHECK_LE(a, b) \
+  DBLREP_CHECK_MSG((a) <= (b), "lhs=" << (a) << " rhs=" << (b))
+#define DBLREP_CHECK_GT(a, b) \
+  DBLREP_CHECK_MSG((a) > (b), "lhs=" << (a) << " rhs=" << (b))
+#define DBLREP_CHECK_GE(a, b) \
+  DBLREP_CHECK_MSG((a) >= (b), "lhs=" << (a) << " rhs=" << (b))

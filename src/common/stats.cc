@@ -1,0 +1,96 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dblrep {
+
+void RunningStat::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const { return count_ ? mean_ : 0.0; }
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const { return count_ ? min_ : 0.0; }
+double RunningStat::max() const { return count_ ? max_ : 0.0; }
+
+double RunningStat::ci95_half_width() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  DBLREP_CHECK(!bounds_.empty());
+  DBLREP_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    DBLREP_CHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::add(double x) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  DBLREP_CHECK_GE(q, 0.0);
+  DBLREP_CHECK_LE(q, 1.0);
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // Interpolate inside bucket i. Underflow/overflow clamp to boundary.
+      if (i == 0) return bounds_.front();
+      if (i == counts_.size() - 1) return bounds_.back();
+      const double lo = bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac =
+          counts_[i] == 0 ? 0.0 : (target - cumulative) / counts_[i];
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i == 0) {
+      os << "(-inf," << bounds_.front() << ")";
+    } else if (i == counts_.size() - 1) {
+      os << "[" << bounds_.back() << ",inf)";
+    } else {
+      os << "[" << bounds_[i - 1] << "," << bounds_[i] << ")";
+    }
+    os << "=" << counts_[i];
+    if (i + 1 < counts_.size()) os << " ";
+  }
+  return os.str();
+}
+
+}  // namespace dblrep

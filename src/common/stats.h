@@ -1,0 +1,61 @@
+// Streaming statistics for experiment reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dblrep {
+
+/// Welford-style running mean/variance plus min/max. Used to average metrics
+/// over repeated simulation runs, as the paper averages over multiple
+/// Terasort executions.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  // sample variance (n-1); 0 if n < 2
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_half_width() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-boundary histogram for latency/bandwidth distributions.
+class Histogram {
+ public:
+  /// Buckets are [bounds[i-1], bounds[i]); an underflow and overflow bucket
+  /// are added implicitly. Bounds must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void add(double x);
+
+  std::size_t total() const { return total_; }
+  /// counts()[0] is underflow, counts().back() overflow.
+  const std::vector<std::size_t>& counts() const { return counts_; }
+
+  /// Linear-interpolated quantile estimate, q in [0,1].
+  double quantile(double q) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dblrep

@@ -1,0 +1,59 @@
+#include "common/status.h"
+
+namespace dblrep {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status not_found_error(std::string message) {
+  return {StatusCode::kNotFound, std::move(message)};
+}
+Status unavailable_error(std::string message) {
+  return {StatusCode::kUnavailable, std::move(message)};
+}
+Status data_loss_error(std::string message) {
+  return {StatusCode::kDataLoss, std::move(message)};
+}
+Status invalid_argument_error(std::string message) {
+  return {StatusCode::kInvalidArgument, std::move(message)};
+}
+Status already_exists_error(std::string message) {
+  return {StatusCode::kAlreadyExists, std::move(message)};
+}
+Status failed_precondition_error(std::string message) {
+  return {StatusCode::kFailedPrecondition, std::move(message)};
+}
+Status corruption_error(std::string message) {
+  return {StatusCode::kCorruption, std::move(message)};
+}
+Status resource_exhausted_error(std::string message) {
+  return {StatusCode::kResourceExhausted, std::move(message)};
+}
+Status internal_error(std::string message) {
+  return {StatusCode::kInternal, std::move(message)};
+}
+
+}  // namespace dblrep

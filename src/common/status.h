@@ -1,0 +1,139 @@
+// Status / Result<T>: recoverable-error channel for the storage data plane.
+//
+// Storage operations fail for environmental reasons (node down, block
+// missing, not enough survivors to decode). Those are normal outcomes, not
+// bugs, so they are reported by value rather than thrown. This mirrors the
+// Status/StatusOr idiom common in production storage codebases while staying
+// dependency-free.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace dblrep {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        // named entity does not exist
+  kUnavailable,     // node/replica temporarily unreachable
+  kDataLoss,        // erasure pattern not recoverable
+  kInvalidArgument, // caller-supplied value out of domain
+  kAlreadyExists,   // create of an existing entity
+  kFailedPrecondition, // operation not valid in current state
+  kCorruption,      // checksum mismatch / torn block
+  kResourceExhausted, // out of capacity (slots, space)
+  kInternal,        // invariant broke in a recoverable context
+};
+
+/// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
+const char* status_code_name(StatusCode code);
+
+/// Value-semantic error descriptor. Default-constructed Status is OK.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "NOT_FOUND: block 17 has no live replica" or "OK".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status not_found_error(std::string message);
+Status unavailable_error(std::string message);
+Status data_loss_error(std::string message);
+Status invalid_argument_error(std::string message);
+Status already_exists_error(std::string message);
+Status failed_precondition_error(std::string message);
+Status corruption_error(std::string message);
+Status resource_exhausted_error(std::string message);
+Status internal_error(std::string message);
+
+/// Result<T> holds either a T or a non-OK Status.
+///
+/// Accessors CHECK the state: calling value() on an error result is a
+/// programmer error (the caller must branch on ok() first), and surfacing it
+/// loudly beats silently reading garbage.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {     // NOLINT(google-explicit-constructor)
+    DBLREP_CHECK_MSG(!std::get<Status>(payload_).is_ok(),
+                     "Result constructed from OK status without a value");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(payload_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    DBLREP_CHECK_MSG(is_ok(), "value() on error result: " << status().to_string());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    DBLREP_CHECK_MSG(is_ok(), "value() on error result: " << status().to_string());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    DBLREP_CHECK_MSG(is_ok(), "value() on error result: " << status().to_string());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// OK status when holding a value, the stored error otherwise.
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// Value if present, otherwise `fallback`.
+  T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Early-return helper: DBLREP_RETURN_IF_ERROR(some_status_expr);
+#define DBLREP_RETURN_IF_ERROR(expr)                    \
+  do {                                                  \
+    ::dblrep::Status dblrep_status_ = (expr);           \
+    if (!dblrep_status_.is_ok()) return dblrep_status_; \
+  } while (0)
+
+/// DBLREP_ASSIGN_OR_RETURN(auto v, result_expr): binds value or propagates
+/// the error status to the caller (caller must return Status or Result).
+#define DBLREP_ASSIGN_CONCAT_INNER(a, b) a##b
+#define DBLREP_ASSIGN_CONCAT(a, b) DBLREP_ASSIGN_CONCAT_INNER(a, b)
+#define DBLREP_ASSIGN_OR_RETURN(decl, expr)                              \
+  auto DBLREP_ASSIGN_CONCAT(dblrep_result_, __LINE__) = (expr);          \
+  if (!DBLREP_ASSIGN_CONCAT(dblrep_result_, __LINE__).is_ok())           \
+    return DBLREP_ASSIGN_CONCAT(dblrep_result_, __LINE__).status();      \
+  decl = std::move(DBLREP_ASSIGN_CONCAT(dblrep_result_, __LINE__)).value()
+
+}  // namespace dblrep

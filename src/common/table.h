@@ -1,0 +1,48 @@
+// Console table / CSV rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces a table or figure from the paper; these
+// helpers keep the output format uniform: an ASCII table for eyeballing and
+// an optional CSV dump for plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dblrep {
+
+/// Column-aligned ASCII table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column alignment and a rule under the header.
+  std::string to_string() const;
+
+  /// RFC-4180-ish CSV (fields containing comma/quote/newline are quoted).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("12.34").
+std::string fmt_double(double value, int precision = 2);
+
+/// Scientific notation with 2 mantissa digits ("1.20e+09"), matching the
+/// paper's MTTDL rendering in Table 1.
+std::string fmt_sci(double value);
+
+/// Percentage with one decimal ("93.8%").
+std::string fmt_pct(double fraction);
+
+}  // namespace dblrep

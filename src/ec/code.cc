@@ -1,0 +1,432 @@
+#include "ec/code.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dblrep::ec {
+
+namespace {
+
+/// Incremental GF(2^8) row-space tracker for greedy basis selection.
+class RowSpace {
+ public:
+  explicit RowSpace(std::size_t cols) : cols_(cols) {}
+
+  std::size_t rank() const { return reduced_.size(); }
+
+  /// Tries to add `row`; returns true iff it was independent of the span.
+  bool add(std::span<const gf::Elem> row) {
+    std::vector<gf::Elem> work(row.begin(), row.end());
+    reduce(work);
+    const auto lead = leading(work);
+    if (lead == cols_) return false;
+    const gf::Elem scale = gf::inv(work[lead]);
+    for (auto& cell : work) cell = gf::mul(cell, scale);
+    // Keep reduced_ sorted by leading column so reduce() is one pass.
+    reduced_.push_back({lead, std::move(work)});
+    std::sort(reduced_.begin(), reduced_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return true;
+  }
+
+ private:
+  std::size_t leading(const std::vector<gf::Elem>& row) const {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (row[c] != 0) return c;
+    }
+    return cols_;
+  }
+
+  void reduce(std::vector<gf::Elem>& row) const {
+    for (const auto& [lead, basis_row] : reduced_) {
+      if (row[lead] == 0) continue;
+      const gf::Elem factor = row[lead];
+      for (std::size_t c = 0; c < cols_; ++c) {
+        row[c] = gf::add(row[c], gf::mul(factor, basis_row[c]));
+      }
+    }
+  }
+
+  std::size_t cols_;
+  std::vector<std::pair<std::size_t, std::vector<gf::Elem>>> reduced_;
+};
+
+}  // namespace
+
+CodeScheme::CodeScheme(CodeParams params, StripeLayout layout,
+                       gf::Matrix generator)
+    : params_(std::move(params)),
+      layout_(std::move(layout)),
+      generator_(std::move(generator)) {
+  DBLREP_CHECK_EQ(generator_.rows(), params_.num_symbols);
+  DBLREP_CHECK_EQ(generator_.cols(), params_.data_blocks);
+  DBLREP_CHECK_EQ(layout_.num_symbols(), params_.num_symbols);
+  DBLREP_CHECK_EQ(layout_.num_nodes(), params_.num_nodes);
+  DBLREP_CHECK_EQ(layout_.num_slots(), params_.stored_blocks);
+  // Systematic prefix: symbol i == data block i for i < k.
+  for (std::size_t i = 0; i < params_.data_blocks; ++i) {
+    for (std::size_t j = 0; j < params_.data_blocks; ++j) {
+      DBLREP_CHECK_EQ(static_cast<int>(generator_.at(i, j)),
+                      static_cast<int>(i == j ? 1 : 0));
+    }
+  }
+  // The generator must have full column rank, otherwise the code cannot
+  // even decode from a fault-free stripe.
+  DBLREP_CHECK_EQ(generator_.rank(), params_.data_blocks);
+}
+
+std::vector<Buffer> CodeScheme::encode_symbols(
+    std::span<const Buffer> data) const {
+  DBLREP_CHECK_EQ(data.size(), params_.data_blocks);
+  const std::size_t block_size = data.empty() ? 0 : data[0].size();
+  for (const auto& block : data) DBLREP_CHECK_EQ(block.size(), block_size);
+
+  std::vector<Buffer> symbols(params_.num_symbols);
+  for (std::size_t j = 0; j < params_.num_symbols; ++j) {
+    if (j < params_.data_blocks) {
+      symbols[j] = data[j];  // systematic fast path
+      continue;
+    }
+    symbols[j].assign(block_size, 0);
+    const auto row = generator_.row(j);
+    for (std::size_t i = 0; i < params_.data_blocks; ++i) {
+      gf::addmul_slice(symbols[j], data[i], row[i]);
+    }
+  }
+  return symbols;
+}
+
+std::vector<Buffer> CodeScheme::encode(std::span<const Buffer> data) const {
+  const auto symbols = encode_symbols(data);
+  std::vector<Buffer> slots(layout_.num_slots());
+  for (std::size_t s = 0; s < layout_.num_slots(); ++s) {
+    slots[s] = symbols[layout_.symbol_of_slot(s)];
+  }
+  return slots;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+CodeScheme::surviving_symbol_slots(const std::set<NodeIndex>& failed) const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t sym = 0; sym < params_.num_symbols; ++sym) {
+    for (std::size_t slot : layout_.slots_of_symbol(sym)) {
+      if (!failed.contains(layout_.node_of_slot(slot))) {
+        out.emplace_back(sym, slot);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool CodeScheme::is_recoverable(const std::set<NodeIndex>& failed) const {
+  RowSpace space(params_.data_blocks);
+  for (const auto& [sym, slot] : surviving_symbol_slots(failed)) {
+    (void)slot;
+    space.add(generator_.row(sym));
+    if (space.rank() == params_.data_blocks) return true;
+  }
+  return space.rank() == params_.data_blocks;
+}
+
+Result<std::vector<Buffer>> CodeScheme::decode(const SlotStore& store,
+                                               std::size_t block_size) const {
+  const std::size_t k = params_.data_blocks;
+
+  // Locate one available slot per symbol.
+  std::vector<std::optional<std::size_t>> symbol_slot(params_.num_symbols);
+  for (const auto& [slot, bytes] : store) {
+    if (slot >= layout_.num_slots()) {
+      return invalid_argument_error("store contains unknown slot");
+    }
+    if (bytes.size() != block_size) {
+      return invalid_argument_error("decode: block size mismatch");
+    }
+    auto& entry = symbol_slot[layout_.symbol_of_slot(slot)];
+    if (!entry) entry = slot;
+  }
+
+  // Fast path: every systematic symbol is present.
+  bool all_systematic = true;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!symbol_slot[i]) {
+      all_systematic = false;
+      break;
+    }
+  }
+  std::vector<Buffer> data(k);
+  if (all_systematic) {
+    for (std::size_t i = 0; i < k; ++i) data[i] = store.at(*symbol_slot[i]);
+    return data;
+  }
+
+  // General path: greedy basis of surviving rows, then solve.
+  RowSpace space(k);
+  std::vector<std::size_t> basis_symbols;
+  for (std::size_t sym = 0; sym < params_.num_symbols && basis_symbols.size() < k;
+       ++sym) {
+    if (!symbol_slot[sym]) continue;
+    if (space.add(generator_.row(sym))) basis_symbols.push_back(sym);
+  }
+  if (basis_symbols.size() < k) {
+    return data_loss_error("stripe not recoverable from surviving blocks");
+  }
+  auto inverse = generator_.select_rows(basis_symbols).inverse();
+  if (!inverse.is_ok()) return inverse.status();
+
+  for (std::size_t i = 0; i < k; ++i) {
+    data[i].assign(block_size, 0);
+    for (std::size_t j = 0; j < k; ++j) {
+      gf::addmul_slice(data[i], store.at(*symbol_slot[basis_symbols[j]]),
+                       inverse->at(i, j));
+    }
+  }
+  return data;
+}
+
+Result<RepairPlan> CodeScheme::plan_node_repair(NodeIndex failed) const {
+  return plan_multi_node_repair({failed});
+}
+
+Result<RepairPlan> CodeScheme::plan_multi_node_repair(
+    const std::set<NodeIndex>& failed) const {
+  for (NodeIndex node : failed) {
+    DBLREP_CHECK_GE(node, 0);
+    DBLREP_CHECK_LT(static_cast<std::size_t>(node), params_.num_nodes);
+  }
+  if (!is_recoverable(failed)) {
+    return data_loss_error("failure pattern exceeds code tolerance");
+  }
+
+  RepairPlan plan;
+  // Slots currently readable: everything on live nodes; grows as replacements
+  // are rebuilt in plan order.
+  std::vector<bool> available(layout_.num_slots());
+  for (std::size_t s = 0; s < layout_.num_slots(); ++s) {
+    available[s] = !failed.contains(layout_.node_of_slot(s));
+  }
+  auto live_slot_of = [&](std::size_t symbol) -> std::optional<std::size_t> {
+    for (std::size_t slot : layout_.slots_of_symbol(symbol)) {
+      if (available[slot]) return slot;
+    }
+    return std::nullopt;
+  };
+
+  // Pass 1 over each failed node: copy every slot whose symbol still has a
+  // readable replica (repair-by-transfer). Record the rest.
+  std::vector<std::pair<std::size_t, NodeIndex>> doubly_lost;  // (slot, node)
+  for (NodeIndex node : failed) {
+    for (std::size_t slot : layout_.slots_on_node(node)) {
+      const std::size_t symbol = layout_.symbol_of_slot(slot);
+      if (const auto src = live_slot_of(symbol)) {
+        plan.aggregates.push_back(
+            {layout_.node_of_slot(*src), node, {{*src, 1}}});
+        plan.reconstructions.push_back(
+            {symbol, slot, {{plan.aggregates.size() - 1, 1}}, {}});
+        available[slot] = true;
+      } else {
+        doubly_lost.emplace_back(slot, node);
+      }
+    }
+  }
+
+  // Pass 2: rebuild fully-lost symbols via a basis solve, folding per-node
+  // contributions into partial parities. Process in slot order so that once
+  // a symbol is rebuilt, later replicas of it become plain copies.
+  for (const auto& [slot, node] : doubly_lost) {
+    if (available[slot]) continue;  // rebuilt as replica of earlier step
+    const std::size_t symbol = layout_.symbol_of_slot(slot);
+    if (const auto src = live_slot_of(symbol)) {
+      // A replica was rebuilt earlier in this plan.
+      plan.aggregates.push_back({layout_.node_of_slot(*src), node, {{*src, 1}}});
+      plan.reconstructions.push_back(
+          {symbol, slot, {{plan.aggregates.size() - 1, 1}}, {}});
+      available[slot] = true;
+      continue;
+    }
+
+    // Greedy basis over available symbols. Preference order: slots already
+    // on the destination node (zero network cost), then slots on originally
+    // live nodes (stable sources, and folding them per node yields the
+    // paper's partial parities), then slots rebuilt on other replacements.
+    std::vector<std::pair<std::size_t, std::size_t>> candidates;  // (sym, slot)
+    {
+      std::vector<bool> seen(params_.num_symbols, false);
+      auto consider = [&](std::size_t s) {
+        const std::size_t sym = layout_.symbol_of_slot(s);
+        if (!available[s] || seen[sym]) return;
+        seen[sym] = true;
+        candidates.emplace_back(sym, s);
+      };
+      for (std::size_t s : layout_.slots_on_node(node)) consider(s);
+      for (std::size_t s = 0; s < layout_.num_slots(); ++s) {
+        if (!failed.contains(layout_.node_of_slot(s))) consider(s);
+      }
+      for (std::size_t s = 0; s < layout_.num_slots(); ++s) consider(s);
+    }
+    RowSpace space(params_.data_blocks);
+    std::vector<std::size_t> basis_symbols;
+    std::vector<std::size_t> basis_slots;
+    for (const auto& [sym, src_slot] : candidates) {
+      if (space.rank() == params_.data_blocks) break;
+      if (space.add(generator_.row(sym))) {
+        basis_symbols.push_back(sym);
+        basis_slots.push_back(src_slot);
+      }
+    }
+    // Express the lost symbol over the basis: solve basis^T coeffs = target.
+    gf::Matrix basis = generator_.select_rows(basis_symbols);
+    gf::Matrix basis_t(basis.cols(), basis.rows());
+    for (std::size_t r = 0; r < basis.rows(); ++r) {
+      for (std::size_t c = 0; c < basis.cols(); ++c) {
+        basis_t.set(c, r, basis.at(r, c));
+      }
+    }
+    gf::Matrix target_t(params_.data_blocks, 1);
+    for (std::size_t c = 0; c < params_.data_blocks; ++c) {
+      target_t.set(c, 0, generator_.at(symbol, c));
+    }
+    auto coeffs = basis_t.solve(target_t);
+    if (!coeffs.is_ok()) return coeffs.status();
+
+    // Fold contributions per source node.
+    std::map<NodeIndex, std::vector<PartialTerm>> per_node;
+    std::vector<PartialTerm> local_terms;
+    for (std::size_t j = 0; j < basis_symbols.size(); ++j) {
+      const gf::Elem coeff = coeffs->at(j, 0);
+      if (coeff == 0) continue;
+      const NodeIndex src_node = layout_.node_of_slot(basis_slots[j]);
+      if (src_node == node) {
+        local_terms.push_back({basis_slots[j], coeff});
+      } else {
+        per_node[src_node].push_back({basis_slots[j], coeff});
+      }
+    }
+    Reconstruction rec;
+    rec.symbol = symbol;
+    rec.dest_slot = slot;
+    rec.local_terms = std::move(local_terms);
+    for (auto& [src_node, terms] : per_node) {
+      plan.aggregates.push_back({src_node, node, std::move(terms)});
+      rec.from_aggregates.emplace_back(plan.aggregates.size() - 1, 1);
+    }
+    plan.reconstructions.push_back(std::move(rec));
+    available[slot] = true;
+  }
+  return plan;
+}
+
+Result<RepairPlan> CodeScheme::plan_degraded_read(
+    std::size_t symbol, const std::set<NodeIndex>& failed) const {
+  return generic_degraded_read(symbol, failed);
+}
+
+Result<RepairPlan> CodeScheme::generic_degraded_read(
+    std::size_t symbol, const std::set<NodeIndex>& failed) const {
+  DBLREP_CHECK_LT(symbol, params_.num_symbols);
+  RepairPlan plan;
+  // If any replica survives, one plain copy suffices.
+  for (std::size_t slot : layout_.slots_of_symbol(symbol)) {
+    if (!failed.contains(layout_.node_of_slot(slot))) {
+      plan.aggregates.push_back(
+          {layout_.node_of_slot(slot), kClientNode, {{slot, 1}}});
+      plan.reconstructions.push_back(
+          {symbol, Reconstruction::kClientSlot, {{0, 1}}, {}});
+      return plan;
+    }
+  }
+
+  // On-the-fly repair: express the symbol over a surviving basis and fold
+  // per-node partial parities (Section 3.1 of the paper).
+  const auto survivors = surviving_symbol_slots(failed);
+  RowSpace space(params_.data_blocks);
+  std::vector<std::size_t> basis_symbols;
+  std::vector<std::size_t> basis_slots;
+  for (const auto& [sym, slot] : survivors) {
+    if (space.rank() == params_.data_blocks) break;
+    if (space.add(generator_.row(sym))) {
+      basis_symbols.push_back(sym);
+      basis_slots.push_back(slot);
+    }
+  }
+  if (basis_symbols.size() < params_.data_blocks) {
+    return data_loss_error("degraded read: symbol unrecoverable");
+  }
+  gf::Matrix basis = generator_.select_rows(basis_symbols);
+  gf::Matrix basis_t(basis.cols(), basis.rows());
+  for (std::size_t r = 0; r < basis.rows(); ++r) {
+    for (std::size_t c = 0; c < basis.cols(); ++c) basis_t.set(c, r, basis.at(r, c));
+  }
+  gf::Matrix target_t(params_.data_blocks, 1);
+  for (std::size_t c = 0; c < params_.data_blocks; ++c) {
+    target_t.set(c, 0, generator_.at(symbol, c));
+  }
+  auto coeffs = basis_t.solve(target_t);
+  if (!coeffs.is_ok()) return coeffs.status();
+
+  std::map<NodeIndex, std::vector<PartialTerm>> per_node;
+  for (std::size_t j = 0; j < basis_symbols.size(); ++j) {
+    const gf::Elem coeff = coeffs->at(j, 0);
+    if (coeff == 0) continue;
+    per_node[layout_.node_of_slot(basis_slots[j])].push_back(
+        {basis_slots[j], coeff});
+  }
+  Reconstruction rec;
+  rec.symbol = symbol;
+  rec.dest_slot = Reconstruction::kClientSlot;
+  for (auto& [src_node, terms] : per_node) {
+    plan.aggregates.push_back({src_node, kClientNode, std::move(terms)});
+    rec.from_aggregates.emplace_back(plan.aggregates.size() - 1, 1);
+  }
+  plan.reconstructions.push_back(std::move(rec));
+  return plan;
+}
+
+Status CodeScheme::verify_codeword(const SlotStore& store,
+                                   std::size_t block_size) const {
+  // Replicas of a symbol must be byte-identical.
+  for (std::size_t sym = 0; sym < params_.num_symbols; ++sym) {
+    const Buffer* first = nullptr;
+    for (std::size_t slot : layout_.slots_of_symbol(sym)) {
+      const auto it = store.find(slot);
+      if (it == store.end()) continue;
+      if (!first) {
+        first = &it->second;
+      } else if (*first != it->second) {
+        return corruption_error("replica mismatch for symbol " +
+                                std::to_string(sym));
+      }
+    }
+  }
+  // Parities must be consistent with the decoded data.
+  auto data = decode(store, block_size);
+  if (!data.is_ok()) return data.status();
+  const auto symbols = encode_symbols(*data);
+  for (const auto& [slot, bytes] : store) {
+    if (symbols[layout_.symbol_of_slot(slot)] != bytes) {
+      return corruption_error("slot " + std::to_string(slot) +
+                              " inconsistent with stripe data");
+    }
+  }
+  return Status::ok();
+}
+
+std::vector<Buffer> chunk_data(ByteSpan data, std::size_t k,
+                               std::size_t block_size) {
+  DBLREP_CHECK_GT(k, 0u);
+  DBLREP_CHECK_GT(block_size, 0u);
+  DBLREP_CHECK_LE(data.size(), k * block_size);
+  std::vector<Buffer> blocks(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    blocks[i].assign(block_size, 0);
+    const std::size_t begin = i * block_size;
+    if (begin < data.size()) {
+      const std::size_t len = std::min(block_size, data.size() - begin);
+      std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(begin), len,
+                  blocks[i].begin());
+    }
+  }
+  return blocks;
+}
+
+}  // namespace dblrep::ec

@@ -1,0 +1,126 @@
+// CodeScheme: common interface for every storage scheme the paper compares.
+//
+// Every scheme -- r-replication, pentagon/heptagon (repair-by-transfer MBR),
+// heptagon-local (locally regenerating), (k+1,k) RAID+mirroring, and
+// Reed-Solomon -- is modeled as a linear code over GF(2^8) plus a stripe
+// layout:
+//
+//   symbol_j = sum_i generator[j][i] * data_i        (j < num_symbols)
+//
+// with each symbol stored in one or more slots on distinct nodes. Decoding
+// any erasure pattern reduces to solving the surviving rows, which gives a
+// single, heavily-tested generic decoder plus a rank oracle
+// (is_recoverable) reused verbatim by the reliability engine.
+//
+// Subclasses override the repair planners where the code structure allows
+// cheaper-than-generic recovery (repair-by-transfer, partial parities).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "ec/layout.h"
+#include "ec/repair.h"
+#include "gf/matrix.h"
+
+namespace dblrep::ec {
+
+/// Static descriptors of a code, the quantities in the paper's Table 1.
+struct CodeParams {
+  std::string name;
+  std::size_t data_blocks = 0;      // k
+  std::size_t stored_blocks = 0;    // total slots in a stripe
+  std::size_t num_symbols = 0;      // distinct coded blocks
+  std::size_t num_nodes = 0;        // code length (Table 1 column 3)
+  int fault_tolerance = 0;          // any t node failures are recoverable
+
+  /// Table 1 column 2: stored blocks per data block.
+  double storage_overhead() const {
+    return static_cast<double>(stored_blocks) / static_cast<double>(data_blocks);
+  }
+};
+
+class CodeScheme {
+ public:
+  virtual ~CodeScheme() = default;
+
+  CodeScheme(const CodeScheme&) = delete;
+  CodeScheme& operator=(const CodeScheme&) = delete;
+
+  const CodeParams& params() const { return params_; }
+  const StripeLayout& layout() const { return layout_; }
+
+  /// Generator matrix, num_symbols x k. Symbols [0, k) are systematic
+  /// (identity rows) for every scheme in this library.
+  const gf::Matrix& generator() const { return generator_; }
+
+  std::size_t data_blocks() const { return params_.data_blocks; }
+  std::size_t num_symbols() const { return params_.num_symbols; }
+  std::size_t num_nodes() const { return params_.num_nodes; }
+
+  /// Encodes k equal-sized data blocks into one buffer per slot (replicated
+  /// symbols are duplicated). Order matches layout slot indices.
+  std::vector<Buffer> encode(std::span<const Buffer> data) const;
+
+  /// Computes the distinct symbols only (no replica duplication).
+  std::vector<Buffer> encode_symbols(std::span<const Buffer> data) const;
+
+  /// True iff the data survives failure of exactly this node set.
+  bool is_recoverable(const std::set<NodeIndex>& failed_nodes) const;
+
+  /// Recovers all k data blocks from the slots present in `store`
+  /// (slots on failed nodes simply absent). Uses systematic fast paths
+  /// where possible and Gaussian elimination otherwise.
+  Result<std::vector<Buffer>> decode(const SlotStore& store,
+                                     std::size_t block_size) const;
+
+  /// Plan to restore every slot of one failed node. Default: generic
+  /// (decode-from-k-symbols at the replacement, then re-encode locally).
+  virtual Result<RepairPlan> plan_node_repair(NodeIndex failed) const;
+
+  /// Plan to restore all slots of several failed nodes (executed on the
+  /// in-place replacements). Default: generic decode at first replacement,
+  /// then re-encode and distribute.
+  virtual Result<RepairPlan> plan_multi_node_repair(
+      const std::set<NodeIndex>& failed) const;
+
+  /// Plan to deliver one symbol to a client while `failed` nodes are down
+  /// (the paper's on-the-fly repair during an MR job, Section 3.1). If a
+  /// replica of the symbol survives, this is a single copy.
+  virtual Result<RepairPlan> plan_degraded_read(
+      std::size_t symbol, const std::set<NodeIndex>& failed) const;
+
+  /// Verifies that a full slot set is a valid codeword (replicas identical,
+  /// parities consistent). Used by scrub paths and tests.
+  Status verify_codeword(const SlotStore& store, std::size_t block_size) const;
+
+ protected:
+  CodeScheme(CodeParams params, StripeLayout layout, gf::Matrix generator);
+
+  /// Generic degraded read: gather k independent surviving symbols at the
+  /// client and solve. Exposed to subclasses as a fallback.
+  Result<RepairPlan> generic_degraded_read(std::size_t symbol,
+                                           const std::set<NodeIndex>& failed) const;
+
+  /// Surviving symbols (those with at least one slot on a live node),
+  /// each paired with one live slot chosen deterministically.
+  std::vector<std::pair<std::size_t, std::size_t>> surviving_symbol_slots(
+      const std::set<NodeIndex>& failed) const;
+
+ private:
+  CodeParams params_;
+  StripeLayout layout_;
+  gf::Matrix generator_;
+};
+
+/// Convenience: splits `data` (padded with zeros) into the code's k blocks
+/// of `block_size` each.
+std::vector<Buffer> chunk_data(ByteSpan data, std::size_t k,
+                               std::size_t block_size);
+
+}  // namespace dblrep::ec

@@ -1,0 +1,82 @@
+#include "ec/layout.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dblrep::ec {
+
+StripeLayout::StripeLayout(std::size_t num_nodes, std::size_t num_symbols,
+                           std::vector<NodeIndex> slot_nodes,
+                           std::vector<std::size_t> slot_symbols)
+    : num_nodes_(num_nodes),
+      num_symbols_(num_symbols),
+      slot_nodes_(std::move(slot_nodes)),
+      slot_symbols_(std::move(slot_symbols)) {
+  DBLREP_CHECK_EQ(slot_nodes_.size(), slot_symbols_.size());
+  node_slots_.resize(num_nodes_);
+  symbol_slots_.resize(num_symbols_);
+  for (std::size_t s = 0; s < slot_nodes_.size(); ++s) {
+    const NodeIndex node = slot_nodes_[s];
+    DBLREP_CHECK_GE(node, 0);
+    DBLREP_CHECK_LT(static_cast<std::size_t>(node), num_nodes_);
+    DBLREP_CHECK_LT(slot_symbols_[s], num_symbols_);
+    node_slots_[static_cast<std::size_t>(node)].push_back(s);
+    symbol_slots_[slot_symbols_[s]].push_back(s);
+  }
+  for (std::size_t sym = 0; sym < num_symbols_; ++sym) {
+    DBLREP_CHECK_MSG(!symbol_slots_[sym].empty(),
+                     "symbol " << sym << " has no slot");
+    // No two replicas of one symbol may share a node (the HDFS placement
+    // invariant the paper keeps even for array codes).
+    for (std::size_t i = 1; i < symbol_slots_[sym].size(); ++i) {
+      DBLREP_CHECK_NE(node_of_slot(symbol_slots_[sym][i - 1]),
+                      node_of_slot(symbol_slots_[sym][i]));
+    }
+  }
+}
+
+NodeIndex StripeLayout::node_of_slot(std::size_t slot) const {
+  DBLREP_CHECK_LT(slot, slot_nodes_.size());
+  return slot_nodes_[slot];
+}
+
+std::size_t StripeLayout::symbol_of_slot(std::size_t slot) const {
+  DBLREP_CHECK_LT(slot, slot_symbols_.size());
+  return slot_symbols_[slot];
+}
+
+const std::vector<std::size_t>& StripeLayout::slots_on_node(
+    NodeIndex node) const {
+  DBLREP_CHECK_GE(node, 0);
+  DBLREP_CHECK_LT(static_cast<std::size_t>(node), num_nodes_);
+  return node_slots_[static_cast<std::size_t>(node)];
+}
+
+const std::vector<std::size_t>& StripeLayout::slots_of_symbol(
+    std::size_t symbol) const {
+  DBLREP_CHECK_LT(symbol, num_symbols_);
+  return symbol_slots_[symbol];
+}
+
+std::size_t StripeLayout::max_slots_per_node() const {
+  std::size_t best = 0;
+  for (const auto& slots : node_slots_) best = std::max(best, slots.size());
+  return best;
+}
+
+std::string StripeLayout::to_string() const {
+  std::ostringstream os;
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    os << "N" << n << ": {";
+    const auto& slots = node_slots_[n];
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (i) os << ",";
+      os << "s" << slot_symbols_[slots[i]];
+    }
+    os << "}";
+    if (n + 1 < num_nodes_) os << " ";
+  }
+  return os.str();
+}
+
+}  // namespace dblrep::ec

@@ -1,0 +1,75 @@
+// Stripe layout: which coded block lives on which node.
+//
+// Terminology used throughout the library (matching the paper's Section 2):
+//
+//  * A stripe encodes k *data blocks* into a set of distinct *symbols*
+//    (data symbols + parity symbols).
+//  * Each symbol is stored in one or more *slots*; a slot is a physical
+//    block replica placed on a specific code-local node. Codes with
+//    "inherent double replication" store every symbol in exactly two slots.
+//  * Nodes are code-local indices 0..num_nodes-1; the cluster layer maps
+//    them onto physical machines.
+//
+// The array-code property the paper analyzes -- multiple slots of the same
+// stripe on one node -- is fully captured here: slots_on_node(n) can have
+// size > 1 (4 for the pentagon, 6 for the heptagon).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dblrep::ec {
+
+/// Code-local node index.
+using NodeIndex = int;
+
+/// Virtual node index used as the destination of degraded reads (a client
+/// that is not part of the stripe's placement group).
+inline constexpr NodeIndex kClientNode = -1;
+
+/// Immutable slot->node and slot->symbol maps for one code.
+class StripeLayout {
+ public:
+  StripeLayout() = default;
+
+  /// slot_nodes[s] = node of slot s; slot_symbols[s] = symbol carried by s.
+  StripeLayout(std::size_t num_nodes, std::size_t num_symbols,
+               std::vector<NodeIndex> slot_nodes,
+               std::vector<std::size_t> slot_symbols);
+
+  std::size_t num_slots() const { return slot_nodes_.size(); }
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_symbols() const { return num_symbols_; }
+
+  NodeIndex node_of_slot(std::size_t slot) const;
+  std::size_t symbol_of_slot(std::size_t slot) const;
+
+  /// Slots placed on `node`, ascending.
+  const std::vector<std::size_t>& slots_on_node(NodeIndex node) const;
+
+  /// Slots carrying `symbol` (its replicas), ascending.
+  const std::vector<std::size_t>& slots_of_symbol(std::size_t symbol) const;
+
+  /// Replication degree of a symbol (number of slots carrying it).
+  std::size_t symbol_replication(std::size_t symbol) const {
+    return slots_of_symbol(symbol).size();
+  }
+
+  /// Maximum number of slots any single node hosts.
+  std::size_t max_slots_per_node() const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t num_nodes_ = 0;
+  std::size_t num_symbols_ = 0;
+  std::vector<NodeIndex> slot_nodes_;
+  std::vector<std::size_t> slot_symbols_;
+  std::vector<std::vector<std::size_t>> node_slots_;
+  std::vector<std::vector<std::size_t>> symbol_slots_;
+};
+
+}  // namespace dblrep::ec

@@ -1,0 +1,137 @@
+#include "ec/local_polygon.h"
+
+namespace dblrep::ec {
+
+namespace {
+
+std::size_t edges(int n) {
+  return static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1) / 2;
+}
+
+CodeParams make_params(int n) {
+  DBLREP_CHECK_GE(n, 3);
+  const std::size_t local_k = edges(n) - 1;
+  // GF(2^8) Vandermonde exponents must stay distinct mod 255.
+  DBLREP_CHECK_LT(2 * local_k, 255u);
+  CodeParams params;
+  params.name = (n == 7) ? "heptagon-local"
+                         : "polygon-" + std::to_string(n) + "-local";
+  params.data_blocks = 2 * local_k;
+  params.num_symbols = 2 * edges(n) + 2;
+  params.stored_blocks = 4 * edges(n) + 2;  // two replicated locals + 2 globals
+  params.num_nodes = static_cast<std::size_t>(2 * n + 1);
+  params.fault_tolerance = 3;
+  return params;
+}
+
+// Symbol numbering (systematic prefix first):
+//   [0, local_k)            local 0 data, in edge order
+//   [local_k, 2*local_k)    local 1 data, in edge order
+//   2*local_k + w           local w's XOR parity (w in {0,1})
+//   2*local_k + 2 + j       global parity j (j in {0,1})
+std::size_t data_symbol(std::size_t local_k, int which, std::size_t edge) {
+  return static_cast<std::size_t>(which) * local_k + edge;
+}
+
+StripeLayout make_layout(int n) {
+  const std::size_t local_k = edges(n) - 1;
+  const std::size_t parity_base = 2 * local_k;
+  std::vector<NodeIndex> slot_nodes;
+  std::vector<std::size_t> slot_symbols;
+  for (int which = 0; which < 2; ++which) {
+    const NodeIndex node_base = which * n;
+    std::size_t edge = 0;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b, ++edge) {
+        // The last edge of each local carries that local's XOR parity.
+        const std::size_t symbol = (edge == local_k)
+                                       ? parity_base + static_cast<std::size_t>(which)
+                                       : data_symbol(local_k, which, edge);
+        slot_nodes.push_back(node_base + a);
+        slot_symbols.push_back(symbol);
+        slot_nodes.push_back(node_base + b);
+        slot_symbols.push_back(symbol);
+      }
+    }
+  }
+  // Global parity node: two unreplicated parity blocks.
+  for (int j = 0; j < 2; ++j) {
+    slot_nodes.push_back(2 * n);
+    slot_symbols.push_back(parity_base + 2 + static_cast<std::size_t>(j));
+  }
+  return {static_cast<std::size_t>(2 * n + 1), 2 * edges(n) + 2,
+          std::move(slot_nodes), std::move(slot_symbols)};
+}
+
+gf::Matrix make_generator(int n) {
+  const std::size_t local_k = edges(n) - 1;
+  const std::size_t k = 2 * local_k;
+  gf::Matrix g(k + 4, k);
+  for (std::size_t i = 0; i < k; ++i) g.set(i, i, 1);
+  // Local XOR parities.
+  for (int which = 0; which < 2; ++which) {
+    for (std::size_t i = 0; i < local_k; ++i) {
+      g.set(k + static_cast<std::size_t>(which),
+            static_cast<std::size_t>(which) * local_k + i, 1);
+    }
+  }
+  // Global parities: Vandermonde rows over alpha^i and alpha^(2i). Together
+  // with a local all-ones row these form a 3x3 Vandermonde system in the
+  // distinct points alpha^i, so any 3 doubly-lost blocks inside one local
+  // are solvable.
+  for (std::size_t i = 0; i < k; ++i) {
+    g.set(k + 2, i, gf::exp_alpha(static_cast<unsigned>(i)));
+    g.set(k + 3, i, gf::exp_alpha(static_cast<unsigned>(2 * i)));
+  }
+  return g;
+}
+
+}  // namespace
+
+LocalPolygonCode::LocalPolygonCode(int n)
+    : CodeScheme(make_params(n), make_layout(n), make_generator(n)),
+      n_(n),
+      local_k_(edges(n) - 1) {}
+
+int LocalPolygonCode::rack_of_node(NodeIndex node) const {
+  DBLREP_CHECK_GE(node, 0);
+  DBLREP_CHECK_LT(static_cast<std::size_t>(node), num_nodes());
+  if (node < n_) return 0;
+  if (node < 2 * n_) return 1;
+  return 2;
+}
+
+int LocalPolygonCode::local_of_node(NodeIndex node) const {
+  const int rack = rack_of_node(node);
+  return rack == 2 ? -1 : rack;
+}
+
+std::pair<std::size_t, std::size_t> LocalPolygonCode::global_symbols() const {
+  return {2 * local_k_ + 2, 2 * local_k_ + 3};
+}
+
+std::size_t LocalPolygonCode::local_parity_symbol(int which) const {
+  DBLREP_CHECK_GE(which, 0);
+  DBLREP_CHECK_LE(which, 1);
+  return 2 * local_k_ + static_cast<std::size_t>(which);
+}
+
+std::size_t LocalPolygonCode::edge_symbol(int which, NodeIndex a,
+                                          NodeIndex b) const {
+  DBLREP_CHECK_GE(which, 0);
+  DBLREP_CHECK_LE(which, 1);
+  const NodeIndex base = which * n_;
+  a -= base;
+  b -= base;
+  DBLREP_CHECK_NE(a, b);
+  if (a > b) std::swap(a, b);
+  DBLREP_CHECK_GE(a, 0);
+  DBLREP_CHECK_LT(b, n_);
+  const auto au = static_cast<std::size_t>(a);
+  const auto prior = au * static_cast<std::size_t>(n_) - au * (au + 1) / 2;
+  const std::size_t edge = prior + static_cast<std::size_t>(b - a - 1);
+  if (edge == local_k_) return local_parity_symbol(which);
+  return data_symbol(local_k_, which, edge);
+}
+
+}  // namespace dblrep::ec

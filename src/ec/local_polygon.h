@@ -1,0 +1,64 @@
+// Heptagon-local code (Section 2.2), generalized to any local polygon size.
+//
+// Construction: 2k_l data blocks (k_l = C(n,2)-1 per local) are split into
+// two sets, each encoded by an independent K_n polygon code placed on n
+// dedicated nodes ("local codes"). Two *global parity* blocks -- GF(2^8)
+// Vandermonde combinations of all 2k_l data blocks, as in RAID-6 -- are
+// stored unreplicated on one extra node. For n=7 this is the paper's
+// heptagon-local code: 40 data blocks -> 86 stored blocks on 15 nodes,
+// overhead 2.15x, tolerating any 3 node failures.
+//
+// Failure handling (all verified by tests):
+//  * 1-2 failures inside one local: repaired locally (repair-by-transfer /
+//    local partial parities), never touching the other local or the global
+//    node;
+//  * 3 failures inside one local: the 3 doubly-lost edge blocks are solved
+//    from the local XOR parity plus the two global parities (a Vandermonde
+//    3x3 system);
+//  * global-node failure: the parities are recomputed from data with
+//    per-node partial aggregation.
+//
+// This is an instance of the "codes with local regeneration" family of
+// Kamath et al. 2012. In a rack-aware deployment the three groups map to
+// three racks; rack_of_node exposes that mapping.
+#pragma once
+
+#include "ec/code.h"
+
+namespace dblrep::ec {
+
+class LocalPolygonCode final : public CodeScheme {
+ public:
+  /// n >= 3 is the local polygon size; n=7 gives the paper's code.
+  explicit LocalPolygonCode(int n);
+
+  int n() const { return n_; }
+
+  /// Data blocks per local code: C(n,2) - 1.
+  std::size_t local_data_blocks() const { return local_k_; }
+
+  /// 0 or 1 for nodes inside a local polygon, 2 for the global parity node.
+  int rack_of_node(NodeIndex node) const;
+
+  /// Which local group a node belongs to; the global node is in neither.
+  /// Returns -1 for the global node.
+  int local_of_node(NodeIndex node) const;
+
+  NodeIndex global_node() const { return static_cast<NodeIndex>(2 * n_); }
+
+  /// Symbol ids of the two global parities.
+  std::pair<std::size_t, std::size_t> global_symbols() const;
+
+  /// Symbol id of local `which`'s XOR parity block.
+  std::size_t local_parity_symbol(int which) const;
+
+  /// Symbol carried on the edge {a,b} of local `which` (node indices are
+  /// code-global, both must lie in that local's node range).
+  std::size_t edge_symbol(int which, NodeIndex a, NodeIndex b) const;
+
+ private:
+  int n_;
+  std::size_t local_k_;
+};
+
+}  // namespace dblrep::ec

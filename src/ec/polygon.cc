@@ -1,0 +1,86 @@
+#include "ec/polygon.h"
+
+namespace dblrep::ec {
+
+namespace {
+
+std::size_t edges(int n) {
+  return static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1) / 2;
+}
+
+CodeParams make_params(int n) {
+  DBLREP_CHECK_GE(n, 3);
+  CodeParams params;
+  switch (n) {
+    case 5: params.name = "pentagon"; break;
+    case 7: params.name = "heptagon"; break;
+    default: params.name = "polygon-" + std::to_string(n); break;
+  }
+  params.num_symbols = edges(n);
+  params.data_blocks = params.num_symbols - 1;
+  params.stored_blocks = 2 * params.num_symbols;
+  params.num_nodes = static_cast<std::size_t>(n);
+  params.fault_tolerance = 2;
+  return params;
+}
+
+StripeLayout make_layout(int n) {
+  std::vector<NodeIndex> slot_nodes;
+  std::vector<std::size_t> slot_symbols;
+  std::size_t edge = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b, ++edge) {
+      slot_nodes.push_back(a);
+      slot_symbols.push_back(edge);
+      slot_nodes.push_back(b);
+      slot_symbols.push_back(edge);
+    }
+  }
+  return {static_cast<std::size_t>(n), edges(n), std::move(slot_nodes),
+          std::move(slot_symbols)};
+}
+
+gf::Matrix make_generator(int n) {
+  const std::size_t symbols = edges(n);
+  const std::size_t k = symbols - 1;
+  gf::Matrix g(symbols, k);
+  for (std::size_t i = 0; i < k; ++i) g.set(i, i, 1);
+  for (std::size_t i = 0; i < k; ++i) g.set(k, i, 1);  // XOR parity row
+  return g;
+}
+
+}  // namespace
+
+PolygonCode::PolygonCode(int n)
+    : CodeScheme(make_params(n), make_layout(n), make_generator(n)), n_(n) {}
+
+std::size_t PolygonCode::num_edges(int n) { return edges(n); }
+
+std::size_t PolygonCode::edge_symbol(NodeIndex a, NodeIndex b) const {
+  DBLREP_CHECK_NE(a, b);
+  if (a > b) std::swap(a, b);
+  DBLREP_CHECK_GE(a, 0);
+  DBLREP_CHECK_LT(b, n_);
+  // Edges before row `a`: sum_{i<a} (n-1-i); offset within row: b - a - 1.
+  const auto au = static_cast<std::size_t>(a);
+  const auto prior = au * static_cast<std::size_t>(n_) - au * (au + 1) / 2;
+  return prior + static_cast<std::size_t>(b - a - 1);
+}
+
+std::pair<NodeIndex, NodeIndex> PolygonCode::symbol_edge(
+    std::size_t symbol) const {
+  DBLREP_CHECK_LT(symbol, num_symbols());
+  // Invert the lexicographic edge numbering.
+  std::size_t remaining = symbol;
+  for (NodeIndex a = 0; a < n_; ++a) {
+    const std::size_t row = static_cast<std::size_t>(n_ - 1 - a);
+    if (remaining < row) {
+      return {a, a + 1 + static_cast<NodeIndex>(remaining)};
+    }
+    remaining -= row;
+  }
+  DBLREP_CHECK_MSG(false, "unreachable: bad edge index");
+  return {0, 0};
+}
+
+}  // namespace dblrep::ec

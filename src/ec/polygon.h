@@ -1,0 +1,54 @@
+// Polygon codes: the paper's pentagon (n=5) and heptagon (n=7), generalized
+// to any complete graph K_n, n >= 3.
+//
+// Construction (Section 2.1): take the C(n,2) edges of K_n. The first
+// C(n,2)-1 edges carry the data blocks verbatim; the last edge carries the
+// XOR parity of all data blocks. Each edge-block is stored on *both* of its
+// endpoint nodes, so every node hosts n-1 blocks and every block exists
+// exactly twice ("inherent double replication").
+//
+// Properties (all verified by tests):
+//  * any n-2 nodes suffice to decode (the pentagon's "any 3 of 5");
+//  * resilient to any 2 node failures, never to 3 (for n >= 4);
+//  * single-node repair is pure repair-by-transfer: n-1 plain copies;
+//  * two-node repair costs 3(n-2)+1 block transfers using partial parities
+//    (10 for the pentagon, the number in Section 2.1);
+//  * degraded read of a doubly-lost block costs n-2 partial-parity sends
+//    (3 for the pentagon vs 9 for (10,9) RAID+m, Section 3.1).
+//
+// This is the repair-by-transfer minimum-bandwidth-regenerating (MBR) code
+// of Shah et al. 2012 with (n, k_mbr = n-2, d = n-1).
+#pragma once
+
+#include "ec/code.h"
+
+namespace dblrep::ec {
+
+class PolygonCode final : public CodeScheme {
+ public:
+  /// n >= 3 nodes. n=5 is the pentagon, n=7 the heptagon.
+  explicit PolygonCode(int n);
+
+  int n() const { return n_; }
+
+  /// Edge index (0-based, lexicographic) of the node pair {a, b}, a != b.
+  /// Edge e's block is stored on nodes a and b.
+  std::size_t edge_symbol(NodeIndex a, NodeIndex b) const;
+
+  /// The two endpoint nodes of a symbol's edge.
+  std::pair<NodeIndex, NodeIndex> symbol_edge(std::size_t symbol) const;
+
+  /// The symbol shared by two nodes (the block that is fully lost when both
+  /// fail) -- same as edge_symbol, named for readability at call sites.
+  std::size_t shared_symbol(NodeIndex a, NodeIndex b) const {
+    return edge_symbol(a, b);
+  }
+
+  /// Number of edges / distinct blocks: C(n,2).
+  static std::size_t num_edges(int n);
+
+ private:
+  int n_;
+};
+
+}  // namespace dblrep::ec

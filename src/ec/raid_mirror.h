@@ -1,0 +1,31 @@
+// (k+1, k) RAID + mirroring (Xin et al. 2003), the paper's non-array
+// comparator with double replication.
+//
+// k data blocks plus one XOR parity block, and every one of the k+1 blocks
+// is mirrored, giving 2(k+1) blocks spread over 2(k+1) *distinct* nodes
+// (one block per node -- no data concentration, unlike the polygon codes).
+//
+// The paper evaluates (10,9) and (12,11). Storage overhead 2(k+1)/k;
+// degraded read of a doubly-lost block costs k transfers (9 for (10,9))
+// because there are no partial parities to exploit.
+#pragma once
+
+#include "ec/code.h"
+
+namespace dblrep::ec {
+
+class RaidMirrorCode final : public CodeScheme {
+ public:
+  /// k >= 2 data blocks; the scheme is called "(k+1, k) RAID+m".
+  explicit RaidMirrorCode(int k);
+
+  int k() const { return k_; }
+
+  /// Nodes hosting the two mirrors of `symbol` (symbol k is the parity).
+  std::pair<NodeIndex, NodeIndex> mirror_nodes(std::size_t symbol) const;
+
+ private:
+  int k_;
+};
+
+}  // namespace dblrep::ec

@@ -1,0 +1,79 @@
+#include "ec/registry.h"
+
+#include <charconv>
+
+#include "ec/local_polygon.h"
+#include "ec/polygon.h"
+#include "ec/raid_mirror.h"
+#include "ec/replication.h"
+#include "ec/rs.h"
+
+namespace dblrep::ec {
+
+namespace {
+
+/// Parses a decimal integer; nullopt on any non-numeric content.
+std::optional<int> parse_int(std::string_view text) {
+  int value = 0;
+  const auto [ptr, err] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (err != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CodeScheme>> make_code(const std::string& spec) {
+  if (spec == "pentagon") {
+    return std::unique_ptr<CodeScheme>(std::make_unique<PolygonCode>(5));
+  }
+  if (spec == "heptagon") {
+    return std::unique_ptr<CodeScheme>(std::make_unique<PolygonCode>(7));
+  }
+  if (spec == "heptagon-local") {
+    return std::unique_ptr<CodeScheme>(std::make_unique<LocalPolygonCode>(7));
+  }
+  if (spec.ends_with("-rep")) {
+    if (const auto r = parse_int(spec.substr(0, spec.size() - 4)); r && *r >= 1) {
+      return std::unique_ptr<CodeScheme>(std::make_unique<ReplicationCode>(*r));
+    }
+  }
+  if (spec.starts_with("polygon-")) {
+    std::string_view rest = std::string_view(spec).substr(8);
+    const bool local = rest.ends_with("-local");
+    if (local) rest = rest.substr(0, rest.size() - 6);
+    if (const auto n = parse_int(rest); n && *n >= 3) {
+      if (local) {
+        return std::unique_ptr<CodeScheme>(
+            std::make_unique<LocalPolygonCode>(*n));
+      }
+      return std::unique_ptr<CodeScheme>(std::make_unique<PolygonCode>(*n));
+    }
+  }
+  if (spec.starts_with("raidm-")) {
+    if (const auto k = parse_int(std::string_view(spec).substr(6)); k && *k >= 2) {
+      return std::unique_ptr<CodeScheme>(std::make_unique<RaidMirrorCode>(*k));
+    }
+  }
+  if (spec.starts_with("rs-")) {
+    const std::string_view rest = std::string_view(spec).substr(3);
+    const auto dash = rest.find('-');
+    if (dash != std::string_view::npos) {
+      const auto k = parse_int(rest.substr(0, dash));
+      const auto m = parse_int(rest.substr(dash + 1));
+      if (k && m && *k >= 1 && *m >= 1 && *k + *m <= 256) {
+        return std::unique_ptr<CodeScheme>(std::make_unique<RsCode>(*k, *m));
+      }
+    }
+  }
+  return invalid_argument_error("unknown code spec: " + spec);
+}
+
+std::vector<std::string> paper_code_specs() {
+  return {"3-rep",          "2-rep",    "pentagon", "heptagon",
+          "heptagon-local", "raidm-9",  "raidm-11"};
+}
+
+}  // namespace dblrep::ec

@@ -1,0 +1,25 @@
+// Factory for code schemes by name, so benches, examples, and the CLI
+// surface can select codes the way the paper's tables label them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ec/code.h"
+
+namespace dblrep::ec {
+
+/// Builds a scheme from a spec string. Accepted forms:
+///   "2-rep", "3-rep", "<r>-rep"
+///   "pentagon", "heptagon", "polygon-<n>"
+///   "heptagon-local", "polygon-<n>-local"
+///   "raidm-<k>"  (the (k+1,k) RAID+m scheme; paper uses raidm-9, raidm-11)
+///   "rs-<k>-<m>"
+Result<std::unique_ptr<CodeScheme>> make_code(const std::string& spec);
+
+/// Spec strings for every scheme that appears in the paper's evaluation.
+std::vector<std::string> paper_code_specs();
+
+}  // namespace dblrep::ec

@@ -1,0 +1,137 @@
+#include "ec/repair.h"
+
+#include <sstream>
+
+namespace dblrep::ec {
+
+std::size_t RepairPlan::partial_parity_sends() const {
+  std::size_t count = 0;
+  for (const auto& send : aggregates) {
+    if (!send.is_plain_copy()) ++count;
+  }
+  return count;
+}
+
+std::string RepairPlan::to_string() const {
+  std::ostringstream os;
+  os << "plan: " << aggregates.size() << " network blocks ("
+     << partial_parity_sends() << " partial parities)\n";
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    const auto& send = aggregates[i];
+    os << "  A" << i << ": N" << send.from_node << " -> N" << send.to_node
+       << "  [";
+    for (std::size_t t = 0; t < send.terms.size(); ++t) {
+      if (t) os << " + ";
+      if (send.terms[t].coeff != 1) {
+        os << static_cast<int>(send.terms[t].coeff) << "*";
+      }
+      os << "slot" << send.terms[t].slot;
+    }
+    os << "]\n";
+  }
+  for (const auto& rec : reconstructions) {
+    os << "  rebuild sym" << rec.symbol << " -> ";
+    if (rec.dest_slot == Reconstruction::kClientSlot) {
+      os << "client";
+    } else {
+      os << "slot" << rec.dest_slot;
+    }
+    os << " from {";
+    for (std::size_t i = 0; i < rec.from_aggregates.size(); ++i) {
+      if (i) os << ", ";
+      os << "A" << rec.from_aggregates[i].first;
+    }
+    for (const auto& term : rec.local_terms) {
+      os << ", local slot" << term.slot;
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<Buffer>> PlanExecutor::execute(const RepairPlan& plan,
+                                                  SlotStore& store) const {
+  // Determine the block size from any available slot.
+  std::size_t block_size = 0;
+  for (const auto& [slot, bytes] : store) {
+    (void)slot;
+    block_size = bytes.size();
+    break;
+  }
+  if (block_size == 0 && (!plan.aggregates.empty() || !plan.reconstructions.empty())) {
+    return failed_precondition_error("plan execution with empty slot store");
+  }
+
+  std::vector<Buffer> aggregate_bytes(plan.aggregates.size());
+  std::vector<bool> aggregate_ready(plan.aggregates.size(), false);
+
+  auto eval_terms = [&](NodeIndex at_node, const std::vector<PartialTerm>& terms,
+                        Buffer& out) -> Status {
+    out.assign(block_size, 0);
+    for (const auto& term : terms) {
+      const auto it = store.find(term.slot);
+      if (it == store.end()) {
+        return unavailable_error("slot " + std::to_string(term.slot) +
+                                 " not available for repair");
+      }
+      if (it->second.size() != block_size) {
+        return invalid_argument_error("block size mismatch in plan execution");
+      }
+      if (layout_->node_of_slot(term.slot) != at_node) {
+        return failed_precondition_error(
+            "plan reads slot " + std::to_string(term.slot) +
+            " from the wrong node");
+      }
+      gf::addmul_slice(out, it->second, term.coeff);
+    }
+    return Status::ok();
+  };
+
+  // Aggregates may reference slots rebuilt by earlier reconstructions, so
+  // evaluate them lazily, in reconstruction order.
+  auto materialize_aggregate = [&](std::size_t index) -> Status {
+    if (aggregate_ready[index]) return Status::ok();
+    const auto& send = plan.aggregates[index];
+    DBLREP_RETURN_IF_ERROR(
+        eval_terms(send.from_node, send.terms, aggregate_bytes[index]));
+    aggregate_ready[index] = true;
+    return Status::ok();
+  };
+
+  std::vector<Buffer> client_reads;
+  for (const auto& rec : plan.reconstructions) {
+    Buffer rebuilt(block_size, 0);
+    for (const auto& [agg_index, coeff] : rec.from_aggregates) {
+      if (agg_index >= plan.aggregates.size()) {
+        return invalid_argument_error("plan references unknown aggregate");
+      }
+      DBLREP_RETURN_IF_ERROR(materialize_aggregate(agg_index));
+      const NodeIndex dest = rec.dest_slot == Reconstruction::kClientSlot
+                                 ? kClientNode
+                                 : layout_->node_of_slot(rec.dest_slot);
+      if (plan.aggregates[agg_index].to_node != dest) {
+        return failed_precondition_error(
+            "aggregate delivered to a node other than the rebuild site");
+      }
+      gf::addmul_slice(rebuilt, aggregate_bytes[agg_index], coeff);
+    }
+    if (!rec.local_terms.empty()) {
+      if (rec.dest_slot == Reconstruction::kClientSlot) {
+        return failed_precondition_error(
+            "client-side reconstruction cannot read node-local slots");
+      }
+      Buffer local;
+      DBLREP_RETURN_IF_ERROR(eval_terms(layout_->node_of_slot(rec.dest_slot),
+                                        rec.local_terms, local));
+      xor_into(rebuilt, local);
+    }
+    if (rec.dest_slot == Reconstruction::kClientSlot) {
+      client_reads.push_back(std::move(rebuilt));
+    } else {
+      store[rec.dest_slot] = std::move(rebuilt);
+    }
+  }
+  return client_reads;
+}
+
+}  // namespace dblrep::ec

@@ -1,0 +1,37 @@
+#include "ec/replication.h"
+
+namespace dblrep::ec {
+
+namespace {
+
+CodeParams make_params(int replicas) {
+  DBLREP_CHECK_GE(replicas, 1);
+  CodeParams params;
+  params.name = std::to_string(replicas) + "-rep";
+  params.data_blocks = 1;
+  params.stored_blocks = static_cast<std::size_t>(replicas);
+  params.num_symbols = 1;
+  params.num_nodes = static_cast<std::size_t>(replicas);
+  params.fault_tolerance = replicas - 1;
+  return params;
+}
+
+StripeLayout make_layout(int replicas) {
+  std::vector<NodeIndex> slot_nodes;
+  std::vector<std::size_t> slot_symbols;
+  for (int r = 0; r < replicas; ++r) {
+    slot_nodes.push_back(r);
+    slot_symbols.push_back(0);
+  }
+  return {static_cast<std::size_t>(replicas), 1, std::move(slot_nodes),
+          std::move(slot_symbols)};
+}
+
+}  // namespace
+
+ReplicationCode::ReplicationCode(int replicas)
+    : CodeScheme(make_params(replicas), make_layout(replicas),
+                 gf::Matrix::identity(1)),
+      replicas_(replicas) {}
+
+}  // namespace dblrep::ec

@@ -1,0 +1,20 @@
+// r-way replication (the paper's 2-rep and 3-rep baselines) expressed as a
+// degenerate linear code: one data symbol, r slots on r distinct nodes.
+#pragma once
+
+#include "ec/code.h"
+
+namespace dblrep::ec {
+
+class ReplicationCode final : public CodeScheme {
+ public:
+  /// replicas >= 1; the paper uses 2 and 3.
+  explicit ReplicationCode(int replicas);
+
+  int replicas() const { return replicas_; }
+
+ private:
+  int replicas_;
+};
+
+}  // namespace dblrep::ec

@@ -1,0 +1,55 @@
+#include "ec/rs.h"
+
+namespace dblrep::ec {
+
+namespace {
+
+CodeParams make_params(int k, int m) {
+  DBLREP_CHECK_GE(k, 1);
+  DBLREP_CHECK_GE(m, 1);
+  DBLREP_CHECK_LE(k + m, 256);
+  CodeParams params;
+  params.name = "RS(" + std::to_string(k) + "," + std::to_string(m) + ")";
+  params.data_blocks = static_cast<std::size_t>(k);
+  params.num_symbols = static_cast<std::size_t>(k + m);
+  params.stored_blocks = params.num_symbols;
+  params.num_nodes = params.num_symbols;
+  params.fault_tolerance = m;  // MDS
+  return params;
+}
+
+StripeLayout make_layout(int k, int m) {
+  std::vector<NodeIndex> slot_nodes;
+  std::vector<std::size_t> slot_symbols;
+  for (int s = 0; s < k + m; ++s) {
+    slot_nodes.push_back(s);
+    slot_symbols.push_back(static_cast<std::size_t>(s));
+  }
+  return {static_cast<std::size_t>(k + m), static_cast<std::size_t>(k + m),
+          std::move(slot_nodes), std::move(slot_symbols)};
+}
+
+gf::Matrix make_generator(int k, int m) {
+  const auto ku = static_cast<std::size_t>(k);
+  const auto mu = static_cast<std::size_t>(m);
+  gf::Matrix g(ku + mu, ku);
+  for (std::size_t i = 0; i < ku; ++i) g.set(i, i, 1);
+  // Cauchy points: xs for parity rows, ys for data columns, all distinct.
+  std::vector<gf::Elem> xs(mu), ys(ku);
+  for (std::size_t j = 0; j < mu; ++j) xs[j] = static_cast<gf::Elem>(j);
+  for (std::size_t i = 0; i < ku; ++i) ys[i] = static_cast<gf::Elem>(mu + i);
+  const gf::Matrix cauchy = gf::Matrix::cauchy(xs, ys);
+  for (std::size_t j = 0; j < mu; ++j) {
+    for (std::size_t i = 0; i < ku; ++i) g.set(ku + j, i, cauchy.at(j, i));
+  }
+  return g;
+}
+
+}  // namespace
+
+RsCode::RsCode(int k, int m)
+    : CodeScheme(make_params(k, m), make_layout(k, m), make_generator(k, m)),
+      k_(k),
+      m_(m) {}
+
+}  // namespace dblrep::ec

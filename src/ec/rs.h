@@ -1,0 +1,29 @@
+// Systematic Reed-Solomon code over GF(2^8) -- the storage-efficient,
+// single-copy scheme HDFS-RAID actually shipped (the paper cites it as the
+// cold-data alternative the double-replication codes are meant to improve
+// on for warm data).
+//
+// Parity rows come from a Cauchy matrix, which keeps every k x k submatrix
+// of [I; C] invertible, i.e. the code is MDS: any m node failures are
+// tolerated, but there is no data locality (one copy of each block) and a
+// degraded read costs k transfers.
+#pragma once
+
+#include "ec/code.h"
+
+namespace dblrep::ec {
+
+class RsCode final : public CodeScheme {
+ public:
+  /// k data blocks, m parities; k + m <= 256 over GF(2^8).
+  RsCode(int k, int m);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+
+ private:
+  int k_;
+  int m_;
+};
+
+}  // namespace dblrep::ec

@@ -1,0 +1,116 @@
+#include "gf/gf256.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace dblrep::gf {
+
+namespace {
+
+struct Tables {
+  // exp_[i] = alpha^i for i in [0, 510) so mul can skip one modular
+  // reduction: exp_[log a + log b] is always in range.
+  std::array<Elem, 512> exp_{};
+  std::array<unsigned, 256> log_{};
+  // mul_table_[a][b] = a*b; 64 KiB, used by the slice kernels so each byte
+  // costs one load from a row pointer.
+  std::array<std::array<Elem, 256>, 256> mul_table_{};
+
+  Tables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp_[i] = static_cast<Elem>(x);
+      log_[x] = i;
+      x <<= 1;
+      if (x & 0x100u) x ^= kPrimitivePoly;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+    log_[0] = 0;  // never read; log of zero is a contract violation
+    for (int a = 0; a < 256; ++a) {
+      for (int b = 0; b < 256; ++b) {
+        if (a == 0 || b == 0) {
+          mul_table_[a][b] = 0;
+        } else {
+          mul_table_[a][b] = exp_[log_[a] + log_[b]];
+        }
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+Elem mul(Elem a, Elem b) { return tables().mul_table_[a][b]; }
+
+Elem div(Elem a, Elem b) {
+  DBLREP_CHECK_NE(static_cast<int>(b), 0);
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp_[t.log_[a] + 255 - t.log_[b]];
+}
+
+Elem inv(Elem a) {
+  DBLREP_CHECK_NE(static_cast<int>(a), 0);
+  const auto& t = tables();
+  return t.exp_[255 - t.log_[a]];
+}
+
+Elem pow(Elem a, unsigned power) {
+  if (power == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const unsigned exponent = (t.log_[a] * (power % 255u)) % 255u;
+  return t.exp_[exponent];
+}
+
+Elem exp_alpha(unsigned power) { return tables().exp_[power % 255u]; }
+
+unsigned log_alpha(Elem a) {
+  DBLREP_CHECK_NE(static_cast<int>(a), 0);
+  return tables().log_[a];
+}
+
+void addmul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff) {
+  DBLREP_CHECK_EQ(dst.size(), src.size());
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    xor_into(dst, src);
+    return;
+  }
+  const Elem* row = tables().mul_table_[coeff].data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff) {
+  DBLREP_CHECK_EQ(dst.size(), src.size());
+  if (coeff == 0) {
+    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+    return;
+  }
+  if (coeff == 1) {
+    std::copy(src.begin(), src.end(), dst.begin());
+    return;
+  }
+  const Elem* row = tables().mul_table_[coeff].data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void scale_slice(MutableByteSpan dst, Elem coeff) {
+  if (coeff == 1) return;
+  if (coeff == 0) {
+    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+    return;
+  }
+  const Elem* row = tables().mul_table_[coeff].data();
+  for (auto& byte : dst) byte = row[byte];
+}
+
+}  // namespace dblrep::gf

@@ -1,0 +1,57 @@
+// GF(2^8) arithmetic.
+//
+// Field: GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), i.e. the 0x11d polynomial
+// used by Reed-Solomon implementations such as jerasure and ISA-L. The
+// generator alpha = 0x02 is primitive, so log/exp tables cover all non-zero
+// elements.
+//
+// Scalar ops are table lookups; bulk ops (mul_slice / addmul_slice) are the
+// hot path for encoding and are written so the compiler can unroll them.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dblrep::gf {
+
+using Elem = std::uint8_t;
+
+inline constexpr int kFieldSize = 256;
+inline constexpr Elem kGenerator = 0x02;
+inline constexpr unsigned kPrimitivePoly = 0x11d;
+
+/// a + b (= a - b; characteristic 2).
+constexpr Elem add(Elem a, Elem b) { return a ^ b; }
+constexpr Elem sub(Elem a, Elem b) { return a ^ b; }
+
+/// a * b in the field.
+Elem mul(Elem a, Elem b);
+
+/// a / b. b must be non-zero.
+Elem div(Elem a, Elem b);
+
+/// Multiplicative inverse. a must be non-zero.
+Elem inv(Elem a);
+
+/// a ^ power (power >= 0; a^0 == 1, including 0^0 by convention).
+Elem pow(Elem a, unsigned power);
+
+/// alpha ^ power, the canonical primitive-element power used to build
+/// Vandermonde rows.
+Elem exp_alpha(unsigned power);
+
+/// Discrete log base alpha of a non-zero element.
+unsigned log_alpha(Elem a);
+
+/// dst[i] += coeff * src[i] for all i -- the fused kernel every linear
+/// encoder is built from. coeff == 0 is a no-op; coeff == 1 degrades to XOR.
+void addmul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff);
+
+/// dst[i] = coeff * src[i].
+void mul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff);
+
+/// In-place dst[i] *= coeff.
+void scale_slice(MutableByteSpan dst, Elem coeff);
+
+}  // namespace dblrep::gf

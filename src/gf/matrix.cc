@@ -1,0 +1,238 @@
+#include "gf/matrix.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dblrep::gf {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), cells_(rows * cols, 0) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Elem>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  cells_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    DBLREP_CHECK_EQ(row.size(), cols_);
+    cells_.insert(cells_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, 1);
+  return m;
+}
+
+Matrix Matrix::vandermonde(const std::vector<unsigned>& eval_exponents,
+                           std::size_t cols) {
+  Matrix m(eval_exponents.size(), cols);
+  for (std::size_t r = 0; r < eval_exponents.size(); ++r) {
+    const Elem point = exp_alpha(eval_exponents[r]);
+    Elem value = 1;
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.set(r, c, value);
+      value = gf::mul(value, point);
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::cauchy(const std::vector<Elem>& xs, const std::vector<Elem>& ys) {
+  Matrix m(xs.size(), ys.size());
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    for (std::size_t c = 0; c < ys.size(); ++c) {
+      const Elem denom = add(xs[r], ys[c]);
+      DBLREP_CHECK_MSG(denom != 0, "Cauchy points must be disjoint");
+      m.set(r, c, inv(denom));
+    }
+  }
+  return m;
+}
+
+std::size_t Matrix::index(std::size_t r, std::size_t c) const {
+  DBLREP_CHECK_LT(r, rows_);
+  DBLREP_CHECK_LT(c, cols_);
+  return r * cols_ + c;
+}
+
+Elem Matrix::at(std::size_t r, std::size_t c) const { return cells_[index(r, c)]; }
+
+void Matrix::set(std::size_t r, std::size_t c, Elem value) {
+  cells_[index(r, c)] = value;
+}
+
+std::span<const Elem> Matrix::row(std::size_t r) const {
+  DBLREP_CHECK_LT(r, rows_);
+  return {cells_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::mul(const Matrix& other) const {
+  DBLREP_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Elem a = at(r, k);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.cells_[r * other.cols_ + c] =
+            add(out.cells_[r * other.cols_ + c], gf::mul(a, other.at(k, c)));
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (std::size_t r = 0; r < row_indices.size(); ++r) {
+    const auto src = row(row_indices[r]);
+    std::copy(src.begin(), src.end(), out.cells_.begin() + r * cols_);
+  }
+  return out;
+}
+
+namespace {
+
+/// Row-reduces `work` in place; returns pivot columns found. If `companion`
+/// is non-null, mirrors every row operation onto it (same row count).
+std::vector<std::size_t> eliminate(Matrix& work, Matrix* companion) {
+  std::vector<std::size_t> pivot_cols;
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < work.cols() && pivot_row < work.rows(); ++col) {
+    // Find a non-zero pivot in this column.
+    std::size_t found = work.rows();
+    for (std::size_t r = pivot_row; r < work.rows(); ++r) {
+      if (work.at(r, col) != 0) {
+        found = r;
+        break;
+      }
+    }
+    if (found == work.rows()) continue;
+    // Swap into position.
+    if (found != pivot_row) {
+      for (std::size_t c = 0; c < work.cols(); ++c) {
+        const Elem tmp = work.at(pivot_row, c);
+        work.set(pivot_row, c, work.at(found, c));
+        work.set(found, c, tmp);
+      }
+      if (companion) {
+        for (std::size_t c = 0; c < companion->cols(); ++c) {
+          const Elem tmp = companion->at(pivot_row, c);
+          companion->set(pivot_row, c, companion->at(found, c));
+          companion->set(found, c, tmp);
+        }
+      }
+    }
+    // Normalize pivot row.
+    const Elem pivot = work.at(pivot_row, col);
+    const Elem scale = inv(pivot);
+    if (scale != 1) {
+      for (std::size_t c = 0; c < work.cols(); ++c) {
+        work.set(pivot_row, c, mul(work.at(pivot_row, c), scale));
+      }
+      if (companion) {
+        for (std::size_t c = 0; c < companion->cols(); ++c) {
+          companion->set(pivot_row, c, mul(companion->at(pivot_row, c), scale));
+        }
+      }
+    }
+    // Eliminate the column everywhere else (Gauss-Jordan).
+    for (std::size_t r = 0; r < work.rows(); ++r) {
+      if (r == pivot_row) continue;
+      const Elem factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t c = 0; c < work.cols(); ++c) {
+        work.set(r, c, add(work.at(r, c), mul(factor, work.at(pivot_row, c))));
+      }
+      if (companion) {
+        for (std::size_t c = 0; c < companion->cols(); ++c) {
+          companion->set(
+              r, c, add(companion->at(r, c), mul(factor, companion->at(pivot_row, c))));
+        }
+      }
+    }
+    pivot_cols.push_back(col);
+    ++pivot_row;
+  }
+  return pivot_cols;
+}
+
+}  // namespace
+
+std::size_t Matrix::rank() const {
+  Matrix work = *this;
+  return eliminate(work, nullptr).size();
+}
+
+Result<Matrix> Matrix::inverse() const {
+  if (rows_ != cols_) {
+    return invalid_argument_error("inverse of non-square matrix");
+  }
+  Matrix work = *this;
+  Matrix companion = identity(rows_);
+  const auto pivots = eliminate(work, &companion);
+  if (pivots.size() != rows_) {
+    return invalid_argument_error("matrix is singular");
+  }
+  return companion;
+}
+
+Result<Matrix> Matrix::solve(const Matrix& rhs) const {
+  if (rhs.rows() != rows_) {
+    return invalid_argument_error("solve: rhs row count mismatch");
+  }
+  if (rows_ < cols_) {
+    return invalid_argument_error("solve: underdetermined system");
+  }
+  Matrix work = *this;
+  Matrix companion = rhs;
+  const auto pivots = eliminate(work, &companion);
+  if (pivots.size() != cols_) {
+    return data_loss_error("solve: rank deficient system");
+  }
+  // Overdetermined rows must have been annihilated consistently: a zero row
+  // of A with a non-zero transformed rhs means rhs is outside the column
+  // space and no solution exists.
+  for (std::size_t r = pivots.size(); r < rows_; ++r) {
+    for (std::size_t c = 0; c < companion.cols(); ++c) {
+      if (companion.at(r, c) != 0) {
+        return data_loss_error("solve: inconsistent system");
+      }
+    }
+  }
+  // After Gauss-Jordan the first cols_ pivot rows hold the solution in pivot
+  // order; pivots are exactly columns 0..cols_-1 when full rank because
+  // elimination scans columns left to right.
+  Matrix solution(cols_, rhs.cols());
+  for (std::size_t r = 0; r < cols_; ++r) {
+    for (std::size_t c = 0; c < rhs.cols(); ++c) {
+      solution.set(pivots[r], c, companion.at(r, c));
+    }
+  }
+  return solution;
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c) os << " ";
+      os << static_cast<int>(at(r, c));
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+void linear_combine(MutableByteSpan out, std::span<const Elem> coeffs,
+                    std::span<const ByteSpan> blocks) {
+  DBLREP_CHECK_EQ(coeffs.size(), blocks.size());
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    addmul_slice(out, blocks[i], coeffs[i]);
+  }
+}
+
+}  // namespace dblrep::gf

@@ -1,0 +1,74 @@
+// Dense matrices over GF(2^8) with the linear algebra the decoders need:
+// Gaussian elimination, rank, inversion, and solving A x = b for multiple
+// right-hand sides (where each "scalar" of b is a whole data block).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/status.h"
+#include "gf/gf256.h"
+
+namespace dblrep::gf {
+
+/// Row-major dense matrix over GF(2^8).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+  Matrix(std::initializer_list<std::initializer_list<Elem>> init);
+
+  static Matrix identity(std::size_t n);
+
+  /// Vandermonde matrix V[r][c] = alpha^(evals[r] * c); rows are indexed by
+  /// caller-chosen evaluation exponents so codes can pick disjoint rows.
+  static Matrix vandermonde(const std::vector<unsigned>& eval_exponents,
+                            std::size_t cols);
+
+  /// Cauchy matrix C[r][c] = 1 / (x_r + y_c); all x_r distinct from all y_c.
+  static Matrix cauchy(const std::vector<Elem>& xs, const std::vector<Elem>& ys);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  Elem at(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, Elem value);
+
+  /// Span view of one row (length cols()).
+  std::span<const Elem> row(std::size_t r) const;
+
+  Matrix mul(const Matrix& other) const;
+
+  /// Matrix with the given subset of this matrix's rows, in order.
+  Matrix select_rows(const std::vector<std::size_t>& row_indices) const;
+
+  /// Rank via Gaussian elimination on a copy.
+  std::size_t rank() const;
+
+  /// Inverse; error if singular or non-square.
+  Result<Matrix> inverse() const;
+
+  /// Solves A * x = b where b has one column per right-hand side.
+  /// A may be rectangular with rows() >= cols(); error if rank < cols().
+  Result<Matrix> solve(const Matrix& rhs) const;
+
+  bool operator==(const Matrix& other) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t index(std::size_t r, std::size_t c) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Elem> cells_;
+};
+
+/// Applies `coeffs` (length n) to n equal-length source blocks:
+/// out = sum_i coeffs[i] * blocks[i]. All blocks must share out's size.
+void linear_combine(MutableByteSpan out, std::span<const Elem> coeffs,
+                    std::span<const ByteSpan> blocks);
+
+}  // namespace dblrep::gf

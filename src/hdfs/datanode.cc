@@ -1,0 +1,78 @@
+#include "hdfs/datanode.h"
+
+namespace dblrep::hdfs {
+
+Status DataNode::put(cluster::SlotAddress address, Buffer bytes) {
+  if (!up_) return unavailable_error("datanode down");
+  StoredBlock block;
+  block.crc = crc32c(bytes);
+  block.bytes = std::move(bytes);
+  blocks_[address] = std::move(block);
+  return Status::ok();
+}
+
+Result<Buffer> DataNode::get(cluster::SlotAddress address) const {
+  if (!up_) return unavailable_error("datanode down");
+  const auto it = blocks_.find(address);
+  if (it == blocks_.end()) {
+    return not_found_error("block not on this datanode");
+  }
+  if (crc32c(it->second.bytes) != it->second.crc) {
+    return corruption_error("checksum mismatch on stripe " +
+                            std::to_string(address.stripe) + " slot " +
+                            std::to_string(address.slot));
+  }
+  return it->second.bytes;
+}
+
+bool DataNode::has(cluster::SlotAddress address) const {
+  return up_ && blocks_.contains(address);
+}
+
+Status DataNode::drop(cluster::SlotAddress address) {
+  if (!up_) return unavailable_error("datanode down");
+  if (blocks_.erase(address) == 0) {
+    return not_found_error("block not on this datanode");
+  }
+  return Status::ok();
+}
+
+std::size_t DataNode::bytes_stored() const {
+  std::size_t total = 0;
+  for (const auto& [address, block] : blocks_) {
+    (void)address;
+    total += block.bytes.size();
+  }
+  return total;
+}
+
+void DataNode::fail() {
+  up_ = false;
+  blocks_.clear();
+}
+
+void DataNode::restart() { up_ = true; }
+
+Status DataNode::corrupt(cluster::SlotAddress address, std::size_t byte_index) {
+  const auto it = blocks_.find(address);
+  if (it == blocks_.end()) {
+    return not_found_error("block not on this datanode");
+  }
+  if (byte_index >= it->second.bytes.size()) {
+    return invalid_argument_error("corrupt index out of range");
+  }
+  it->second.bytes[byte_index] ^= 0xff;  // CRC left stale on purpose
+  return Status::ok();
+}
+
+std::vector<cluster::SlotAddress> DataNode::stored_addresses() const {
+  std::vector<cluster::SlotAddress> out;
+  out.reserve(blocks_.size());
+  for (const auto& [address, block] : blocks_) {
+    (void)block;
+    out.push_back(address);
+  }
+  return out;
+}
+
+}  // namespace dblrep::hdfs

@@ -1,0 +1,58 @@
+// DataNode: per-node block store with CRC-32C integrity, the byte-level
+// half of the mini-HDFS data plane. The paper's implementation lives
+// inside Facebook's HDFS-RAID (hadoop-0.20); this in-process analogue keeps
+// the same responsibilities: store block replicas, serve reads, detect
+// corruption, lose everything on node failure.
+#pragma once
+
+#include <map>
+
+#include "cluster/catalog.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dblrep::hdfs {
+
+class DataNode {
+ public:
+  explicit DataNode(cluster::NodeId id) : id_(id) {}
+
+  cluster::NodeId id() const { return id_; }
+  bool is_up() const { return up_; }
+
+  /// Stores a block replica (overwrites an existing one).
+  Status put(cluster::SlotAddress address, Buffer bytes);
+
+  /// Reads a block replica, verifying its checksum.
+  Result<Buffer> get(cluster::SlotAddress address) const;
+
+  bool has(cluster::SlotAddress address) const;
+  Status drop(cluster::SlotAddress address);
+
+  std::size_t block_count() const { return blocks_.size(); }
+  std::size_t bytes_stored() const;
+
+  /// Crash: the node goes down and its disk contents are gone.
+  void fail();
+  /// The node returns (empty); the repair engine refills it.
+  void restart();
+
+  /// Test hook: flips one byte of a stored block so CRC verification and
+  /// the read fallback paths can be exercised.
+  Status corrupt(cluster::SlotAddress address, std::size_t byte_index);
+
+  /// Addresses of every block currently stored.
+  std::vector<cluster::SlotAddress> stored_addresses() const;
+
+ private:
+  struct StoredBlock {
+    Buffer bytes;
+    std::uint32_t crc = 0;
+  };
+
+  cluster::NodeId id_;
+  bool up_ = true;
+  std::map<cluster::SlotAddress, StoredBlock> blocks_;
+};
+
+}  // namespace dblrep::hdfs

@@ -1,0 +1,456 @@
+#include "hdfs/minidfs.h"
+
+#include <algorithm>
+
+#include "ec/local_polygon.h"
+#include "ec/registry.h"
+
+namespace dblrep::hdfs {
+
+namespace {
+
+/// Rack-aware placement for local codes (Section 2.2: "the two heptagons
+/// and the global parity node would be placed in three different racks").
+/// Returns an empty vector when the topology cannot honor the constraint
+/// (fewer than 3 racks or not enough live nodes per rack); the caller then
+/// falls back to uniform placement.
+std::vector<cluster::NodeId> rack_aware_group(
+    const ec::LocalPolygonCode& code, const cluster::Topology& topology,
+    const std::vector<cluster::NodeId>& live, Rng& rng) {
+  if (topology.num_racks < 3) return {};
+  std::vector<std::vector<cluster::NodeId>> by_rack(topology.num_racks);
+  for (cluster::NodeId node : live) {
+    by_rack[static_cast<std::size_t>(topology.rack_of(node))].push_back(node);
+  }
+  const auto n = static_cast<std::size_t>(code.n());
+  // Pick two racks that can host a full local each, and a third (distinct)
+  // for the global node; randomize the choice among feasible racks.
+  std::vector<std::size_t> rack_order(topology.num_racks);
+  for (std::size_t r = 0; r < rack_order.size(); ++r) rack_order[r] = r;
+  rng.shuffle(rack_order);
+  std::vector<std::size_t> locals;
+  std::size_t global_rack = topology.num_racks;
+  for (std::size_t rack : rack_order) {
+    if (locals.size() < 2 && by_rack[rack].size() >= n) {
+      locals.push_back(rack);
+    } else if (global_rack == topology.num_racks && !by_rack[rack].empty()) {
+      global_rack = rack;
+    }
+  }
+  if (locals.size() < 2 || global_rack == topology.num_racks) return {};
+
+  std::vector<cluster::NodeId> group;
+  for (std::size_t rack : locals) {
+    auto& pool = by_rack[rack];
+    for (auto index : rng.sample_without_replacement(pool.size(), n)) {
+      group.push_back(pool[index]);
+    }
+  }
+  auto& pool = by_rack[global_rack];
+  group.push_back(pool[rng.next_below(pool.size())]);
+  return group;
+}
+
+}  // namespace
+
+MiniDfs::MiniDfs(const cluster::Topology& topology, std::uint64_t seed)
+    : topology_(topology),
+      catalog_(topology_),
+      traffic_(topology_),
+      rng_(seed) {
+  for (std::size_t n = 0; n < topology_.num_nodes; ++n) {
+    datanodes_.emplace_back(static_cast<cluster::NodeId>(n));
+  }
+}
+
+Result<const ec::CodeScheme*> MiniDfs::scheme(const std::string& code_spec) {
+  const auto it = schemes_.find(code_spec);
+  if (it != schemes_.end()) return const_cast<const ec::CodeScheme*>(it->second.get());
+  auto made = ec::make_code(code_spec);
+  if (!made.is_ok()) return made.status();
+  const ec::CodeScheme* raw = made->get();
+  schemes_.emplace(code_spec, std::move(*made));
+  return raw;
+}
+
+Status MiniDfs::write_file(const std::string& path, ByteSpan data,
+                           const std::string& code_spec,
+                           std::size_t block_size) {
+  if (files_.contains(path)) return already_exists_error(path);
+  if (block_size == 0) return invalid_argument_error("zero block size");
+  auto code_result = scheme(code_spec);
+  if (!code_result.is_ok()) return code_result.status();
+  const ec::CodeScheme& code = **code_result;
+
+  // Enough live nodes to place a stripe?
+  std::vector<cluster::NodeId> live;
+  for (const auto& dn : datanodes_) {
+    if (dn.is_up()) live.push_back(dn.id());
+  }
+  if (live.size() < code.num_nodes()) {
+    return resource_exhausted_error("not enough live nodes for " + code_spec);
+  }
+
+  FileInfo info;
+  info.code_spec = code_spec;
+  info.block_size = block_size;
+  info.length = data.size();
+
+  const std::size_t stripe_bytes = code.data_blocks() * block_size;
+  const std::size_t num_stripes =
+      data.empty() ? 0 : (data.size() + stripe_bytes - 1) / stripe_bytes;
+  for (std::size_t s = 0; s < num_stripes; ++s) {
+    const std::size_t begin = s * stripe_bytes;
+    const std::size_t len = std::min(stripe_bytes, data.size() - begin);
+    const auto blocks =
+        ec::chunk_data(data.subspan(begin, len), code.data_blocks(), block_size);
+    const auto slots = code.encode(blocks);
+
+    // Local codes prefer rack-aware placement (one local per rack, globals
+    // on a third rack); everything else -- and single-rack topologies --
+    // use uniform random placement over live nodes.
+    std::vector<cluster::NodeId> group;
+    if (const auto* local = dynamic_cast<const ec::LocalPolygonCode*>(&code)) {
+      group = rack_aware_group(*local, topology_, live, rng_);
+    }
+    if (group.empty()) {
+      for (auto index :
+           rng_.sample_without_replacement(live.size(), code.num_nodes())) {
+        group.push_back(live[index]);
+      }
+    }
+    auto stripe_id = catalog_.register_stripe(code, group);
+    if (!stripe_id.is_ok()) return stripe_id.status();
+    info.stripes.push_back(*stripe_id);
+
+    for (std::size_t slot = 0; slot < slots.size(); ++slot) {
+      const cluster::NodeId node = catalog_.node_of({*stripe_id, slot});
+      DBLREP_RETURN_IF_ERROR(
+          datanodes_[static_cast<std::size_t>(node)].put({*stripe_id, slot},
+                                                         slots[slot]));
+      // Client -> datanode transfer (the client is off-cluster).
+      traffic_.record_to_client(node, static_cast<double>(block_size));
+    }
+  }
+  files_.emplace(path, std::move(info));
+  return Status::ok();
+}
+
+Result<const FileInfo*> MiniDfs::lookup(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return not_found_error(path);
+  return const_cast<const FileInfo*>(&it->second);
+}
+
+ec::SlotStore MiniDfs::gather_stripe(cluster::StripeId stripe) const {
+  const auto& info = catalog_.stripe(stripe);
+  ec::SlotStore store;
+  for (std::size_t slot = 0; slot < info.code->layout().num_slots(); ++slot) {
+    const cluster::NodeId node = catalog_.node_of({stripe, slot});
+    const auto& dn = datanodes_[static_cast<std::size_t>(node)];
+    auto bytes = dn.get({stripe, slot});
+    if (bytes.is_ok()) store[slot] = std::move(*bytes);
+  }
+  return store;
+}
+
+Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
+                                    cluster::StripeId stripe,
+                                    std::size_t symbol) {
+  const ec::CodeScheme& code = *catalog_.stripe(stripe).code;
+  // Try each replica in turn; CRC failures and down nodes fall through.
+  for (std::size_t slot : code.layout().slots_of_symbol(symbol)) {
+    const cluster::NodeId node = catalog_.node_of({stripe, slot});
+    auto bytes = datanodes_[static_cast<std::size_t>(node)].get({stripe, slot});
+    if (bytes.is_ok()) {
+      traffic_.record_to_client(node, static_cast<double>(bytes->size()));
+      return bytes;
+    }
+  }
+  // On-the-fly repair (Section 3.1): plan against the stripe's failed set
+  // and execute over the surviving bytes.
+  std::set<cluster::NodeId> down = down_nodes();
+  const auto failed = catalog_.failed_in_stripe(stripe, down);
+  auto plan = code.plan_degraded_read(symbol, failed);
+  if (!plan.is_ok()) return plan.status();
+  ec::SlotStore store = gather_stripe(stripe);
+  ec::PlanExecutor executor(code.layout());
+  auto delivered = executor.execute(*plan, store);
+  if (!delivered.is_ok()) return delivered.status();
+  if (delivered->size() != 1) {
+    return internal_error("degraded read returned unexpected block count");
+  }
+  // Account every aggregate that crossed the wire.
+  const auto& group = catalog_.stripe(stripe).group;
+  for (const auto& send : plan->aggregates) {
+    const cluster::NodeId from =
+        group[static_cast<std::size_t>(send.from_node)];
+    if (send.to_node == ec::kClientNode) {
+      traffic_.record_to_client(from, static_cast<double>(file.block_size));
+    } else {
+      traffic_.record(from, group[static_cast<std::size_t>(send.to_node)],
+                      static_cast<double>(file.block_size));
+    }
+  }
+  return std::move((*delivered)[0]);
+}
+
+Result<Buffer> MiniDfs::read_block(const std::string& path,
+                                   std::size_t block_index) {
+  DBLREP_ASSIGN_OR_RETURN(const FileInfo* info, lookup(path));
+  auto code_result = scheme(info->code_spec);
+  if (!code_result.is_ok()) return code_result.status();
+  const ec::CodeScheme& code = **code_result;
+  const std::size_t stripe_index = block_index / code.data_blocks();
+  const std::size_t symbol = block_index % code.data_blocks();
+  if (stripe_index >= info->stripes.size()) {
+    return invalid_argument_error("block index beyond end of file");
+  }
+  return read_symbol(*info, info->stripes[stripe_index], symbol);
+}
+
+Result<Buffer> MiniDfs::read_file(const std::string& path) {
+  DBLREP_ASSIGN_OR_RETURN(const FileInfo* info, lookup(path));
+  auto code_result = scheme(info->code_spec);
+  if (!code_result.is_ok()) return code_result.status();
+  const ec::CodeScheme& code = **code_result;
+
+  Buffer out;
+  out.reserve(info->length);
+  const std::size_t total_blocks =
+      info->block_size == 0
+          ? 0
+          : (info->length + info->block_size - 1) / info->block_size;
+  for (std::size_t b = 0; b < total_blocks; ++b) {
+    const std::size_t stripe_index = b / code.data_blocks();
+    const std::size_t symbol = b % code.data_blocks();
+    auto block = read_symbol(*info, info->stripes[stripe_index], symbol);
+    if (!block.is_ok()) return block.status();
+    const std::size_t want =
+        std::min(info->block_size, info->length - b * info->block_size);
+    out.insert(out.end(), block->begin(), block->begin() + static_cast<std::ptrdiff_t>(want));
+  }
+  return out;
+}
+
+Status MiniDfs::delete_file(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return not_found_error(path);
+  for (cluster::StripeId stripe : it->second.stripes) {
+    const auto& info = catalog_.stripe(stripe);
+    for (std::size_t slot = 0; slot < info.code->layout().num_slots(); ++slot) {
+      const cluster::NodeId node = catalog_.node_of({stripe, slot});
+      auto& dn = datanodes_[static_cast<std::size_t>(node)];
+      if (dn.has({stripe, slot})) (void)dn.drop({stripe, slot});
+    }
+    DBLREP_RETURN_IF_ERROR(catalog_.unregister_stripe(stripe));
+  }
+  files_.erase(it);
+  return Status::ok();
+}
+
+Status MiniDfs::rename(const std::string& from, const std::string& to) {
+  const auto it = files_.find(from);
+  if (it == files_.end()) return not_found_error(from);
+  if (files_.contains(to)) return already_exists_error(to);
+  files_.emplace(to, std::move(it->second));
+  files_.erase(it);
+  return Status::ok();
+}
+
+Result<FileInfo> MiniDfs::stat(const std::string& path) const {
+  DBLREP_ASSIGN_OR_RETURN(const FileInfo* info, lookup(path));
+  return *info;
+}
+
+std::vector<std::string> MiniDfs::list_files() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, info] : files_) {
+    (void)info;
+    out.push_back(path);
+  }
+  return out;
+}
+
+Status MiniDfs::fail_node(cluster::NodeId node) {
+  if (node < 0 || static_cast<std::size_t>(node) >= datanodes_.size()) {
+    return invalid_argument_error("no such node");
+  }
+  datanodes_[static_cast<std::size_t>(node)].fail();
+  return Status::ok();
+}
+
+Status MiniDfs::restart_node(cluster::NodeId node) {
+  if (node < 0 || static_cast<std::size_t>(node) >= datanodes_.size()) {
+    return invalid_argument_error("no such node");
+  }
+  datanodes_[static_cast<std::size_t>(node)].restart();
+  return Status::ok();
+}
+
+std::set<cluster::NodeId> MiniDfs::down_nodes() const {
+  std::set<cluster::NodeId> down;
+  for (const auto& dn : datanodes_) {
+    if (!dn.is_up()) down.insert(dn.id());
+  }
+  return down;
+}
+
+Status MiniDfs::repair_node(cluster::NodeId node) {
+  if (node < 0 || static_cast<std::size_t>(node) >= datanodes_.size()) {
+    return invalid_argument_error("no such node");
+  }
+  auto& dn = datanodes_[static_cast<std::size_t>(node)];
+  if (!dn.is_up()) dn.restart();
+
+  // A slot needs rebuilding if the datanode should host it but does not.
+  // Plans are computed against the set of nodes that are still down plus
+  // this node's missing state, stripe by stripe.
+  for (cluster::StripeId stripe : catalog_.stripes_on_node(node)) {
+    const auto& info = catalog_.stripe(stripe);
+    const ec::CodeScheme& code = *info.code;
+
+    // Which code-local nodes have missing/unreadable slots for this stripe?
+    std::set<ec::NodeIndex> failed;
+    for (std::size_t i = 0; i < info.group.size(); ++i) {
+      const auto& holder = datanodes_[static_cast<std::size_t>(info.group[i])];
+      if (!holder.is_up()) {
+        failed.insert(static_cast<ec::NodeIndex>(i));
+        continue;
+      }
+      for (std::size_t slot : code.layout().slots_on_node(
+               static_cast<ec::NodeIndex>(i))) {
+        if (!holder.has({stripe, slot})) {
+          failed.insert(static_cast<ec::NodeIndex>(i));
+          break;
+        }
+      }
+    }
+    if (failed.empty()) continue;
+
+    auto plan = code.plan_multi_node_repair(failed);
+    if (!plan.is_ok()) return plan.status();
+    ec::SlotStore store = gather_stripe(stripe);
+    ec::PlanExecutor executor(code.layout());
+    auto run = executor.execute(*plan, store);
+    if (!run.is_ok()) return run.status();
+
+    // Persist only what landed on *live* nodes (this one included); still
+    // -down nodes get theirs when they are repaired. Account traffic per
+    // aggregate send.
+    for (const auto& send : plan->aggregates) {
+      traffic_.record(info.group[static_cast<std::size_t>(send.from_node)],
+                      info.group[static_cast<std::size_t>(send.to_node)],
+                      static_cast<double>(store.begin()->second.size()));
+    }
+    for (const auto& rec : plan->reconstructions) {
+      const cluster::NodeId dest = info.group[static_cast<std::size_t>(
+          code.layout().node_of_slot(rec.dest_slot))];
+      auto& dest_dn = datanodes_[static_cast<std::size_t>(dest)];
+      if (dest_dn.is_up()) {
+        DBLREP_RETURN_IF_ERROR(
+            dest_dn.put({stripe, rec.dest_slot}, store.at(rec.dest_slot)));
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status MiniDfs::repair_all() {
+  // Restart everyone first so repairs can land replicas on all nodes, then
+  // rebuild node by node (plans see the remaining holes shrink).
+  for (auto& dn : datanodes_) {
+    if (!dn.is_up()) dn.restart();
+  }
+  for (auto& dn : datanodes_) {
+    DBLREP_RETURN_IF_ERROR(repair_node(dn.id()));
+  }
+  return Status::ok();
+}
+
+Status MiniDfs::scrub() {
+  for (const auto& [path, info] : files_) {
+    auto code_result = scheme(info.code_spec);
+    if (!code_result.is_ok()) return code_result.status();
+    const ec::CodeScheme& code = **code_result;
+    for (cluster::StripeId stripe : info.stripes) {
+      ec::SlotStore store;
+      for (std::size_t slot = 0; slot < code.layout().num_slots(); ++slot) {
+        const cluster::NodeId node = catalog_.node_of({stripe, slot});
+        const auto& dn = datanodes_[static_cast<std::size_t>(node)];
+        if (!dn.is_up()) continue;
+        if (!dn.has({stripe, slot})) {
+          return corruption_error(path + ": stripe " + std::to_string(stripe) +
+                                  " slot " + std::to_string(slot) +
+                                  " missing on live node");
+        }
+        auto bytes = dn.get({stripe, slot});
+        if (!bytes.is_ok()) return bytes.status();
+        store[slot] = std::move(*bytes);
+      }
+      DBLREP_RETURN_IF_ERROR(code.verify_codeword(store, info.block_size));
+    }
+  }
+  return Status::ok();
+}
+
+Result<std::size_t> MiniDfs::scrub_repair() {
+  std::size_t healed = 0;
+  for (const auto& [path, info] : files_) {
+    auto code_result = scheme(info.code_spec);
+    if (!code_result.is_ok()) return code_result.status();
+    const ec::CodeScheme& code = **code_result;
+    for (cluster::StripeId stripe : info.stripes) {
+      // Gather the verifiably-good slots, then decode once and rewrite
+      // every bad or missing slot on a live node from the re-encoded
+      // stripe. (Replica-copy would be cheaper per block; decoding keeps
+      // this path simple and also heals parity-vs-data inconsistency.)
+      ec::SlotStore good = gather_stripe(stripe);
+      const std::size_t slot_count = code.layout().num_slots();
+      std::vector<std::size_t> bad_slots;
+      for (std::size_t slot = 0; slot < slot_count; ++slot) {
+        const cluster::NodeId node = catalog_.node_of({stripe, slot});
+        const auto& dn = datanodes_[static_cast<std::size_t>(node)];
+        if (!dn.is_up()) continue;  // node repair handles down nodes
+        if (!good.contains(slot)) bad_slots.push_back(slot);
+      }
+      if (bad_slots.empty()) continue;
+      auto data = code.decode(good, info.block_size);
+      if (!data.is_ok()) return data.status();
+      const auto symbols = code.encode_symbols(*data);
+      for (std::size_t slot : bad_slots) {
+        const cluster::NodeId node = catalog_.node_of({stripe, slot});
+        DBLREP_RETURN_IF_ERROR(datanodes_[static_cast<std::size_t>(node)].put(
+            {stripe, slot}, symbols[code.layout().symbol_of_slot(slot)]));
+        // The rewrite is sourced from the decoding site; count one block
+        // of traffic per healed replica.
+        traffic_.record_to_client(node, static_cast<double>(info.block_size));
+        ++healed;
+      }
+    }
+  }
+  return healed;
+}
+
+DataNode& MiniDfs::datanode(cluster::NodeId node) {
+  DBLREP_CHECK_GE(node, 0);
+  DBLREP_CHECK_LT(static_cast<std::size_t>(node), datanodes_.size());
+  return datanodes_[static_cast<std::size_t>(node)];
+}
+
+const ec::CodeScheme& MiniDfs::code_for(const std::string& path) const {
+  const auto file = lookup(path);
+  DBLREP_CHECK_MSG(file.is_ok(), "unknown path " << path);
+  const auto it = schemes_.find((*file)->code_spec);
+  DBLREP_CHECK(it != schemes_.end());
+  return *it->second;
+}
+
+std::size_t MiniDfs::stored_bytes() const {
+  std::size_t total = 0;
+  for (const auto& dn : datanodes_) total += dn.bytes_stored();
+  return total;
+}
+
+}  // namespace dblrep::hdfs

@@ -1,0 +1,124 @@
+// MiniDfs: an in-process distributed file system exercising the coding
+// layer end to end with real bytes -- the role HDFS + HDFS-RAID play in the
+// paper's Section 4 testbeds.
+//
+// Components (all in-process, synchronous):
+//  * NameNode state: file namespace (path -> stripes) + the cluster
+//    BlockCatalog (stripe placements); placement picks uniformly random
+//    live nodes per stripe, like the paper's single-rack testbeds.
+//  * DataNodes: per-node CRC-checked block stores.
+//  * Client operations: write_file (stripe + encode + place), read_file /
+//    read_block (replica read, with corruption fallback and on-the-fly
+//    degraded reads through ec::RepairPlan when every replica is lost).
+//  * Repair engine: node repair driven by the same RepairPlan objects,
+//    including multi-failure partial-parity recovery.
+//  * TrafficMeter: every byte that crosses the (simulated) wire is
+//    accounted, so tests can assert the paper's repair-bandwidth numbers
+//    end to end.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/catalog.h"
+#include "cluster/topology.h"
+#include "cluster/traffic.h"
+#include "common/rng.h"
+#include "ec/code.h"
+#include "hdfs/datanode.h"
+
+namespace dblrep::hdfs {
+
+struct FileInfo {
+  std::string code_spec;
+  std::size_t block_size = 0;
+  std::size_t length = 0;  // logical bytes
+  std::vector<cluster::StripeId> stripes;
+};
+
+class MiniDfs {
+ public:
+  MiniDfs(const cluster::Topology& topology, std::uint64_t seed);
+
+  // ------------------------------------------------------------ client
+
+  /// Writes `data` as a new file encoded with `code_spec`, striping into
+  /// blocks of `block_size` bytes.
+  Status write_file(const std::string& path, ByteSpan data,
+                    const std::string& code_spec, std::size_t block_size);
+
+  /// Whole-file read; degraded reads kick in automatically for blocks with
+  /// no healthy replica.
+  Result<Buffer> read_file(const std::string& path);
+
+  /// Reads one data block (index within the file).
+  Result<Buffer> read_block(const std::string& path, std::size_t block_index);
+
+  Status delete_file(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+  Result<FileInfo> stat(const std::string& path) const;
+  std::vector<std::string> list_files() const;
+
+  // -------------------------------------------------------- membership
+
+  /// Crash-fails a node (its stored bytes are gone).
+  Status fail_node(cluster::NodeId node);
+
+  /// Brings a node back empty; call repair_node to refill it.
+  Status restart_node(cluster::NodeId node);
+
+  /// Rebuilds everything the (restarted) node should host, using the
+  /// cheapest repair plans available under the current failure set.
+  Status repair_node(cluster::NodeId node);
+
+  /// Restarts and repairs every down node (multi-failure aware: plans are
+  /// computed against the full failed set, partial parities and all).
+  Status repair_all();
+
+  std::set<cluster::NodeId> down_nodes() const;
+
+  // ------------------------------------------------------------- scrub
+
+  /// Verifies CRCs and full codeword consistency of every stripe.
+  Status scrub();
+
+  /// Scrubs and *heals*: corrupted or missing replicas on live nodes are
+  /// rewritten from a healthy replica or decoded from the stripe. Returns
+  /// the number of blocks repaired, or an error if a stripe is beyond
+  /// recovery.
+  Result<std::size_t> scrub_repair();
+
+  // ------------------------------------------------------------ access
+
+  const cluster::TrafficMeter& traffic() const { return traffic_; }
+  cluster::TrafficMeter& traffic() { return traffic_; }
+  const cluster::BlockCatalog& catalog() const { return catalog_; }
+  DataNode& datanode(cluster::NodeId node);
+  const ec::CodeScheme& code_for(const std::string& path) const;
+
+  /// Total stored bytes across all datanodes (for overhead assertions).
+  std::size_t stored_bytes() const;
+
+ private:
+  Result<const FileInfo*> lookup(const std::string& path) const;
+  Result<const ec::CodeScheme*> scheme(const std::string& code_spec);
+
+  /// Gathers the live slots of a stripe into a SlotStore (skipping
+  /// corrupted blocks), for decode/repair.
+  ec::SlotStore gather_stripe(cluster::StripeId stripe) const;
+
+  /// Reads one symbol of one stripe with all fallbacks; records traffic.
+  Result<Buffer> read_symbol(const FileInfo& file, cluster::StripeId stripe,
+                             std::size_t symbol);
+
+  cluster::Topology topology_;
+  cluster::BlockCatalog catalog_;
+  cluster::TrafficMeter traffic_;
+  Rng rng_;
+  std::vector<DataNode> datanodes_;
+  std::map<std::string, FileInfo> files_;
+  std::map<std::string, std::unique_ptr<ec::CodeScheme>> schemes_;
+};
+
+}  // namespace dblrep::hdfs

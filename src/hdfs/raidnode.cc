@@ -1,0 +1,37 @@
+#include "hdfs/raidnode.h"
+
+namespace dblrep::hdfs {
+
+Result<RaidReport> RaidNode::raid_file(const std::string& path,
+                                       const std::string& target_code_spec) {
+  auto info = dfs_->stat(path);
+  if (!info.is_ok()) return info.status();
+  if (info->code_spec == target_code_spec) {
+    return failed_precondition_error("file already encoded with " +
+                                     target_code_spec);
+  }
+
+  RaidReport report;
+  report.bytes_before = dfs_->stored_bytes();
+
+  // Read through the client path (handles degraded stripes), then rewrite
+  // under a temporary name and swap.
+  auto data = dfs_->read_file(path);
+  if (!data.is_ok()) return data.status();
+
+  // Write the new layout under a temporary name first, then swap -- the
+  // original survives any failure during re-encode.
+  const std::string temp_path = path + ".raid-tmp";
+  DBLREP_RETURN_IF_ERROR(dfs_->write_file(temp_path, *data, target_code_spec,
+                                          info->block_size));
+  DBLREP_RETURN_IF_ERROR(dfs_->delete_file(path));
+  DBLREP_RETURN_IF_ERROR(dfs_->rename(temp_path, path));
+
+  auto raided = dfs_->stat(path);
+  if (!raided.is_ok()) return raided.status();
+  report.stripes_written = raided->stripes.size();
+  report.bytes_after = dfs_->stored_bytes();
+  return report;
+}
+
+}  // namespace dblrep::hdfs

@@ -1,0 +1,45 @@
+// RaidNode: the background re-encoder of Facebook's HDFS-RAID module,
+// which the paper uses as its implementation baseline. A freshly ingested
+// file lives as plain replicas; the RaidNode later converts it to an
+// erasure-coded layout (here: pentagon/heptagon/heptagon-local/RAID+m/RS)
+// and drops the now-redundant replicas, reclaiming storage while keeping
+// -- for the codes of this paper -- an inherent double replica of every
+// block.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "hdfs/minidfs.h"
+
+namespace dblrep::hdfs {
+
+struct RaidReport {
+  std::size_t bytes_before = 0;
+  std::size_t bytes_after = 0;
+  std::size_t stripes_written = 0;
+
+  double overhead_before(std::size_t logical) const {
+    return logical ? static_cast<double>(bytes_before) / logical : 0.0;
+  }
+  double overhead_after(std::size_t logical) const {
+    return logical ? static_cast<double>(bytes_after) / logical : 0.0;
+  }
+};
+
+class RaidNode {
+ public:
+  explicit RaidNode(MiniDfs& dfs) : dfs_(&dfs) {}
+
+  /// Re-encodes `path` with `target_code_spec` (e.g. a 3-rep file into a
+  /// pentagon file). The file keeps its path and block size; on success
+  /// the old layout is deleted. Reads go through the normal client path,
+  /// so raiding a file with failed nodes exercises degraded reads.
+  Result<RaidReport> raid_file(const std::string& path,
+                               const std::string& target_code_spec);
+
+ private:
+  MiniDfs* dfs_;
+};
+
+}  // namespace dblrep::hdfs

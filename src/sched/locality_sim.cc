@@ -1,0 +1,28 @@
+#include "sched/locality_sim.h"
+
+namespace dblrep::sched {
+
+std::vector<LocalityPoint> run_locality_sweep(
+    const ec::CodeScheme& code, Scheduler& scheduler,
+    const LocalitySweepConfig& config) {
+  std::vector<LocalityPoint> points;
+  Rng master(config.seed);
+  for (double load : config.loads) {
+    RunningStat stat;
+    // Fork a per-point stream so adding loads does not perturb others.
+    Rng point_rng = master.fork();
+    const std::size_t tasks =
+        tasks_for_load(load, config.num_nodes, config.slots_per_node);
+    for (int trial = 0; trial < config.trials; ++trial) {
+      Workload workload = make_workload(code, config.num_nodes,
+                                        config.slots_per_node, tasks, point_rng);
+      const Assignment assignment =
+          scheduler.assign(workload.problem, point_rng);
+      stat.add(assignment.locality());
+    }
+    points.push_back({load, stat.mean(), stat.ci95_half_width()});
+  }
+  return points;
+}
+
+}  // namespace dblrep::sched

@@ -1,0 +1,37 @@
+// Locality simulation sweep reproducing Fig. 3: percentage of data-local
+// map tasks vs offered load, per code and per scheduler, for a given
+// number of map slots per node.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "ec/code.h"
+#include "sched/schedulers.h"
+#include "sched/workload.h"
+
+namespace dblrep::sched {
+
+struct LocalitySweepConfig {
+  std::size_t num_nodes = 25;   // the paper's simulated system
+  int slots_per_node = 2;      // mu
+  std::vector<double> loads = {0.25, 0.50, 0.75, 1.00};
+  int trials = 50;             // independent placements averaged per point
+  std::uint64_t seed = 2014;   // HotStorage vintage
+};
+
+struct LocalityPoint {
+  double load = 0;
+  double mean_locality = 0;  // fraction in [0,1]
+  double ci95 = 0;           // normal-approx half width
+};
+
+/// Runs `scheduler` over `trials` random placements of a `code`-encoded
+/// workload at each load and reports mean locality.
+std::vector<LocalityPoint> run_locality_sweep(const ec::CodeScheme& code,
+                                              Scheduler& scheduler,
+                                              const LocalitySweepConfig& config);
+
+}  // namespace dblrep::sched

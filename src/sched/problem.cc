@@ -1,0 +1,49 @@
+#include "sched/problem.h"
+
+#include <algorithm>
+
+namespace dblrep::sched {
+
+std::size_t Assignment::local_count() const {
+  return static_cast<std::size_t>(
+      std::count(is_local.begin(), is_local.end(), true));
+}
+
+std::size_t Assignment::assigned_count() const {
+  return static_cast<std::size_t>(task_node.size()) -
+         static_cast<std::size_t>(
+             std::count(task_node.begin(), task_node.end(), kUnassignedNode));
+}
+
+double Assignment::locality() const {
+  const std::size_t assigned = assigned_count();
+  if (assigned == 0) return 1.0;
+  return static_cast<double>(local_count()) / static_cast<double>(assigned);
+}
+
+void check_assignment(const AssignmentProblem& problem,
+                      const Assignment& assignment) {
+  DBLREP_CHECK_EQ(assignment.task_node.size(), problem.tasks.size());
+  DBLREP_CHECK_EQ(assignment.is_local.size(), problem.tasks.size());
+  std::vector<int> used(problem.num_nodes, 0);
+  for (std::size_t t = 0; t < problem.tasks.size(); ++t) {
+    const NodeId node = assignment.task_node[t];
+    if (node == kUnassignedNode) {
+      DBLREP_CHECK_MSG(!assignment.is_local[t],
+                       "unassigned task marked local");
+      continue;
+    }
+    DBLREP_CHECK_GE(node, 0);
+    DBLREP_CHECK_LT(static_cast<std::size_t>(node), problem.num_nodes);
+    ++used[static_cast<std::size_t>(node)];
+    const auto& locations = problem.tasks[t].locations;
+    const bool holds_replica =
+        std::find(locations.begin(), locations.end(), node) != locations.end();
+    DBLREP_CHECK_EQ(assignment.is_local[t], holds_replica);
+  }
+  for (std::size_t n = 0; n < problem.num_nodes; ++n) {
+    DBLREP_CHECK_LE(used[n], problem.capacity(static_cast<NodeId>(n)));
+  }
+}
+
+}  // namespace dblrep::sched

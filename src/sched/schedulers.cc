@@ -1,0 +1,336 @@
+#include "sched/schedulers.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace dblrep::sched {
+
+namespace {
+
+/// Dinic max-flow on the unit-ish bipartite graph: source -> task (cap 1),
+/// task -> holding node (cap 1), node -> sink (cap mu). Small graphs
+/// (hundreds of tasks, tens of nodes), so no fancy optimizations needed.
+class Dinic {
+ public:
+  explicit Dinic(std::size_t vertex_count)
+      : adjacency_(vertex_count), level_(vertex_count), next_(vertex_count) {}
+
+  void add_edge(std::size_t from, std::size_t to, int capacity) {
+    adjacency_[from].push_back(edges_.size());
+    edges_.push_back({to, capacity});
+    adjacency_[to].push_back(edges_.size());
+    edges_.push_back({from, 0});
+  }
+
+  int max_flow(std::size_t source, std::size_t sink) {
+    int flow = 0;
+    while (bfs(source, sink)) {
+      std::fill(next_.begin(), next_.end(), 0u);
+      while (int pushed = dfs(source, sink, std::numeric_limits<int>::max())) {
+        flow += pushed;
+      }
+    }
+    return flow;
+  }
+
+  /// Residual capacity of edge index e (edges are added in pairs; even
+  /// indices are forward edges).
+  int residual(std::size_t edge_index) const {
+    return edges_[edge_index].capacity;
+  }
+
+ private:
+  struct Edge {
+    std::size_t to;
+    int capacity;
+  };
+
+  bool bfs(std::size_t source, std::size_t sink) {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::queue<std::size_t> queue;
+    level_[source] = 0;
+    queue.push(source);
+    while (!queue.empty()) {
+      const std::size_t v = queue.front();
+      queue.pop();
+      for (std::size_t edge_index : adjacency_[v]) {
+        const Edge& edge = edges_[edge_index];
+        if (edge.capacity > 0 && level_[edge.to] < 0) {
+          level_[edge.to] = level_[v] + 1;
+          queue.push(edge.to);
+        }
+      }
+    }
+    return level_[sink] >= 0;
+  }
+
+  int dfs(std::size_t v, std::size_t sink, int limit) {
+    if (v == sink) return limit;
+    for (; next_[v] < adjacency_[v].size(); ++next_[v]) {
+      const std::size_t edge_index = adjacency_[v][next_[v]];
+      Edge& edge = edges_[edge_index];
+      if (edge.capacity <= 0 || level_[edge.to] != level_[v] + 1) continue;
+      const int pushed = dfs(edge.to, sink, std::min(limit, edge.capacity));
+      if (pushed > 0) {
+        edge.capacity -= pushed;
+        edges_[edge_index ^ 1].capacity += pushed;
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::vector<Edge> edges_;
+  std::vector<int> level_;
+  std::vector<std::size_t> next_;
+};
+
+struct FlowLayout {
+  std::size_t source;
+  std::size_t sink;
+  std::size_t task_base;  // task t -> vertex task_base + t
+  std::size_t node_base;  // node n -> vertex node_base + n
+};
+
+Dinic build_flow(const AssignmentProblem& problem, FlowLayout& layout,
+                 std::vector<std::vector<std::size_t>>& task_edge_indices) {
+  const std::size_t num_tasks = problem.tasks.size();
+  layout.source = 0;
+  layout.task_base = 1;
+  layout.node_base = 1 + num_tasks;
+  layout.sink = 1 + num_tasks + problem.num_nodes;
+  Dinic dinic(layout.sink + 1);
+  task_edge_indices.assign(num_tasks, {});
+  std::size_t edge_counter = 0;
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    dinic.add_edge(layout.source, layout.task_base + t, 1);
+    edge_counter += 2;
+  }
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    for (NodeId node : problem.tasks[t].locations) {
+      task_edge_indices[t].push_back(edge_counter);
+      dinic.add_edge(layout.task_base + t,
+                     layout.node_base + static_cast<std::size_t>(node), 1);
+      edge_counter += 2;
+    }
+  }
+  for (std::size_t n = 0; n < problem.num_nodes; ++n) {
+    dinic.add_edge(layout.node_base + n, layout.sink,
+                   problem.capacity(static_cast<NodeId>(n)));
+    edge_counter += 2;
+  }
+  return dinic;
+}
+
+
+/// Initial free-slot vector honoring per-node overrides.
+std::vector<int> initial_free_slots(const AssignmentProblem& problem) {
+  std::vector<int> free_slots(problem.num_nodes);
+  for (std::size_t n = 0; n < problem.num_nodes; ++n) {
+    free_slots[n] = problem.capacity(static_cast<NodeId>(n));
+  }
+  return free_slots;
+}
+/// Assigns still-unplaced tasks to any remaining slots, round-robin.
+void fill_remote(const AssignmentProblem& problem, Assignment& assignment,
+                 std::vector<int>& free_slots) {
+  std::size_t cursor = 0;
+  for (std::size_t t = 0; t < problem.tasks.size(); ++t) {
+    if (assignment.task_node[t] != kUnassignedNode) continue;
+    std::size_t scanned = 0;
+    while (scanned < problem.num_nodes && free_slots[cursor] == 0) {
+      cursor = (cursor + 1) % problem.num_nodes;
+      ++scanned;
+    }
+    if (free_slots[cursor] == 0) return;  // cluster saturated (>100% load)
+    --free_slots[cursor];
+    assignment.task_node[t] = static_cast<NodeId>(cursor);
+    const auto& locations = problem.tasks[t].locations;
+    assignment.is_local[t] =
+        std::find(locations.begin(), locations.end(),
+                  static_cast<NodeId>(cursor)) != locations.end();
+  }
+}
+
+}  // namespace
+
+std::size_t max_local_tasks(const AssignmentProblem& problem) {
+  FlowLayout layout{};
+  std::vector<std::vector<std::size_t>> task_edges;
+  Dinic dinic = build_flow(problem, layout, task_edges);
+  return static_cast<std::size_t>(dinic.max_flow(layout.source, layout.sink));
+}
+
+Assignment MaxMatchingScheduler::assign(const AssignmentProblem& problem,
+                                        Rng& rng) {
+  (void)rng;  // deterministic
+  FlowLayout layout{};
+  std::vector<std::vector<std::size_t>> task_edges;
+  Dinic dinic = build_flow(problem, layout, task_edges);
+  dinic.max_flow(layout.source, layout.sink);
+
+  Assignment assignment;
+  assignment.task_node.assign(problem.tasks.size(), kUnassignedNode);
+  assignment.is_local.assign(problem.tasks.size(), false);
+  std::vector<int> free_slots = initial_free_slots(problem);
+  for (std::size_t t = 0; t < problem.tasks.size(); ++t) {
+    for (std::size_t i = 0; i < task_edges[t].size(); ++i) {
+      // Saturated forward edge (residual 0) means the matching used it.
+      if (dinic.residual(task_edges[t][i]) == 0) {
+        const NodeId node = problem.tasks[t].locations[i];
+        assignment.task_node[t] = node;
+        assignment.is_local[t] = true;
+        --free_slots[static_cast<std::size_t>(node)];
+        break;
+      }
+    }
+  }
+  fill_remote(problem, assignment, free_slots);
+  check_assignment(problem, assignment);
+  return assignment;
+}
+
+Assignment DelayScheduler::assign(const AssignmentProblem& problem, Rng& rng) {
+  const int budget = skip_budget_ == kSweepBudget
+                         ? static_cast<int>(problem.num_nodes)
+                         : skip_budget_;
+  Assignment assignment;
+  assignment.task_node.assign(problem.tasks.size(), kUnassignedNode);
+  assignment.is_local.assign(problem.tasks.size(), false);
+  std::vector<int> free_slots = initial_free_slots(problem);
+
+  // Per-node lists of local tasks, consumed head-first the way Hadoop
+  // scans a job's task list (a cursor skips entries assigned elsewhere).
+  std::vector<std::vector<std::size_t>> local_tasks(problem.num_nodes);
+  std::vector<std::size_t> local_cursor(problem.num_nodes, 0);
+  for (std::size_t t = 0; t < problem.tasks.size(); ++t) {
+    for (NodeId node : problem.tasks[t].locations) {
+      local_tasks[static_cast<std::size_t>(node)].push_back(t);
+    }
+  }
+
+  std::size_t unassigned = problem.tasks.size();
+  int total_free = 0;
+  for (int f : free_slots) total_free += f;
+  std::size_t next_remote = 0;  // job task list cursor for remote launches
+  int skips = 0;
+  // Heartbeats arrive round-robin from a random starting node, one slot
+  // grant per beat. Every beat either assigns a task or advances the skip
+  // counter toward the budget, so the loop terminates.
+  std::size_t beat = rng.next_below(problem.num_nodes);
+  while (unassigned > 0 && total_free > 0) {
+    const std::size_t node = beat % problem.num_nodes;
+    beat = (beat + 1) % problem.num_nodes;
+    if (free_slots[node] == 0) continue;
+    // Try a data-local launch on this node.
+    auto& queue = local_tasks[node];
+    auto& cursor = local_cursor[node];
+    while (cursor < queue.size() &&
+           assignment.task_node[queue[cursor]] != kUnassignedNode) {
+      ++cursor;
+    }
+    if (cursor < queue.size()) {
+      const std::size_t task = queue[cursor++];
+      assignment.task_node[task] = static_cast<NodeId>(node);
+      assignment.is_local[task] = true;
+      --free_slots[node];
+      --total_free;
+      --unassigned;
+      skips = 0;
+      continue;
+    }
+    // No local work here: the job skips, unless its patience ran out.
+    if (skips < budget) {
+      ++skips;
+      continue;
+    }
+    while (next_remote < problem.tasks.size() &&
+           assignment.task_node[next_remote] != kUnassignedNode) {
+      ++next_remote;
+    }
+    if (next_remote == problem.tasks.size()) break;
+    assignment.task_node[next_remote] = static_cast<NodeId>(node);
+    // A "remote" launch can still be lucky if this node holds the block of
+    // the head-of-line task.
+    const auto& locations = problem.tasks[next_remote].locations;
+    assignment.is_local[next_remote] =
+        std::find(locations.begin(), locations.end(),
+                  static_cast<NodeId>(node)) != locations.end();
+    --free_slots[node];
+    --total_free;
+    --unassigned;
+  }
+  check_assignment(problem, assignment);
+  return assignment;
+}
+
+Assignment PeelingScheduler::assign(const AssignmentProblem& problem,
+                                    Rng& rng) {
+  (void)rng;  // deterministic
+  Assignment assignment;
+  assignment.task_node.assign(problem.tasks.size(), kUnassignedNode);
+  assignment.is_local.assign(problem.tasks.size(), false);
+  std::vector<int> free_slots = initial_free_slots(problem);
+
+  // Unassigned tasks per stripe, for the stripe-aware tie break.
+  std::size_t num_stripes = 0;
+  for (const auto& task : problem.tasks) {
+    num_stripes = std::max(num_stripes, task.stripe + 1);
+  }
+  std::vector<std::size_t> stripe_pending(num_stripes, 0);
+  for (const auto& task : problem.tasks) ++stripe_pending[task.stripe];
+
+  std::vector<bool> done(problem.tasks.size(), false);
+  std::size_t remaining = problem.tasks.size();
+  while (remaining > 0) {
+    // Peel: find the live task with the fewest remaining local options.
+    std::size_t best_task = problem.tasks.size();
+    std::size_t best_degree = std::numeric_limits<std::size_t>::max();
+    std::size_t best_stripe_pending = 0;
+    for (std::size_t t = 0; t < problem.tasks.size(); ++t) {
+      if (done[t]) continue;
+      std::size_t degree = 0;
+      for (NodeId node : problem.tasks[t].locations) {
+        if (free_slots[static_cast<std::size_t>(node)] > 0) ++degree;
+      }
+      if (degree == 0) continue;
+      const std::size_t pending = stripe_pending[problem.tasks[t].stripe];
+      const bool better =
+          degree < best_degree ||
+          (stripe_aware_ && degree == best_degree &&
+           pending > best_stripe_pending);
+      if (better) {
+        best_task = t;
+        best_degree = degree;
+        best_stripe_pending = pending;
+      }
+    }
+    if (best_task == problem.tasks.size()) break;  // no local option left
+
+    // Assign to the feasible holder with the most spare capacity, so scarce
+    // slots stay available for tasks that need them.
+    NodeId best_node = kUnassignedNode;
+    int best_free = 0;
+    for (NodeId node : problem.tasks[best_task].locations) {
+      const int free = free_slots[static_cast<std::size_t>(node)];
+      if (free > best_free) {
+        best_free = free;
+        best_node = node;
+      }
+    }
+    assignment.task_node[best_task] = best_node;
+    assignment.is_local[best_task] = true;
+    --free_slots[static_cast<std::size_t>(best_node)];
+    --stripe_pending[problem.tasks[best_task].stripe];
+    done[best_task] = true;
+    --remaining;
+  }
+
+  fill_remote(problem, assignment, free_slots);
+  check_assignment(problem, assignment);
+  return assignment;
+}
+
+}  // namespace dblrep::sched

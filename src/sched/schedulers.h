@@ -1,0 +1,76 @@
+// The three task-assignment algorithms of Section 3.2 / Fig. 3.
+//
+//  * DelayScheduler -- the heartbeat-driven algorithm Hadoop actually uses
+//    (Zaharia et al., EuroSys 2010): a node asking for work gets a local
+//    task if the job has one; otherwise the job "skips" this opportunity,
+//    and only after D consecutive skips does it accept a remote launch.
+//  * MaxMatchingScheduler -- optimal data locality via maximum bipartite
+//    b-matching (a max-flow), the benchmark curve of Fig. 3. The paper
+//    notes it is too computationally intensive for production use.
+//  * PeelingScheduler -- the degree-guided algorithm of Xie & Lu (ISIT
+//    2012) with the paper's modification for array codes: scarce tasks
+//    (fewest live local options) are assigned first, ties broken toward
+//    draining the most concentrated stripe, so a pentagon/heptagon node
+//    never burns its slots on blocks that are replicated elsewhere.
+//
+// All schedulers place every task (remote if necessary) while any slot is
+// free, and never overcommit a node.
+#pragma once
+
+#include "common/rng.h"
+#include "sched/problem.h"
+
+namespace dblrep::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual Assignment assign(const AssignmentProblem& problem, Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+class DelayScheduler final : public Scheduler {
+ public:
+  /// skip_budget = D, the number of scheduling opportunities the job may
+  /// decline before accepting a remote slot. The paper configures the delay
+  /// "such that every node has a chance to assign two (four) local map
+  /// tasks", i.e. on the order of one full heartbeat sweep; pass
+  /// kSweepBudget to derive D = num_nodes automatically.
+  static constexpr int kSweepBudget = -1;
+  explicit DelayScheduler(int skip_budget = kSweepBudget)
+      : skip_budget_(skip_budget) {}
+
+  Assignment assign(const AssignmentProblem& problem, Rng& rng) override;
+  std::string name() const override { return "delay-sched"; }
+
+ private:
+  int skip_budget_;
+};
+
+class MaxMatchingScheduler final : public Scheduler {
+ public:
+  Assignment assign(const AssignmentProblem& problem, Rng& rng) override;
+  std::string name() const override { return "max-match"; }
+};
+
+class PeelingScheduler final : public Scheduler {
+ public:
+  /// stripe_aware enables the paper's modification for polygon codes.
+  explicit PeelingScheduler(bool stripe_aware = true)
+      : stripe_aware_(stripe_aware) {}
+
+  Assignment assign(const AssignmentProblem& problem, Rng& rng) override;
+  std::string name() const override {
+    return stripe_aware_ ? "peeling" : "peeling-basic";
+  }
+
+ private:
+  bool stripe_aware_;
+};
+
+/// Maximum number of tasks that *any* scheduler could run locally: the
+/// value of the maximum bipartite b-matching. Used as the Fig. 3 benchmark
+/// and in tests as an upper bound for every other scheduler.
+std::size_t max_local_tasks(const AssignmentProblem& problem);
+
+}  // namespace dblrep::sched

@@ -1,0 +1,52 @@
+#include "sched/workload.h"
+
+#include <cmath>
+
+namespace dblrep::sched {
+
+Workload make_workload(const ec::CodeScheme& code, std::size_t num_nodes,
+                       int slots_per_node, std::size_t num_tasks, Rng& rng) {
+  DBLREP_CHECK_GE(num_nodes, code.num_nodes());
+  DBLREP_CHECK_GT(slots_per_node, 0);
+  Workload workload;
+  workload.problem.num_nodes = num_nodes;
+  workload.problem.slots_per_node = slots_per_node;
+
+  const std::size_t k = code.data_blocks();
+  while (workload.problem.tasks.size() < num_tasks) {
+    // Sample this stripe's placement group.
+    StripePlacement placement;
+    for (auto index : rng.sample_without_replacement(num_nodes, code.num_nodes())) {
+      placement.group.push_back(static_cast<NodeId>(index));
+    }
+    const std::size_t stripe_id = workload.stripes.size();
+    workload.stripes.push_back(placement);
+
+    // One map task per data block, until the job size is reached (the last
+    // stripe may be partially read).
+    for (std::size_t block = 0;
+         block < k && workload.problem.tasks.size() < num_tasks; ++block) {
+      TaskInfo task;
+      task.stripe = stripe_id;
+      task.symbol = block;
+      for (std::size_t slot : code.layout().slots_of_symbol(block)) {
+        const ec::NodeIndex local = code.layout().node_of_slot(slot);
+        task.locations.push_back(
+            placement.group[static_cast<std::size_t>(local)]);
+      }
+      workload.problem.tasks.push_back(std::move(task));
+    }
+  }
+  return workload;
+}
+
+std::size_t tasks_for_load(double load, std::size_t num_nodes,
+                           int slots_per_node) {
+  DBLREP_CHECK_GT(load, 0.0);
+  const double slots =
+      static_cast<double>(num_nodes) * static_cast<double>(slots_per_node);
+  const auto tasks = static_cast<std::size_t>(std::llround(load * slots));
+  return std::max<std::size_t>(tasks, 1);
+}
+
+}  // namespace dblrep::sched

@@ -1,0 +1,42 @@
+// Workload generation: turns a code scheme + cluster size + job size into
+// an AssignmentProblem (and, for the MapReduce simulator, the placement of
+// every block replica).
+//
+// Files are striped: each stripe's placement group is a uniformly random
+// set of `code length` cluster nodes, the code's layout maps block replicas
+// onto the group, and the job processes the file's data blocks in order
+// (one map task each). A job at load L on N nodes with mu slots gets
+// round(L * mu * N) tasks, possibly ending mid-stripe -- exactly how a
+// Terasort input smaller than a full stripe multiple behaves.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "ec/code.h"
+#include "sched/problem.h"
+
+namespace dblrep::sched {
+
+/// Placement of one stripe: group[i] = cluster node playing code-node i.
+struct StripePlacement {
+  std::vector<NodeId> group;
+};
+
+struct Workload {
+  AssignmentProblem problem;
+  std::vector<StripePlacement> stripes;
+};
+
+/// Builds the task-assignment problem for a job of `num_tasks` map tasks
+/// over a `code`-encoded file on `num_nodes` nodes with `slots_per_node`
+/// map slots. Placement groups are sampled uniformly per stripe.
+Workload make_workload(const ec::CodeScheme& code, std::size_t num_nodes,
+                       int slots_per_node, std::size_t num_tasks, Rng& rng);
+
+/// Convenience: task count for a given offered load (Section 3.2).
+std::size_t tasks_for_load(double load, std::size_t num_nodes,
+                           int slots_per_node);
+
+}  // namespace dblrep::sched

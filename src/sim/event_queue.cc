@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace dblrep::sim {
+
+void EventQueue::schedule_at(SimTime when, Callback fn) {
+  DBLREP_CHECK_GE(when, now_);
+  events_.push({when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(SimTime delay, Callback fn) {
+  DBLREP_CHECK_GE(delay, 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // alternative: copy the callback. Events are small; copy the struct.
+  Event event = events_.top();
+  events_.pop();
+  now_ = event.when;
+  event.fn();
+  return true;
+}
+
+std::size_t EventQueue::run(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!events_.empty()) {
+    if (deadline != kNoDeadline && events_.top().when > deadline) break;
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace dblrep::sim

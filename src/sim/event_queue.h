@@ -1,0 +1,64 @@
+// Minimal discrete-event simulation kernel.
+//
+// The MapReduce simulator, the cluster repair engine, and the Monte-Carlo
+// reliability runs all advance a virtual clock through a priority queue of
+// (time, sequence, callback) events. Sequence numbers break ties FIFO so
+// runs are deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dblrep::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now).
+  void schedule_at(SimTime when, Callback fn);
+
+  /// Schedules `fn` after `delay` seconds (>= 0).
+  void schedule_after(SimTime delay, Callback fn);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+  /// Runs the next event, advancing the clock. Returns false if empty.
+  bool step();
+
+  /// Runs events until the queue empties or `deadline` would be passed
+  /// (events scheduled after the deadline stay queued). Returns the number
+  /// of events executed.
+  std::size_t run(SimTime deadline = kNoDeadline);
+
+  static constexpr SimTime kNoDeadline = -1.0;
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace dblrep::sim

@@ -1,0 +1,173 @@
+// Tests for GF(2^8) arithmetic: field axioms (exhaustively where cheap),
+// known values for the 0x11d polynomial, and the slice kernels.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "gf/gf256.h"
+
+namespace dblrep::gf {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(add(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(sub(0x57, 0x83), 0x57 ^ 0x83);
+}
+
+TEST(Gf256, MulKnownValues) {
+  // Classic AES-adjacent sanity values for the 0x11d polynomial.
+  EXPECT_EQ(mul(0, 0x53), 0);
+  EXPECT_EQ(mul(1, 0x53), 0x53);
+  EXPECT_EQ(mul(2, 0x80), 0x1d);   // overflow triggers reduction by 0x11d
+  EXPECT_EQ(mul(2, 0x40), 0x80);   // no reduction
+}
+
+TEST(Gf256, GeneratorIsPrimitive) {
+  // alpha = 2 must cycle through all 255 non-zero elements.
+  std::set<Elem> seen;
+  Elem x = 1;
+  for (int i = 0; i < 255; ++i) {
+    seen.insert(x);
+    x = mul(x, kGenerator);
+  }
+  EXPECT_EQ(seen.size(), 255u);
+  EXPECT_EQ(x, 1);  // alpha^255 == 1
+}
+
+TEST(Gf256, MulIsCommutativeExhaustive) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = a; b < 256; ++b) {
+      ASSERT_EQ(mul(static_cast<Elem>(a), static_cast<Elem>(b)),
+                mul(static_cast<Elem>(b), static_cast<Elem>(a)));
+    }
+  }
+}
+
+TEST(Gf256, MulAssociativeSpotChecks) {
+  // Full triple loop is 16M cases; a pseudo-random slice is enough.
+  for (int i = 1; i < 4000; ++i) {
+    const Elem a = static_cast<Elem>((i * 17) & 0xff);
+    const Elem b = static_cast<Elem>((i * 101 + 7) & 0xff);
+    const Elem c = static_cast<Elem>((i * 251 + 13) & 0xff);
+    ASSERT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributesOverAddExhaustivePairsWithFixedC) {
+  for (int c = 1; c < 256; c += 37) {
+    for (int a = 0; a < 256; ++a) {
+      for (int b = 0; b < 256; b += 5) {
+        ASSERT_EQ(mul(static_cast<Elem>(a ^ b), static_cast<Elem>(c)),
+                  add(mul(static_cast<Elem>(a), static_cast<Elem>(c)),
+                      mul(static_cast<Elem>(b), static_cast<Elem>(c))));
+      }
+    }
+  }
+}
+
+TEST(Gf256, InverseRoundTripsExhaustive) {
+  for (int a = 1; a < 256; ++a) {
+    const Elem e = static_cast<Elem>(a);
+    EXPECT_EQ(mul(e, inv(e)), 1) << "a=" << a;
+    EXPECT_EQ(div(1, e), inv(e));
+  }
+}
+
+TEST(Gf256, DivisionRoundTripsExhaustiveSample) {
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 1; b < 256; b += 3) {
+      const Elem q = div(static_cast<Elem>(a), static_cast<Elem>(b));
+      ASSERT_EQ(mul(q, static_cast<Elem>(b)), static_cast<Elem>(a));
+    }
+  }
+}
+
+TEST(Gf256, DivByZeroIsContractViolation) {
+  EXPECT_THROW(div(5, 0), ContractViolation);
+  EXPECT_THROW(inv(0), ContractViolation);
+  EXPECT_THROW(log_alpha(0), ContractViolation);
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (int a : {0, 1, 2, 3, 29, 255}) {
+    Elem acc = 1;
+    for (unsigned p = 0; p < 300; ++p) {
+      ASSERT_EQ(pow(static_cast<Elem>(a), p), a == 0 && p > 0 ? 0 : acc)
+          << "a=" << a << " p=" << p;
+      acc = mul(acc, static_cast<Elem>(a));
+    }
+  }
+}
+
+TEST(Gf256, ExpLogRoundTrip) {
+  for (unsigned i = 0; i < 255; ++i) {
+    EXPECT_EQ(log_alpha(exp_alpha(i)), i);
+  }
+  EXPECT_EQ(exp_alpha(255), exp_alpha(0));  // wraps mod 255
+}
+
+TEST(GfSlices, AddmulZeroCoeffIsNoop) {
+  Buffer dst = random_buffer(100, 1);
+  const Buffer before = dst;
+  addmul_slice(dst, random_buffer(100, 2), 0);
+  EXPECT_EQ(dst, before);
+}
+
+TEST(GfSlices, AddmulOneCoeffIsXor) {
+  Buffer dst = random_buffer(100, 1);
+  const Buffer src = random_buffer(100, 2);
+  Buffer expected = dst;
+  xor_into(expected, src);
+  addmul_slice(dst, src, 1);
+  EXPECT_EQ(dst, expected);
+}
+
+TEST(GfSlices, AddmulMatchesScalarMul) {
+  Buffer dst(64, 0);
+  const Buffer src = random_buffer(64, 3);
+  addmul_slice(dst, src, 0x1b);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(dst[i], mul(src[i], 0x1b));
+  }
+}
+
+TEST(GfSlices, MulSliceAndScaleAgree) {
+  const Buffer src = random_buffer(97, 4);
+  Buffer a(src.size());
+  mul_slice(a, src, 0x8e);
+  Buffer b = src;
+  scale_slice(b, 0x8e);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GfSlices, MulSliceZeroClearsAndOneCopies) {
+  const Buffer src = random_buffer(16, 5);
+  Buffer out(16, 0xff);
+  mul_slice(out, src, 0);
+  EXPECT_EQ(out, Buffer(16, 0));
+  mul_slice(out, src, 1);
+  EXPECT_EQ(out, src);
+}
+
+TEST(GfSlices, LinearityOfAddmul) {
+  // addmul(c1) then addmul(c2) over the same src == addmul(c1 ^ c2 folded
+  // via field add): (c1 + c2) * x == c1*x + c2*x.
+  const Buffer src = random_buffer(50, 6);
+  Buffer a(50, 0), b(50, 0);
+  addmul_slice(a, src, 0x35);
+  addmul_slice(a, src, 0x7a);
+  addmul_slice(b, src, add(0x35, 0x7a));
+  EXPECT_EQ(a, b);
+}
+
+TEST(GfSlices, SizeMismatchIsContractViolation) {
+  Buffer dst(8);
+  const Buffer src(9);
+  EXPECT_THROW(addmul_slice(dst, src, 3), ContractViolation);
+  EXPECT_THROW(mul_slice(dst, src, 3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dblrep::gf

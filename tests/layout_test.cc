@@ -1,0 +1,210 @@
+// Tests for StripeLayout and the per-code layouts (the paper's Fig. 1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "ec/layout.h"
+#include "ec/local_polygon.h"
+#include "ec/polygon.h"
+#include "ec/raid_mirror.h"
+#include "ec/replication.h"
+
+namespace dblrep::ec {
+namespace {
+
+TEST(StripeLayout, BasicMaps) {
+  // Two symbols, symbol 0 replicated on nodes 0 and 1, symbol 1 on node 2.
+  StripeLayout layout(3, 2, {0, 1, 2}, {0, 0, 1});
+  EXPECT_EQ(layout.num_slots(), 3u);
+  EXPECT_EQ(layout.node_of_slot(1), 1);
+  EXPECT_EQ(layout.symbol_of_slot(1), 0u);
+  EXPECT_EQ(layout.slots_of_symbol(0), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(layout.slots_on_node(2), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(layout.symbol_replication(0), 2u);
+  EXPECT_EQ(layout.symbol_replication(1), 1u);
+  EXPECT_EQ(layout.max_slots_per_node(), 1u);
+}
+
+TEST(StripeLayout, ReplicasOnSameNodeRejected) {
+  // Both copies of symbol 0 on node 0 violates the placement invariant.
+  EXPECT_THROW(StripeLayout(2, 1, {0, 0}, {0, 0}), ContractViolation);
+}
+
+TEST(StripeLayout, SymbolWithoutSlotRejected) {
+  EXPECT_THROW(StripeLayout(2, 2, {0, 1}, {0, 0}), ContractViolation);
+}
+
+TEST(StripeLayout, MismatchedVectorsRejected) {
+  EXPECT_THROW(StripeLayout(2, 1, {0, 1}, {0}), ContractViolation);
+}
+
+// ------------------------------------------------------------ pentagon
+
+TEST(PentagonLayout, MatchesPaperFigure1a) {
+  // 9 data + 1 parity, doubled over 5 nodes, 4 blocks each.
+  PolygonCode pentagon(5);
+  const auto& layout = pentagon.layout();
+  EXPECT_EQ(layout.num_nodes(), 5u);
+  EXPECT_EQ(layout.num_symbols(), 10u);
+  EXPECT_EQ(layout.num_slots(), 20u);
+  for (NodeIndex n = 0; n < 5; ++n) {
+    EXPECT_EQ(layout.slots_on_node(n).size(), 4u) << "node " << n;
+  }
+  // Every symbol exactly twice, on distinct nodes.
+  for (std::size_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(layout.symbol_replication(s), 2u);
+  }
+}
+
+TEST(PentagonLayout, EveryNodePairSharesExactlyOneSymbol) {
+  // The K5 edge structure: |blocks(Ni) ∩ blocks(Nj)| == 1 for i != j.
+  PolygonCode pentagon(5);
+  const auto& layout = pentagon.layout();
+  for (NodeIndex a = 0; a < 5; ++a) {
+    std::set<std::size_t> syms_a;
+    for (auto slot : layout.slots_on_node(a)) {
+      syms_a.insert(layout.symbol_of_slot(slot));
+    }
+    for (NodeIndex b = a + 1; b < 5; ++b) {
+      int shared = 0;
+      for (auto slot : layout.slots_on_node(b)) {
+        if (syms_a.contains(layout.symbol_of_slot(slot))) ++shared;
+      }
+      EXPECT_EQ(shared, 1) << "pair " << a << "," << b;
+      EXPECT_EQ(layout.symbol_of_slot(
+                    layout.slots_of_symbol(pentagon.shared_symbol(a, b))[0]),
+                pentagon.shared_symbol(a, b));
+    }
+  }
+}
+
+TEST(PolygonCode, EdgeSymbolRoundTrip) {
+  for (int n : {3, 5, 7, 9}) {
+    PolygonCode code(n);
+    std::set<std::size_t> seen;
+    for (NodeIndex a = 0; a < n; ++a) {
+      for (NodeIndex b = a + 1; b < n; ++b) {
+        const std::size_t sym = code.edge_symbol(a, b);
+        EXPECT_EQ(code.edge_symbol(b, a), sym) << "symmetry";
+        EXPECT_LT(sym, PolygonCode::num_edges(n));
+        EXPECT_TRUE(seen.insert(sym).second) << "duplicate edge index";
+        const auto [x, y] = code.symbol_edge(sym);
+        EXPECT_EQ(x, a);
+        EXPECT_EQ(y, b);
+      }
+    }
+    EXPECT_EQ(seen.size(), PolygonCode::num_edges(n));
+  }
+}
+
+TEST(PolygonCode, SymbolsLiveOnTheirEdgeEndpoints) {
+  PolygonCode heptagon(7);
+  const auto& layout = heptagon.layout();
+  for (std::size_t sym = 0; sym < layout.num_symbols(); ++sym) {
+    const auto [a, b] = heptagon.symbol_edge(sym);
+    const auto& slots = layout.slots_of_symbol(sym);
+    ASSERT_EQ(slots.size(), 2u);
+    const std::set<NodeIndex> nodes{layout.node_of_slot(slots[0]),
+                                    layout.node_of_slot(slots[1])};
+    EXPECT_EQ(nodes, (std::set<NodeIndex>{a, b}));
+  }
+}
+
+// ------------------------------------------------------------ heptagon
+
+TEST(HeptagonLayout, MatchesPaperSection21) {
+  PolygonCode heptagon(7);
+  EXPECT_EQ(heptagon.params().data_blocks, 20u);
+  EXPECT_EQ(heptagon.params().stored_blocks, 42u);
+  EXPECT_EQ(heptagon.params().num_nodes, 7u);
+  for (NodeIndex n = 0; n < 7; ++n) {
+    EXPECT_EQ(heptagon.layout().slots_on_node(n).size(), 6u);
+  }
+}
+
+// ------------------------------------------------------- heptagon-local
+
+TEST(HeptagonLocalLayout, MatchesPaperSection22) {
+  // 40 data -> 86 blocks over 15 nodes.
+  LocalPolygonCode code(7);
+  EXPECT_EQ(code.params().data_blocks, 40u);
+  EXPECT_EQ(code.params().stored_blocks, 86u);
+  EXPECT_EQ(code.params().num_nodes, 15u);
+  EXPECT_EQ(code.params().num_symbols, 44u);  // 40 data + 2 local + 2 global
+  // 14 polygon nodes with 6 blocks, global node with 2.
+  for (NodeIndex n = 0; n < 14; ++n) {
+    EXPECT_EQ(code.layout().slots_on_node(n).size(), 6u) << "node " << n;
+  }
+  EXPECT_EQ(code.layout().slots_on_node(code.global_node()).size(), 2u);
+}
+
+TEST(HeptagonLocalLayout, RackMapping) {
+  LocalPolygonCode code(7);
+  for (NodeIndex n = 0; n < 7; ++n) EXPECT_EQ(code.rack_of_node(n), 0);
+  for (NodeIndex n = 7; n < 14; ++n) EXPECT_EQ(code.rack_of_node(n), 1);
+  EXPECT_EQ(code.rack_of_node(14), 2);
+  EXPECT_EQ(code.local_of_node(3), 0);
+  EXPECT_EQ(code.local_of_node(10), 1);
+  EXPECT_EQ(code.local_of_node(14), -1);
+}
+
+TEST(HeptagonLocalLayout, GlobalSymbolsUnreplicatedOnGlobalNode) {
+  LocalPolygonCode code(7);
+  const auto [g1, g2] = code.global_symbols();
+  for (std::size_t g : {g1, g2}) {
+    const auto& slots = code.layout().slots_of_symbol(g);
+    ASSERT_EQ(slots.size(), 1u);
+    EXPECT_EQ(code.layout().node_of_slot(slots[0]), code.global_node());
+  }
+}
+
+TEST(HeptagonLocalLayout, LocalSymbolsStayInTheirRack) {
+  LocalPolygonCode code(7);
+  const auto& layout = code.layout();
+  for (std::size_t sym = 0; sym < 42; ++sym) {
+    // Symbols 0..19 and the first local parity belong to rack 0; symbols
+    // 20..39 and the second local parity to rack 1.
+    const bool first_local =
+        sym < 20 || sym == code.local_parity_symbol(0);
+    const int want_rack = first_local ? 0 : 1;
+    if (sym >= 40 && sym != code.local_parity_symbol(0) &&
+        sym != code.local_parity_symbol(1)) {
+      continue;  // global symbols, checked elsewhere
+    }
+    for (auto slot : layout.slots_of_symbol(sym)) {
+      EXPECT_EQ(code.rack_of_node(layout.node_of_slot(slot)), want_rack)
+          << "symbol " << sym;
+    }
+  }
+}
+
+// ------------------------------------------------------------- RAID+m
+
+TEST(RaidMirrorLayout, OneBlockPerNode) {
+  RaidMirrorCode code(9);  // the paper's (10,9) RAID+m
+  EXPECT_EQ(code.params().num_nodes, 20u);
+  EXPECT_EQ(code.params().stored_blocks, 20u);
+  EXPECT_EQ(code.params().data_blocks, 9u);
+  for (NodeIndex n = 0; n < 20; ++n) {
+    EXPECT_EQ(code.layout().slots_on_node(n).size(), 1u);
+  }
+  for (std::size_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(code.layout().symbol_replication(s), 2u);
+    const auto [a, b] = code.mirror_nodes(s);
+    EXPECT_EQ(b, a + 1);
+  }
+}
+
+// --------------------------------------------------------- replication
+
+TEST(ReplicationLayout, SimpleRepStripes) {
+  ReplicationCode three(3);
+  EXPECT_EQ(three.params().num_nodes, 3u);
+  EXPECT_EQ(three.params().data_blocks, 1u);
+  EXPECT_EQ(three.layout().symbol_replication(0), 3u);
+  EXPECT_EQ(three.params().fault_tolerance, 2);
+}
+
+}  // namespace
+}  // namespace dblrep::ec

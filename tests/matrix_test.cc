@@ -1,0 +1,176 @@
+// Tests for GF(2^8) matrices: construction, elimination, inversion, solve.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "gf/matrix.h"
+
+namespace dblrep::gf {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.set(r, c, static_cast<Elem>(rng.next_below(256)));
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, IdentityProperties) {
+  const Matrix id = Matrix::identity(5);
+  EXPECT_EQ(id.rank(), 5u);
+  EXPECT_EQ(id.mul(id), id);
+  ASSERT_TRUE(id.inverse().is_ok());
+  EXPECT_EQ(*id.inverse(), id);
+}
+
+TEST(Matrix, InitializerListAndAccessors) {
+  const Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.at(0, 1), 2);
+  EXPECT_EQ(m.at(1, 0), 3);
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+}
+
+TEST(Matrix, RaggedInitializerRejected) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), ContractViolation);
+}
+
+TEST(Matrix, MulDimensionMismatchRejected) {
+  const Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.mul(b), ContractViolation);
+}
+
+TEST(Matrix, VandermondeSquareIsInvertible) {
+  // Distinct evaluation points -> invertible; the heptagon-local global
+  // parity solvability rests on this.
+  const Matrix v = Matrix::vandermonde({0, 1, 2, 3, 4}, 5);
+  EXPECT_EQ(v.rank(), 5u);
+  ASSERT_TRUE(v.inverse().is_ok());
+  EXPECT_EQ(v.inverse()->mul(v), Matrix::identity(5));
+}
+
+TEST(Matrix, VandermondeRepeatedPointIsSingular) {
+  const Matrix v = Matrix::vandermonde({1, 1, 2}, 3);
+  EXPECT_LT(v.rank(), 3u);
+  EXPECT_FALSE(v.inverse().is_ok());
+}
+
+TEST(Matrix, CauchyEverySquareSubmatrixInvertible3x3) {
+  // The MDS property of Cauchy matrices: take a 3x4 Cauchy, every 3x3
+  // column subset must be invertible.
+  const Matrix c = Matrix::cauchy({1, 2, 3}, {4, 5, 6, 7});
+  for (std::size_t skip = 0; skip < 4; ++skip) {
+    Matrix sub(3, 3);
+    for (std::size_t r = 0; r < 3; ++r) {
+      std::size_t cc = 0;
+      for (std::size_t col = 0; col < 4; ++col) {
+        if (col == skip) continue;
+        sub.set(r, cc++, c.at(r, col));
+      }
+    }
+    EXPECT_EQ(sub.rank(), 3u) << "skipped column " << skip;
+  }
+}
+
+TEST(Matrix, CauchyOverlappingPointsRejected) {
+  EXPECT_THROW(Matrix::cauchy({1, 2}, {2, 3}), ContractViolation);
+}
+
+TEST(Matrix, InverseRoundTripRandomized) {
+  Rng rng(42);
+  int invertible_seen = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Matrix m = random_matrix(6, 6, rng);
+    const auto inverse = m.inverse();
+    if (!inverse.is_ok()) continue;  // singular draw
+    ++invertible_seen;
+    EXPECT_EQ(m.mul(*inverse), Matrix::identity(6));
+    EXPECT_EQ(inverse->mul(m), Matrix::identity(6));
+  }
+  // Random GF(256) 6x6 matrices are invertible with probability ~0.996.
+  EXPECT_GT(invertible_seen, 40);
+}
+
+TEST(Matrix, InverseOfNonSquareRejected) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.inverse().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Matrix, SolveSquareSystem) {
+  Rng rng(7);
+  const Matrix a = Matrix::vandermonde({0, 3, 9, 27}, 4);
+  const Matrix x = random_matrix(4, 2, rng);
+  const Matrix b = a.mul(x);
+  const auto solved = a.solve(b);
+  ASSERT_TRUE(solved.is_ok());
+  EXPECT_EQ(*solved, x);
+}
+
+TEST(Matrix, SolveOverdeterminedConsistent) {
+  Rng rng(8);
+  // 6 equations, 4 unknowns, consistent by construction.
+  Matrix a(6, 4);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      a.set(r, c, static_cast<Elem>(rng.next_below(256)));
+    }
+  }
+  if (a.rank() < 4) GTEST_SKIP() << "degenerate random draw";
+  const Matrix x = random_matrix(4, 1, rng);
+  const Matrix b = a.mul(x);
+  const auto solved = a.solve(b);
+  ASSERT_TRUE(solved.is_ok());
+  EXPECT_EQ(*solved, x);
+}
+
+TEST(Matrix, SolveInconsistentOverdeterminedFails) {
+  // Rows 0 and 1 identical in A but different rhs -> no solution.
+  const Matrix a{{1, 2}, {1, 2}, {3, 4}};
+  const Matrix b{{5}, {6}, {7}};
+  EXPECT_EQ(a.solve(b).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Matrix, SolveRankDeficientFails) {
+  const Matrix a{{1, 2}, {2, 4}};  // second row = 2 * first over GF(256)
+  const Matrix b{{1}, {2}};
+  EXPECT_FALSE(a.solve(b).is_ok());
+}
+
+TEST(Matrix, SolveUnderdeterminedRejected) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 1);
+  EXPECT_EQ(a.solve(b).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Matrix, SelectRowsPreservesContent) {
+  const Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix sel = m.select_rows({2, 0});
+  EXPECT_EQ(sel, (Matrix{{5, 6}, {1, 2}}));
+}
+
+TEST(Matrix, RankOfRectangular) {
+  const Matrix m{{1, 0, 0}, {0, 1, 0}};
+  EXPECT_EQ(m.rank(), 2u);
+  const Matrix z(3, 3);
+  EXPECT_EQ(z.rank(), 0u);
+}
+
+TEST(LinearCombine, MatchesManualAccumulation) {
+  const Buffer b0 = random_buffer(40, 1);
+  const Buffer b1 = random_buffer(40, 2);
+  const Buffer b2 = random_buffer(40, 3);
+  const std::vector<Elem> coeffs{3, 0, 251};
+  const std::vector<ByteSpan> blocks{b0, b1, b2};
+  Buffer out(40);
+  linear_combine(out, coeffs, blocks);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], add(mul(b0[i], 3), mul(b2[i], 251)));
+  }
+}
+
+}  // namespace
+}  // namespace dblrep::gf

@@ -1,0 +1,215 @@
+// Parameterized property sweep over polygon codes K_n, n = 3..10, pinning
+// the closed-form costs the paper's constructions generalize to:
+//   * storage overhead  2*C(n,2) / (C(n,2)-1)
+//   * single-node repair = n-1 plain copies (repair-by-transfer)
+//   * two-node repair    = 3(n-2)+1 blocks
+//   * degraded read of a doubly-lost block = n-2 blocks
+//   * any n-2 nodes suffice to decode; any 3 failures are fatal (n >= 4)
+// plus the same sweep for the local variant where it exists.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "ec/local_polygon.h"
+#include "ec/polygon.h"
+#include "ec/raid_mirror.h"
+#include "reliability/markov.h"
+
+namespace dblrep::ec {
+namespace {
+
+constexpr std::size_t kBlockSize = 96;
+
+class PolygonSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolygonSweep, StructuralCounts) {
+  const int n = GetParam();
+  PolygonCode code(n);
+  const std::size_t edges = PolygonCode::num_edges(n);
+  EXPECT_EQ(code.params().num_symbols, edges);
+  EXPECT_EQ(code.params().data_blocks, edges - 1);
+  EXPECT_EQ(code.params().stored_blocks, 2 * edges);
+  for (NodeIndex v = 0; v < n; ++v) {
+    EXPECT_EQ(code.layout().slots_on_node(v).size(),
+              static_cast<std::size_t>(n - 1));
+  }
+}
+
+TEST_P(PolygonSweep, RepairCostsFollowClosedForms) {
+  const int n = GetParam();
+  PolygonCode code(n);
+  EXPECT_EQ(code.plan_node_repair(0)->network_blocks(),
+            static_cast<std::size_t>(n - 1));
+  EXPECT_EQ(code.plan_multi_node_repair({0, 1})->network_blocks(),
+            static_cast<std::size_t>(3 * (n - 2) + 1));
+  EXPECT_EQ(code.plan_degraded_read(code.shared_symbol(0, 1), {0, 1})
+                ->network_blocks(),
+            static_cast<std::size_t>(n - 2));
+}
+
+TEST_P(PolygonSweep, AnyNMinusTwoNodesDecode) {
+  const int n = GetParam();
+  PolygonCode code(n);
+  // Equivalent statement: every 2-subset of failures is recoverable.
+  for (NodeIndex a = 0; a < n; ++a) {
+    for (NodeIndex b = a + 1; b < n; ++b) {
+      EXPECT_TRUE(code.is_recoverable({a, b}));
+    }
+  }
+  if (n >= 4) {
+    EXPECT_FALSE(code.is_recoverable({0, 1, 2}));
+  }
+}
+
+TEST_P(PolygonSweep, RandomizedRepairRoundTrip) {
+  const int n = GetParam();
+  PolygonCode code(n);
+  Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<Buffer> data;
+  for (std::size_t i = 0; i < code.data_blocks(); ++i) {
+    data.push_back(random_buffer(kBlockSize, rng.next_u64()));
+  }
+  const auto pristine = code.encode(data);
+  PlanExecutor executor(code.layout());
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto picks = rng.sample_without_replacement(
+        static_cast<std::size_t>(n), 2);
+    const std::set<NodeIndex> failed{static_cast<NodeIndex>(picks[0]),
+                                     static_cast<NodeIndex>(picks[1])};
+    SlotStore store;
+    for (std::size_t s = 0; s < pristine.size(); ++s) {
+      if (!failed.contains(code.layout().node_of_slot(s))) {
+        store[s] = pristine[s];
+      }
+    }
+    const auto plan = code.plan_multi_node_repair(failed);
+    ASSERT_TRUE(plan.is_ok());
+    ASSERT_TRUE(executor.execute(*plan, store).is_ok());
+    for (std::size_t s = 0; s < pristine.size(); ++s) {
+      ASSERT_EQ(store.at(s), pristine[s]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kn, PolygonSweep, ::testing::Values(3, 4, 5, 6, 7, 8, 9, 10),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+class LocalPolygonSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocalPolygonSweep, ToleratesAnyThreeFailures) {
+  const int n = GetParam();
+  LocalPolygonCode code(n);
+  const auto total = static_cast<NodeIndex>(code.num_nodes());
+  for (NodeIndex a = 0; a < total; ++a) {
+    for (NodeIndex b = a + 1; b < total; ++b) {
+      for (NodeIndex c = b + 1; c < total; ++c) {
+        EXPECT_TRUE(code.is_recoverable({a, b, c}))
+            << "n=" << n << " {" << a << "," << b << "," << c << "}";
+      }
+    }
+  }
+}
+
+TEST_P(LocalPolygonSweep, OverheadBeatsLocalPolygonPair) {
+  // The local code adds exactly 2 global blocks over two standalone
+  // polygons: overhead = bare + 1/k_local.
+  const int n = GetParam();
+  LocalPolygonCode local(n);
+  PolygonCode bare(n);
+  EXPECT_GT(local.params().storage_overhead(),
+            bare.params().storage_overhead());
+  EXPECT_NEAR(local.params().storage_overhead(),
+              bare.params().storage_overhead() +
+                  1.0 / static_cast<double>(local.local_data_blocks()),
+              1e-12);
+  EXPECT_EQ(local.params().fault_tolerance, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kn, LocalPolygonSweep, ::testing::Values(4, 5, 6, 7),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+// ------------------------------------------------ lumping cross-check
+
+/// A structurally identical clone of the pentagon that the reliability
+/// engine does NOT recognize, forcing the exact-subset fallback signature.
+/// Its MTTDL must match the lumped PolygonCode chain bit-for-bit, which
+/// validates the symmetry lumping end to end.
+class OpaquePentagon final : public CodeScheme {
+ public:
+  OpaquePentagon() : CodeScheme(make_params(), make_layout(), make_generator()) {}
+
+ private:
+  static CodeParams make_params() {
+    PolygonCode reference(5);
+    CodeParams params = reference.params();
+    params.name = "opaque-pentagon";
+    return params;
+  }
+  static StripeLayout make_layout() {
+    PolygonCode reference(5);
+    return reference.layout();
+  }
+  static gf::Matrix make_generator() {
+    PolygonCode reference(5);
+    return reference.generator();
+  }
+};
+
+TEST(ReliabilityLumping, ExactSubsetChainMatchesLumpedChain) {
+  rel::ReliabilityParams params;
+  params.node_mtbf_hours = 500.0;  // hot rates keep the check sensitive
+  params.node_mttr_hours = 25.0;
+  params.system_nodes = 25;
+
+  PolygonCode lumped(5);
+  OpaquePentagon opaque;
+  EXPECT_EQ(rel::failure_signature(opaque, {0, 3}), (rel::Signature{0, 3}));
+
+  const rel::GroupMarkovModel lumped_model(lumped, params);
+  const rel::GroupMarkovModel exact_model(opaque, params);
+  EXPECT_LE(lumped_model.num_states(), 3u);
+  EXPECT_GT(exact_model.num_states(), 3u);  // 1 + 5 + 10 subsets
+  EXPECT_NEAR(exact_model.mttdl_group_hours(),
+              lumped_model.mttdl_group_hours(),
+              1e-6 * lumped_model.mttdl_group_hours());
+}
+
+TEST(ReliabilityLumping, ExactSubsetChainMatchesForRaidMirror) {
+  // Same trick for the pair-structured signature.
+  class OpaqueRaidm final : public CodeScheme {
+   public:
+    OpaqueRaidm() : CodeScheme(params_of(), layout_of(), generator_of()) {}
+
+   private:
+    static CodeParams params_of() {
+      RaidMirrorCode reference(4);
+      CodeParams params = reference.params();
+      params.name = "opaque-raidm";
+      return params;
+    }
+    static StripeLayout layout_of() { return RaidMirrorCode(4).layout(); }
+    static gf::Matrix generator_of() { return RaidMirrorCode(4).generator(); }
+  };
+
+  rel::ReliabilityParams params;
+  params.node_mtbf_hours = 500.0;
+  params.node_mttr_hours = 25.0;
+  params.system_nodes = 25;
+
+  RaidMirrorCode lumped(4);
+  OpaqueRaidm opaque;
+  const rel::GroupMarkovModel lumped_model(lumped, params);
+  const rel::GroupMarkovModel exact_model(opaque, params);
+  EXPECT_LT(lumped_model.num_states(), exact_model.num_states());
+  EXPECT_NEAR(exact_model.mttdl_group_hours(),
+              lumped_model.mttdl_group_hours(),
+              1e-6 * lumped_model.mttdl_group_hours());
+}
+
+}  // namespace
+}  // namespace dblrep::ec

@@ -1,0 +1,315 @@
+// Tests for the MTTDL engine: signature lumping validity, chain vs
+// Monte-Carlo agreement, closed-form cross-checks, and the Table-1
+// qualitative ordering.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "ec/local_polygon.h"
+#include "ec/polygon.h"
+#include "ec/raid_mirror.h"
+#include "ec/registry.h"
+#include "ec/replication.h"
+#include "ec/rs.h"
+#include "reliability/markov.h"
+
+namespace dblrep::rel {
+namespace {
+
+using ec::NodeIndex;
+
+/// Inflated-rate parameters where data loss happens fast enough for
+/// Monte-Carlo cross-validation.
+ReliabilityParams hot_params() {
+  ReliabilityParams p;
+  p.node_mtbf_hours = 100.0;
+  p.node_mttr_hours = 20.0;
+  p.system_nodes = 25;
+  return p;
+}
+
+ReliabilityParams paper_params() {
+  return ReliabilityParams{};  // defaults documented in params.h
+}
+
+// --------------------------------------------------------- signatures
+
+TEST(Signature, PolygonLumpsByCountOnly) {
+  ec::PolygonCode pentagon(5);
+  EXPECT_EQ(failure_signature(pentagon, {0, 3}),
+            failure_signature(pentagon, {1, 4}));
+  EXPECT_NE(failure_signature(pentagon, {0}),
+            failure_signature(pentagon, {0, 1}));
+}
+
+TEST(Signature, RaidMirrorDistinguishesPairsFromSingletons) {
+  ec::RaidMirrorCode raidm(9);
+  // {0,1} is a complete mirror pair; {0,2} is two singletons.
+  EXPECT_NE(failure_signature(raidm, {0, 1}), failure_signature(raidm, {0, 2}));
+  EXPECT_EQ(failure_signature(raidm, {0, 2}), failure_signature(raidm, {4, 6}));
+  EXPECT_EQ(failure_signature(raidm, {0, 1}), failure_signature(raidm, {8, 9}));
+}
+
+TEST(Signature, LocalPolygonSortsLocalsAndFlagsGlobal) {
+  ec::LocalPolygonCode code(7);
+  EXPECT_EQ(failure_signature(code, {0, 1, 7}),
+            failure_signature(code, {8, 9, 3}));  // (2,1) either way
+  EXPECT_NE(failure_signature(code, {0, 1, 2}),
+            failure_signature(code, {0, 1, 7}));
+  EXPECT_NE(failure_signature(code, {0, 14}), failure_signature(code, {0, 1}));
+}
+
+TEST(Signature, IsOrbitInvariantForFatality) {
+  // Every pair of same-signature subsets must agree on recoverability;
+  // sample subsets of sizes 1..4 for each paper code.
+  Rng rng(11);
+  for (const auto& spec : ec::paper_code_specs()) {
+    const auto code = ec::make_code(spec).value();
+    std::map<Signature, bool> seen;
+    for (int trial = 0; trial < 300; ++trial) {
+      const std::size_t size = 1 + rng.next_below(4);
+      const auto pick =
+          rng.sample_without_replacement(code->num_nodes(),
+                                         std::min(size, code->num_nodes()));
+      std::set<NodeIndex> failed;
+      for (auto v : pick) failed.insert(static_cast<NodeIndex>(v));
+      const bool recoverable = code->is_recoverable(failed);
+      const auto sig = failure_signature(*code, failed);
+      const auto [it, inserted] = seen.emplace(sig, recoverable);
+      EXPECT_EQ(it->second, recoverable)
+          << spec << ": signature collision with differing fatality";
+    }
+  }
+}
+
+// ------------------------------------------------- chain sanity checks
+
+TEST(GroupMarkovModel, TwoRepMatchesClosedForm) {
+  // c=2, fatal at 2 failures. Known closed form for the birth-death chain:
+  // MTTDL = (3*lambda + mu) / (2*lambda^2).
+  ec::ReplicationCode two(2);
+  ReliabilityParams p = hot_params();
+  p.system_nodes = 2;
+  GroupMarkovModel model(two, p);
+  const double lambda = p.failure_rate_per_hour();
+  const double mu = p.repair_rate_per_hour();
+  const double expected = (3.0 * lambda + mu) / (2.0 * lambda * lambda);
+  EXPECT_NEAR(model.mttdl_group_hours(), expected, expected * 1e-9);
+}
+
+TEST(GroupMarkovModel, ThreeRepMatchesClosedForm) {
+  // Birth-death chain 0->1->2->loss with parallel repair:
+  // states: q0 = 3l, q1 = 2l + m, q2 = l + 2m.
+  // t2 = (1 + 2m t1)/q2, t1 = (1 + m t0 + 2l t2)/q1, t0 = 1/q0 + t1.
+  ec::ReplicationCode three(3);
+  ReliabilityParams p = hot_params();
+  p.system_nodes = 3;
+  GroupMarkovModel model(three, p);
+  const double l = p.failure_rate_per_hour();
+  const double m = p.repair_rate_per_hour();
+  // Solve the 3x3 system by hand (substitution).
+  // t0 = 1/(3l) + t1.
+  // t1 (2l+m) = 1 + m t0 + 2l t2
+  // t2 (l+2m) = 1 + 2m t1
+  // Substitute t0 and t2:
+  const double q1 = 2 * l + m, q2 = l + 2 * m;
+  // t1 q1 = 1 + m (1/(3l) + t1) + 2l (1 + 2 m t1)/q2
+  const double lhs = q1 - m - 4.0 * l * m / q2;
+  const double rhs = 1.0 + m / (3.0 * l) + 2.0 * l / q2;
+  const double t1 = rhs / lhs;
+  const double t0 = 1.0 / (3.0 * l) + t1;
+  EXPECT_NEAR(model.mttdl_group_hours(), t0, t0 * 1e-9);
+}
+
+TEST(GroupMarkovModel, StateCountsStaySmallUnderLumping) {
+  ReliabilityParams p = paper_params();
+  EXPECT_LE(GroupMarkovModel(*ec::make_code("pentagon").value(), p).num_states(),
+            3u);
+  EXPECT_LE(GroupMarkovModel(*ec::make_code("heptagon").value(), p).num_states(),
+            3u);
+  EXPECT_LE(GroupMarkovModel(*ec::make_code("raidm-11").value(), p).num_states(),
+            40u);
+  EXPECT_LE(
+      GroupMarkovModel(*ec::make_code("heptagon-local").value(), p).num_states(),
+      40u);
+}
+
+TEST(GroupMarkovModel, LumpedChainMatchesUnlumpedForPentagon) {
+  // Compare against a brute-force chain over exact subsets by using the RS
+  // fallback path: build a structurally identical code with no custom
+  // signature. Easiest honest check: Monte Carlo below; here we verify the
+  // pentagon chain against an independently derived closed form.
+  // Pentagon: states 0,1,2 failed; any 3rd failure fatal.
+  ec::PolygonCode pentagon(5);
+  ReliabilityParams p = hot_params();
+  GroupMarkovModel model(pentagon, p);
+  const double l = p.failure_rate_per_hour();
+  const double m = p.repair_rate_per_hour();
+  const double q0 = 5 * l, q1 = 4 * l + m, q2 = 3 * l + 2 * m;
+  // t2 = (1 + 2m t1)/q2 ; t1 = (1 + m t0 + 4l t2)/q1 ; t0 = 1/q0 + t1.
+  const double lhs = q1 - m - 8.0 * l * m / q2;
+  const double rhs = 1.0 + m / q0 + 4.0 * l / q2;
+  const double t1 = rhs / lhs;
+  const double t0 = 1.0 / q0 + t1;
+  EXPECT_NEAR(model.mttdl_group_hours(), t0, t0 * 1e-9);
+}
+
+TEST(GroupMarkovModel, AgreesWithMonteCarloAtHotRates) {
+  for (const char* spec : {"3-rep", "pentagon", "heptagon"}) {
+    const auto code = ec::make_code(spec).value();
+    ReliabilityParams p = hot_params();
+    GroupMarkovModel chain(*code, p);
+    const double mc = simulate_group_mttdl_hours(*code, p, 99, 4000);
+    EXPECT_NEAR(mc, chain.mttdl_group_hours(), 0.08 * chain.mttdl_group_hours())
+        << spec;
+  }
+}
+
+TEST(GroupMarkovModel, MonteCarloAgreesForPairStructuredCodes) {
+  const auto raidm = ec::make_code("raidm-9").value();
+  ReliabilityParams p = hot_params();
+  p.node_mttr_hours = 50.0;  // keep trials short: slow repair
+  GroupMarkovModel chain(*raidm, p);
+  const double mc = simulate_group_mttdl_hours(*raidm, p, 7, 1500);
+  EXPECT_NEAR(mc, chain.mttdl_group_hours(), 0.1 * chain.mttdl_group_hours());
+}
+
+TEST(GroupMarkovModel, GroupsScaleSystemMttdl) {
+  ec::ReplicationCode three(3);
+  ReliabilityParams p = paper_params();
+  GroupMarkovModel model(three, p);
+  EXPECT_EQ(model.num_groups(), 8u);  // floor(25/3)
+  EXPECT_NEAR(model.mttdl_system_years() * 8.0 * kHoursPerYear,
+              model.mttdl_group_hours(), 1e-6 * model.mttdl_group_hours());
+}
+
+TEST(GroupMarkovModel, RejectsSystemSmallerThanCode) {
+  ec::RaidMirrorCode raidm(11);  // needs 24 nodes
+  ReliabilityParams p = paper_params();
+  p.system_nodes = 20;
+  EXPECT_THROW(GroupMarkovModel(raidm, p), ContractViolation);
+}
+
+// ------------------------------------------------ Table 1 reproduction
+
+TEST(Table1, QualitativeOrderingOfTier2Codes) {
+  // Within the 2-failure-tolerant family the paper's ordering is
+  // heptagon < pentagon < 3-rep; this is parameter-robust.
+  ReliabilityParams p = paper_params();
+  const double hept =
+      GroupMarkovModel(*ec::make_code("heptagon").value(), p).mttdl_system_years();
+  const double pent =
+      GroupMarkovModel(*ec::make_code("pentagon").value(), p).mttdl_system_years();
+  const double rep3 =
+      GroupMarkovModel(*ec::make_code("3-rep").value(), p).mttdl_system_years();
+  EXPECT_LT(hept, pent);
+  EXPECT_LT(pent, rep3);
+}
+
+TEST(Table1, QualitativeOrderingOfTier3Codes) {
+  // raidm-11 < raidm-9 as in the paper (longer code, more fatal patterns).
+  // Note: the paper also places heptagon-local above raidm-9; the exact
+  // chain inverts that pair because (10,9) RAID+m has proportionally fewer
+  // fatal 4-patterns (45 of 4845) than heptagon-local (140 of 1365) and
+  // the paper's model constants are not disclosed. See EXPERIMENTS.md.
+  ReliabilityParams p = paper_params();
+  const double r11 =
+      GroupMarkovModel(*ec::make_code("raidm-11").value(), p).mttdl_system_years();
+  const double r9 =
+      GroupMarkovModel(*ec::make_code("raidm-9").value(), p).mttdl_system_years();
+  const double hl = GroupMarkovModel(*ec::make_code("heptagon-local").value(), p)
+                        .mttdl_system_years();
+  EXPECT_LT(r11, r9);
+  // Both tier-3 schemes must beat every tier-2 scheme.
+  const double rep3 =
+      GroupMarkovModel(*ec::make_code("3-rep").value(), p).mttdl_system_years();
+  EXPECT_GT(hl, rep3);
+  EXPECT_GT(r9, rep3);
+}
+
+TEST(Table1, ThreeRepCalibrationLandsNearPaperValue) {
+  // Default parameters are calibrated so 3-rep lands within ~3x of the
+  // paper's 1.20e9 years (the paper's exact constants are not disclosed).
+  ReliabilityParams p = paper_params();
+  const double rep3 =
+      GroupMarkovModel(*ec::make_code("3-rep").value(), p).mttdl_system_years();
+  EXPECT_GT(rep3, 1.2e9 / 3.0);
+  EXPECT_LT(rep3, 1.2e9 * 3.0);
+}
+
+TEST(Table1, HigherToleranceBeatsLowerToleranceAtPaperParams) {
+  ReliabilityParams p = paper_params();
+  const double hl = GroupMarkovModel(*ec::make_code("heptagon-local").value(), p)
+                        .mttdl_system_years();
+  const double rep3 =
+      GroupMarkovModel(*ec::make_code("3-rep").value(), p).mttdl_system_years();
+  EXPECT_GT(hl, rep3);  // the paper's headline: heptagon-local is best
+}
+
+TEST(Table1, StorageOverheadColumnMatchesPaperExactly) {
+  EXPECT_NEAR(ec::make_code("3-rep").value()->params().storage_overhead(), 3.0,
+              1e-12);
+  EXPECT_NEAR(ec::make_code("pentagon").value()->params().storage_overhead(),
+              2.2222, 5e-4);
+  EXPECT_NEAR(ec::make_code("heptagon").value()->params().storage_overhead(),
+              2.1, 1e-12);
+  EXPECT_NEAR(
+      ec::make_code("heptagon-local").value()->params().storage_overhead(),
+      2.15, 1e-12);
+  EXPECT_NEAR(ec::make_code("raidm-9").value()->params().storage_overhead(),
+              2.2222, 5e-4);
+  EXPECT_NEAR(ec::make_code("raidm-11").value()->params().storage_overhead(),
+              2.1818, 5e-4);
+}
+
+TEST(Table1, CodeLengthColumnMatchesPaperExactly) {
+  EXPECT_EQ(ec::make_code("3-rep").value()->params().num_nodes, 3u);
+  EXPECT_EQ(ec::make_code("pentagon").value()->params().num_nodes, 5u);
+  EXPECT_EQ(ec::make_code("heptagon").value()->params().num_nodes, 7u);
+  EXPECT_EQ(ec::make_code("heptagon-local").value()->params().num_nodes, 15u);
+  EXPECT_EQ(ec::make_code("raidm-9").value()->params().num_nodes, 20u);
+  EXPECT_EQ(ec::make_code("raidm-11").value()->params().num_nodes, 24u);
+}
+
+// ------------------------------------------------ read-error ablation
+
+TEST(ReadErrorAblation, BerTermOnlyEverHurts) {
+  for (const char* spec : {"pentagon", "raidm-9", "heptagon-local"}) {
+    const auto code = ec::make_code(spec).value();
+    ReliabilityParams clean = paper_params();
+    ReliabilityParams dirty = paper_params();
+    dirty.block_read_error_prob = 2e-6;
+    const double base = GroupMarkovModel(*code, clean).mttdl_system_years();
+    const double with_ber = GroupMarkovModel(*code, dirty).mttdl_system_years();
+    EXPECT_LT(with_ber, base) << spec;
+  }
+}
+
+TEST(ReadErrorAblation, ReplicationIsImmuneToParityReadErrors) {
+  // Replica repair is a plain copy; no parity reconstruction, no BER term.
+  const auto code = ec::make_code("3-rep").value();
+  ReliabilityParams clean = paper_params();
+  ReliabilityParams dirty = paper_params();
+  dirty.block_read_error_prob = 2e-6;
+  EXPECT_NEAR(GroupMarkovModel(*code, dirty).mttdl_system_years(),
+              GroupMarkovModel(*code, clean).mttdl_system_years(), 1e-3);
+}
+
+TEST(ParityReadBlocks, PentagonSharedBlockRepairReadsNineBlocks) {
+  // Rebuilding the doubly-lost shared block reads one copy of each of the
+  // 9 other distinct blocks (folded into 3 partial parities).
+  ec::PolygonCode pentagon(5);
+  const std::size_t reads = parity_read_blocks(pentagon, {0, 1}, 0);
+  EXPECT_EQ(reads, 9u);
+}
+
+TEST(ParityReadBlocks, SingleFailureRepairIsCopyOnly) {
+  ec::PolygonCode pentagon(5);
+  EXPECT_EQ(parity_read_blocks(pentagon, {2}, 2), 0u);
+  ec::RaidMirrorCode raidm(9);
+  EXPECT_EQ(parity_read_blocks(raidm, {4}, 4), 0u);
+}
+
+}  // namespace
+}  // namespace dblrep::rel

@@ -1,0 +1,93 @@
+// Tests for the transient-failure repair-traffic simulation.
+#include <gtest/gtest.h>
+
+#include "cluster/transient_sim.h"
+#include "ec/registry.h"
+
+namespace dblrep::cluster {
+namespace {
+
+TEST(RepairMultiplier, MatchesCodeStructure) {
+  // Repair-by-transfer and mirrored schemes move exactly what was lost.
+  EXPECT_DOUBLE_EQ(
+      repair_traffic_multiplier(*ec::make_code("pentagon").value()), 1.0);
+  EXPECT_DOUBLE_EQ(
+      repair_traffic_multiplier(*ec::make_code("heptagon").value()), 1.0);
+  EXPECT_DOUBLE_EQ(repair_traffic_multiplier(*ec::make_code("3-rep").value()),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      repair_traffic_multiplier(*ec::make_code("raidm-9").value()), 1.0);
+  // Reed-Solomon reads k blocks to rebuild one.
+  EXPECT_DOUBLE_EQ(
+      repair_traffic_multiplier(*ec::make_code("rs-10-4").value()), 10.0);
+}
+
+TEST(TransientSim, ZeroTimeoutRepairsEveryOutage) {
+  TransientSimConfig config;
+  config.repair_timeout_hours = 0.0;
+  config.horizon_hours = 24 * 90;
+  config.seed = 3;
+  const auto code = ec::make_code("pentagon").value();
+  const auto report = simulate_transient_failures(*code, config);
+  ASSERT_GT(report.outages, 0u);
+  EXPECT_EQ(report.repairs_triggered, report.outages);
+  EXPECT_DOUBLE_EQ(report.masked_fraction(), 0.0);
+}
+
+TEST(TransientSim, LongTimeoutMasksMostOutages) {
+  TransientSimConfig config;
+  config.mean_outage_hours = 0.25;
+  config.repair_timeout_hours = 2.0;  // 8x the mean outage
+  config.seed = 4;
+  const auto code = ec::make_code("pentagon").value();
+  const auto report = simulate_transient_failures(*code, config);
+  ASSERT_GT(report.outages, 0u);
+  // P(outage > 8 * mean) = e^-8 < 0.1%; allow Monte-Carlo slack.
+  EXPECT_GT(report.masked_fraction(), 0.95);
+  EXPECT_LT(report.repairs_triggered, report.outages / 10);
+}
+
+TEST(TransientSim, TrafficScalesWithMultiplier) {
+  // Same failure trace (same seed/params): RS pays ~10x the pentagon.
+  TransientSimConfig config;
+  config.repair_timeout_hours = 0.0;  // repair everything, deterministic-ish
+  config.horizon_hours = 24 * 60;
+  config.seed = 5;
+  const auto pentagon = ec::make_code("pentagon").value();
+  const auto rs = ec::make_code("rs-10-4").value();
+  const auto pent_report = simulate_transient_failures(*pentagon, config);
+  const auto rs_report = simulate_transient_failures(*rs, config);
+  ASSERT_GT(pent_report.repairs_triggered, 0u);
+  const double per_repair_pent =
+      pent_report.repair_network_bytes / pent_report.repairs_triggered;
+  const double per_repair_rs =
+      rs_report.repair_network_bytes / rs_report.repairs_triggered;
+  EXPECT_NEAR(per_repair_rs / per_repair_pent, 10.0, 1e-9);
+}
+
+TEST(TransientSim, OutageRateRoughlyMatchesConfiguration) {
+  TransientSimConfig config;
+  config.num_nodes = 50;
+  config.horizon_hours = 24 * 365;
+  config.outage_rate_per_hour = 1.0 / (24 * 30);
+  config.seed = 6;
+  const auto code = ec::make_code("2-rep").value();
+  const auto report = simulate_transient_failures(*code, config);
+  // Expected ~ 50 nodes * 12.2 outages/year ~ 608; allow 15% slack (the
+  // arrival process pauses while a node is already down).
+  EXPECT_GT(report.outages, 500u);
+  EXPECT_LT(report.outages, 700u);
+}
+
+TEST(TransientSim, DownHoursTrackMeanOutage) {
+  TransientSimConfig config;
+  config.seed = 7;
+  config.mean_outage_hours = 0.5;
+  const auto code = ec::make_code("2-rep").value();
+  const auto report = simulate_transient_failures(*code, config);
+  ASSERT_GT(report.outages, 0u);
+  EXPECT_NEAR(report.node_down_hours / report.outages, 0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace dblrep::cluster
