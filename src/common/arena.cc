@@ -1,0 +1,50 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dblrep {
+
+MutableByteSpan StripeArena::alloc(std::size_t size) {
+  MutableByteSpan out = alloc_uninit(size);
+  if (size != 0) std::memset(out.data(), 0, size);
+  return out;
+}
+
+MutableByteSpan StripeArena::alloc_uninit(std::size_t size) {
+  if (chunks_.empty() || chunks_.back().size - chunks_.back().offset < size) {
+    Chunk chunk;
+    // Grow geometrically over the total so long multi-stripe runs converge
+    // to one chunk quickly.
+    chunk.size = std::max({size, kMinChunk, capacity()});
+    chunk.bytes = std::make_unique<std::uint8_t[]>(chunk.size);
+    chunks_.push_back(std::move(chunk));
+  }
+  Chunk& chunk = chunks_.back();
+  std::uint8_t* out = chunk.bytes.get() + chunk.offset;
+  chunk.offset += size;
+  used_ += size;
+  return {out, size};
+}
+
+void StripeArena::reset() {
+  if (chunks_.size() > 1) {
+    // Coalesce: one chunk covering everything we ever needed at once.
+    Chunk merged;
+    merged.size = capacity();
+    merged.bytes = std::make_unique<std::uint8_t[]>(merged.size);
+    chunks_.clear();
+    chunks_.push_back(std::move(merged));
+  } else if (!chunks_.empty()) {
+    chunks_.back().offset = 0;
+  }
+  used_ = 0;
+}
+
+std::size_t StripeArena::capacity() const {
+  std::size_t total = 0;
+  for (const auto& chunk : chunks_) total += chunk.size;
+  return total;
+}
+
+}  // namespace dblrep

@@ -1,0 +1,61 @@
+// StripeArena: bump allocator backing the stripe codec's scratch buffers.
+//
+// The coding hot path allocates the same shapes over and over (k data
+// blocks, num_symbols symbol buffers, a handful of aggregate/partial-parity
+// blocks per repair). A stripe's worth of buffers comes from one contiguous
+// allocation here; reset() recycles the memory for the next stripe without
+// returning it to the allocator, so a multi-stripe encode or node repair
+// performs one real allocation total once the arena has warmed up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dblrep {
+
+class StripeArena {
+ public:
+  StripeArena() = default;
+
+  StripeArena(const StripeArena&) = delete;
+  StripeArena& operator=(const StripeArena&) = delete;
+
+  /// Returns a span of `size` bytes, zero-initialized. Spans stay valid
+  /// until reset() or destruction -- never invalidated by later alloc()
+  /// calls (growth appends a new chunk rather than reallocating).
+  MutableByteSpan alloc(std::size_t size);
+
+  /// Like alloc() but skips the zero-fill. For buffers a fused kernel pass
+  /// fully overwrites (parity outputs, aggregate scratch): zeroing a parity
+  /// block that matrix_apply immediately rewrites would tax the hot path.
+  MutableByteSpan alloc_uninit(std::size_t size);
+
+  /// Invalidates all outstanding spans and makes the capacity reusable.
+  /// If allocation spilled into multiple chunks, they are coalesced into
+  /// one so the steady state is a single contiguous block.
+  void reset();
+
+  /// Bytes handed out since the last reset().
+  std::size_t used() const { return used_; }
+
+  /// Bytes owned (high-water mark across resets).
+  std::size_t capacity() const;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> bytes;
+    std::size_t size = 0;      // capacity of this chunk
+    std::size_t offset = 0;    // bump pointer
+  };
+
+  static constexpr std::size_t kMinChunk = 64 * 1024;
+
+  std::vector<Chunk> chunks_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace dblrep

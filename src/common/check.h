@@ -46,6 +46,25 @@ namespace detail {
     }                                                                        \
   } while (0)
 
+/// Debug-only contract check, compiled out in NDEBUG builds. For guards on
+/// the hot data path (e.g. buffer-overlap preconditions in the GF kernels)
+/// where an always-on check would cost measurable throughput.
+#ifdef NDEBUG
+// sizeof keeps the operands odr-referenced (no unused-variable warnings
+// under -Werror) while guaranteeing they are never evaluated.
+#define DBLREP_DCHECK(expr)    \
+  do {                         \
+    (void)sizeof((expr) ? 1 : 0); \
+  } while (0)
+#define DBLREP_DCHECK_MSG(expr, stream_expr) \
+  do {                                       \
+    (void)sizeof((expr) ? 1 : 0);            \
+  } while (0)
+#else
+#define DBLREP_DCHECK(expr) DBLREP_CHECK(expr)
+#define DBLREP_DCHECK_MSG(expr, stream_expr) DBLREP_CHECK_MSG(expr, stream_expr)
+#endif
+
 #define DBLREP_CHECK_EQ(a, b) \
   DBLREP_CHECK_MSG((a) == (b), "lhs=" << (a) << " rhs=" << (b))
 #define DBLREP_CHECK_NE(a, b) \

@@ -73,6 +73,28 @@ CodeScheme::CodeScheme(CodeParams params, StripeLayout layout,
   // The generator must have full column rank, otherwise the code cannot
   // even decode from a fault-free stripe.
   DBLREP_CHECK_EQ(generator_.rank(), params_.data_blocks);
+  parity_coeffs_.reserve(
+      (params_.num_symbols - params_.data_blocks) * params_.data_blocks);
+  for (std::size_t j = params_.data_blocks; j < params_.num_symbols; ++j) {
+    const auto row = generator_.row(j);
+    parity_coeffs_.insert(parity_coeffs_.end(), row.begin(), row.end());
+  }
+}
+
+void CodeScheme::encode_into(std::span<const ByteSpan> data,
+                             std::span<const MutableByteSpan> symbols) const {
+  const std::size_t k = params_.data_blocks;
+  DBLREP_CHECK_EQ(data.size(), k);
+  DBLREP_CHECK_EQ(symbols.size(), params_.num_symbols);
+  const std::size_t block_size = data.empty() ? 0 : data[0].size();
+  for (std::size_t i = 0; i < k; ++i) {
+    DBLREP_CHECK_EQ(data[i].size(), block_size);
+    DBLREP_CHECK_EQ(symbols[i].size(), block_size);
+    if (symbols[i].data() != data[i].data() && block_size != 0) {
+      std::copy(data[i].begin(), data[i].end(), symbols[i].begin());
+    }
+  }
+  gf::matrix_apply(parity_coeffs_, data, symbols.subspan(k));
 }
 
 std::vector<Buffer> CodeScheme::encode_symbols(
@@ -82,17 +104,14 @@ std::vector<Buffer> CodeScheme::encode_symbols(
   for (const auto& block : data) DBLREP_CHECK_EQ(block.size(), block_size);
 
   std::vector<Buffer> symbols(params_.num_symbols);
+  std::vector<ByteSpan> data_views(data.begin(), data.end());
+  std::vector<MutableByteSpan> symbol_views;
+  symbol_views.reserve(params_.num_symbols);
   for (std::size_t j = 0; j < params_.num_symbols; ++j) {
-    if (j < params_.data_blocks) {
-      symbols[j] = data[j];  // systematic fast path
-      continue;
-    }
-    symbols[j].assign(block_size, 0);
-    const auto row = generator_.row(j);
-    for (std::size_t i = 0; i < params_.data_blocks; ++i) {
-      gf::addmul_slice(symbols[j], data[i], row[i]);
-    }
+    symbols[j].resize(block_size);
+    symbol_views.emplace_back(symbols[j]);
   }
+  encode_into(data_views, symbol_views);
   return symbols;
 }
 
@@ -174,13 +193,21 @@ Result<std::vector<Buffer>> CodeScheme::decode(const SlotStore& store,
   auto inverse = generator_.select_rows(basis_symbols).inverse();
   if (!inverse.is_ok()) return inverse.status();
 
-  for (std::size_t i = 0; i < k; ++i) {
-    data[i].assign(block_size, 0);
-    for (std::size_t j = 0; j < k; ++j) {
-      gf::addmul_slice(data[i], store.at(*symbol_slot[basis_symbols[j]]),
-                       inverse->at(i, j));
-    }
+  // One fused pass: data = inverse * basis-symbol blocks.
+  std::vector<ByteSpan> sources;
+  sources.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    sources.emplace_back(store.at(*symbol_slot[basis_symbols[j]]));
   }
+  std::vector<gf::Elem> coeffs(k * k);
+  std::vector<MutableByteSpan> outputs;
+  outputs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    data[i].resize(block_size);
+    outputs.emplace_back(data[i]);
+    for (std::size_t j = 0; j < k; ++j) coeffs[i * k + j] = inverse->at(i, j);
+  }
+  gf::matrix_apply(coeffs, sources, outputs);
   return data;
 }
 

@@ -59,6 +59,11 @@ class CodeScheme {
   /// (identity rows) for every scheme in this library.
   const gf::Matrix& generator() const { return generator_; }
 
+  /// Rows [k, num_symbols) of the generator as one contiguous row-major
+  /// block -- the coefficient operand for gf::matrix_apply. Cached at
+  /// construction so encoders never re-gather rows.
+  std::span<const gf::Elem> parity_coeffs() const { return parity_coeffs_; }
+
   std::size_t data_blocks() const { return params_.data_blocks; }
   std::size_t num_symbols() const { return params_.num_symbols; }
   std::size_t num_nodes() const { return params_.num_nodes; }
@@ -69,6 +74,18 @@ class CodeScheme {
 
   /// Computes the distinct symbols only (no replica duplication).
   std::vector<Buffer> encode_symbols(std::span<const Buffer> data) const;
+
+  /// Zero-allocation core encoder: writes all num_symbols symbol buffers
+  /// (systematic copies included) into caller-provided, equal-sized
+  /// `symbols` spans. Parity rows are computed with one fused matrix_apply
+  /// pass over the cached parity coefficient block. Aliasing: a systematic
+  /// symbol span may exactly alias its own data span (the copy is skipped
+  /// -- the zero-copy path); parity spans must not alias any data span,
+  /// and partial overlap anywhere is a contract violation. This is the
+  /// entry point StripeCodec batches through; encode()/encode_symbols()
+  /// are allocation-owning wrappers.
+  void encode_into(std::span<const ByteSpan> data,
+                   std::span<const MutableByteSpan> symbols) const;
 
   /// True iff the data survives failure of exactly this node set.
   bool is_recoverable(const std::set<NodeIndex>& failed_nodes) const;
@@ -116,6 +133,9 @@ class CodeScheme {
   CodeParams params_;
   StripeLayout layout_;
   gf::Matrix generator_;
+  /// Rows [k, num_symbols) of the generator, contiguous row-major -- the
+  /// coefficient block handed to gf::matrix_apply on every encode.
+  std::vector<gf::Elem> parity_coeffs_;
 };
 
 /// Convenience: splits `data` (padded with zeros) into the code's k blocks

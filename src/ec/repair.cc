@@ -50,7 +50,7 @@ std::string RepairPlan::to_string() const {
 }
 
 Result<std::vector<Buffer>> PlanExecutor::execute(const RepairPlan& plan,
-                                                  SlotStore& store) const {
+                                                  SlotStore& store) {
   // Determine the block size from any available slot.
   std::size_t block_size = 0;
   for (const auto& [slot, bytes] : store) {
@@ -62,12 +62,16 @@ Result<std::vector<Buffer>> PlanExecutor::execute(const RepairPlan& plan,
     return failed_precondition_error("plan execution with empty slot store");
   }
 
-  std::vector<Buffer> aggregate_bytes(plan.aggregates.size());
+  arena_.reset();
+  std::vector<MutableByteSpan> aggregate_bytes(plan.aggregates.size());
   std::vector<bool> aggregate_ready(plan.aggregates.size(), false);
 
+  // One fused matrix_apply per term list: gather the source views and the
+  // coefficient row, then let the SIMD kernel combine them in one pass.
   auto eval_terms = [&](NodeIndex at_node, const std::vector<PartialTerm>& terms,
-                        Buffer& out) -> Status {
-    out.assign(block_size, 0);
+                        MutableByteSpan out) -> Status {
+    term_sources_.clear();
+    term_coeffs_.clear();
     for (const auto& term : terms) {
       const auto it = store.find(term.slot);
       if (it == store.end()) {
@@ -82,8 +86,11 @@ Result<std::vector<Buffer>> PlanExecutor::execute(const RepairPlan& plan,
             "plan reads slot " + std::to_string(term.slot) +
             " from the wrong node");
       }
-      gf::addmul_slice(out, it->second, term.coeff);
+      term_sources_.emplace_back(it->second);
+      term_coeffs_.push_back(term.coeff);
     }
+    const MutableByteSpan outputs[] = {out};
+    gf::matrix_apply(term_coeffs_, term_sources_, outputs);
     return Status::ok();
   };
 
@@ -92,6 +99,8 @@ Result<std::vector<Buffer>> PlanExecutor::execute(const RepairPlan& plan,
   auto materialize_aggregate = [&](std::size_t index) -> Status {
     if (aggregate_ready[index]) return Status::ok();
     const auto& send = plan.aggregates[index];
+    // Uninitialized: eval_terms' matrix_apply fully overwrites the output.
+    aggregate_bytes[index] = arena_.alloc_uninit(block_size);
     DBLREP_RETURN_IF_ERROR(
         eval_terms(send.from_node, send.terms, aggregate_bytes[index]));
     aggregate_ready[index] = true;
@@ -100,7 +109,10 @@ Result<std::vector<Buffer>> PlanExecutor::execute(const RepairPlan& plan,
 
   std::vector<Buffer> client_reads;
   for (const auto& rec : plan.reconstructions) {
-    Buffer rebuilt(block_size, 0);
+    // Materialize and validate the needed aggregates first, then combine
+    // them (and any destination-local partial parity) in one fused pass.
+    agg_sources_.clear();
+    agg_coeffs_.clear();
     for (const auto& [agg_index, coeff] : rec.from_aggregates) {
       if (agg_index >= plan.aggregates.size()) {
         return invalid_argument_error("plan references unknown aggregate");
@@ -113,14 +125,20 @@ Result<std::vector<Buffer>> PlanExecutor::execute(const RepairPlan& plan,
         return failed_precondition_error(
             "aggregate delivered to a node other than the rebuild site");
       }
-      gf::addmul_slice(rebuilt, aggregate_bytes[agg_index], coeff);
+      agg_sources_.emplace_back(aggregate_bytes[agg_index]);
+      agg_coeffs_.push_back(coeff);
+    }
+    Buffer rebuilt(block_size, 0);
+    {
+      const MutableByteSpan outputs[] = {MutableByteSpan(rebuilt)};
+      gf::matrix_apply(agg_coeffs_, agg_sources_, outputs);
     }
     if (!rec.local_terms.empty()) {
       if (rec.dest_slot == Reconstruction::kClientSlot) {
         return failed_precondition_error(
             "client-side reconstruction cannot read node-local slots");
       }
-      Buffer local;
+      MutableByteSpan local = arena_.alloc_uninit(block_size);
       DBLREP_RETURN_IF_ERROR(eval_terms(layout_->node_of_slot(rec.dest_slot),
                                         rec.local_terms, local));
       xor_into(rebuilt, local);

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bytes.h"
 #include "common/status.h"
 #include "ec/layout.h"
@@ -86,16 +87,35 @@ using SlotStore = std::unordered_map<std::size_t, Buffer>;
 /// store (and returning the client-delivered buffers for degraded reads in
 /// reconstruction order). Errors if the plan references unavailable slots,
 /// violates node-locality of terms, or block sizes mismatch.
+///
+/// Aggregate and partial-parity scratch lives in an internal StripeArena
+/// that is recycled between execute() calls, so reuse one executor when
+/// running many plans (multi-stripe node repair): the steady state is
+/// allocation-free apart from the rebuilt blocks handed to the store. Every
+/// GF-linear combination in a plan runs through the fused, SIMD-dispatched
+/// gf::matrix_apply kernel.
+///
+/// Because of that scratch, an executor is NOT thread-safe: give each
+/// thread its own (plans and layouts are immutable and freely shared).
 class PlanExecutor {
  public:
   explicit PlanExecutor(const StripeLayout& layout) : layout_(&layout) {}
 
+  PlanExecutor(const PlanExecutor&) = delete;
+  PlanExecutor& operator=(const PlanExecutor&) = delete;
+
   /// Runs the plan. On success, all non-client dest_slots exist in `store`.
   Result<std::vector<Buffer>> execute(const RepairPlan& plan,
-                                      SlotStore& store) const;
+                                      SlotStore& store);
 
  private:
   const StripeLayout* layout_;
+  StripeArena arena_;
+  // Reused per execute(): views over the terms / aggregates being combined.
+  std::vector<ByteSpan> term_sources_;
+  std::vector<gf::Elem> term_coeffs_;
+  std::vector<ByteSpan> agg_sources_;
+  std::vector<gf::Elem> agg_coeffs_;
 };
 
 }  // namespace dblrep::ec

@@ -1,0 +1,71 @@
+#include "ec/stripe_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dblrep::ec {
+
+std::size_t StripeCodec::stripe_count(std::size_t length,
+                                      std::size_t block_size) const {
+  DBLREP_CHECK_GT(block_size, 0u);
+  const std::size_t per_stripe = stripe_bytes(block_size);
+  return length == 0 ? 0 : (length + per_stripe - 1) / per_stripe;
+}
+
+std::span<const ByteSpan> StripeCodec::encode_stripe(ByteSpan stripe_data,
+                                                     std::size_t block_size) {
+  DBLREP_CHECK_GT(block_size, 0u);
+  const std::size_t k = code_->data_blocks();
+  const std::size_t num_symbols = code_->num_symbols();
+  DBLREP_CHECK_LE(stripe_data.size(), stripe_bytes(block_size));
+
+  arena_.reset();
+  data_views_.clear();
+
+  // Full blocks are zero-copy views into the caller's data; the ragged tail
+  // (if any) is staged through the arena, which zero-fills on alloc.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t begin = i * block_size;
+    if (begin + block_size <= stripe_data.size()) {
+      data_views_.push_back(stripe_data.subspan(begin, block_size));
+      continue;
+    }
+    MutableByteSpan staged = arena_.alloc(block_size);
+    if (begin < stripe_data.size()) {
+      const std::size_t len = stripe_data.size() - begin;
+      std::memcpy(staged.data(), stripe_data.data() + begin, len);
+    }
+    data_views_.push_back(staged);
+  }
+
+  parity_views_.clear();
+  // Uninitialized on purpose: matrix_apply fully overwrites every row.
+  MutableByteSpan parity_block =
+      arena_.alloc_uninit((num_symbols - k) * block_size);
+  for (std::size_t j = 0; j < num_symbols - k; ++j) {
+    parity_views_.push_back(parity_block.subspan(j * block_size, block_size));
+  }
+  gf::matrix_apply(code_->parity_coeffs(), data_views_, parity_views_);
+
+  symbol_views_.assign(data_views_.begin(), data_views_.end());
+  symbol_views_.insert(symbol_views_.end(), parity_views_.begin(),
+                       parity_views_.end());
+  return symbol_views_;
+}
+
+Status StripeCodec::encode_file(
+    ByteSpan data, std::size_t block_size,
+    const std::function<Status(std::size_t, std::span<const ByteSpan>)>&
+        sink) {
+  const std::size_t per_stripe = stripe_bytes(block_size);
+  const std::size_t stripes = stripe_count(data.size(), block_size);
+  for (std::size_t s = 0; s < stripes; ++s) {
+    const std::size_t begin = s * per_stripe;
+    const std::size_t len = std::min(per_stripe, data.size() - begin);
+    DBLREP_RETURN_IF_ERROR(sink(s, encode_stripe(data.subspan(begin, len),
+                                                 block_size)));
+  }
+  return Status::ok();
+}
+
+}  // namespace dblrep::ec

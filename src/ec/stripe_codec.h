@@ -1,0 +1,71 @@
+// StripeCodec: streaming, arena-backed encoder over a CodeScheme.
+//
+// CodeScheme::encode() allocates one vector<Buffer> per call and copies
+// systematic blocks; fine for tests, wrong for the data plane. The codec
+// instead:
+//
+//  * serves systematic symbols as zero-copy views straight into the
+//    caller's contiguous file data (only the final, zero-padded partial
+//    stripe is staged through the arena),
+//  * computes all parity symbols with one fused gf::matrix_apply pass over
+//    the scheme's cached parity coefficient block,
+//  * recycles a single StripeArena across stripes, so encoding an N-stripe
+//    file performs O(1) heap allocations instead of O(N * num_symbols).
+//
+// One codec instance is not thread-safe; give each writer thread its own
+// (they share the CodeScheme, which is immutable after construction).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "common/arena.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "ec/code.h"
+
+namespace dblrep::ec {
+
+class StripeCodec {
+ public:
+  explicit StripeCodec(const CodeScheme& code) : code_(&code) {}
+
+  StripeCodec(const StripeCodec&) = delete;
+  StripeCodec& operator=(const StripeCodec&) = delete;
+
+  const CodeScheme& code() const { return *code_; }
+
+  /// Logical bytes one stripe carries.
+  std::size_t stripe_bytes(std::size_t block_size) const {
+    return code_->data_blocks() * block_size;
+  }
+
+  /// Stripes needed to hold `length` logical bytes.
+  std::size_t stripe_count(std::size_t length, std::size_t block_size) const;
+
+  /// Encodes one stripe. `stripe_data` holds up to stripe_bytes() logical
+  /// bytes (shorter inputs are zero-padded). Returns num_symbols views in
+  /// symbol order; systematic views alias `stripe_data` where possible,
+  /// parity views point into the arena. All views are invalidated by the
+  /// next encode_stripe()/encode_file() call.
+  std::span<const ByteSpan> encode_stripe(ByteSpan stripe_data,
+                                          std::size_t block_size);
+
+  /// Streams a whole file through the codec: splits `data` into stripes,
+  /// encodes each, and hands the symbol views to `sink(stripe_index,
+  /// symbols)` before the arena is recycled for the next stripe. Stops and
+  /// propagates the first sink error.
+  Status encode_file(
+      ByteSpan data, std::size_t block_size,
+      const std::function<Status(std::size_t, std::span<const ByteSpan>)>&
+          sink);
+
+ private:
+  const CodeScheme* code_;
+  StripeArena arena_;
+  std::vector<ByteSpan> data_views_;
+  std::vector<MutableByteSpan> parity_views_;
+  std::vector<ByteSpan> symbol_views_;
+};
+
+}  // namespace dblrep::ec

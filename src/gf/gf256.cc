@@ -3,6 +3,8 @@
 #include <array>
 
 #include "common/check.h"
+#include "gf/kernel.h"
+#include "gf/kernel_tables.h"
 
 namespace dblrep::gf {
 
@@ -76,41 +78,30 @@ unsigned log_alpha(Elem a) {
   return tables().log_[a];
 }
 
+namespace detail {
+
+const std::uint8_t* mul_row(Elem coeff) {
+  return tables().mul_table_[coeff].data();
+}
+
+}  // namespace detail
+
 void addmul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff) {
-  DBLREP_CHECK_EQ(dst.size(), src.size());
-  if (coeff == 0) return;
-  if (coeff == 1) {
-    xor_into(dst, src);
-    return;
-  }
-  const Elem* row = tables().mul_table_[coeff].data();
-  const std::size_t n = dst.size();
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+  active_kernel().addmul_slice(dst, src, coeff);
 }
 
 void mul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff) {
-  DBLREP_CHECK_EQ(dst.size(), src.size());
-  if (coeff == 0) {
-    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
-    return;
-  }
-  if (coeff == 1) {
-    std::copy(src.begin(), src.end(), dst.begin());
-    return;
-  }
-  const Elem* row = tables().mul_table_[coeff].data();
-  const std::size_t n = dst.size();
-  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+  active_kernel().mul_slice(dst, src, coeff);
 }
 
 void scale_slice(MutableByteSpan dst, Elem coeff) {
-  if (coeff == 1) return;
-  if (coeff == 0) {
-    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
-    return;
-  }
-  const Elem* row = tables().mul_table_[coeff].data();
-  for (auto& byte : dst) byte = row[byte];
+  active_kernel().scale_slice(dst, coeff);
+}
+
+void matrix_apply(std::span<const Elem> coeffs,
+                  std::span<const ByteSpan> sources,
+                  std::span<const MutableByteSpan> outputs) {
+  active_kernel().matrix_apply(coeffs, sources, outputs);
 }
 
 }  // namespace dblrep::gf

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/bytes.h"
 
@@ -44,6 +45,13 @@ Elem exp_alpha(unsigned power);
 /// Discrete log base alpha of a non-zero element.
 unsigned log_alpha(Elem a);
 
+// Bulk slice operations. These route through the runtime-dispatched SIMD
+// kernel backend (see gf/kernel.h): SSSE3/AVX2 split-table kernels where the
+// CPU supports them, the scalar 64 KiB-table kernel otherwise, and a
+// 64-bit-word XOR fast path for coefficient-1 terms everywhere. dst and src
+// must be equal-sized and must not partially overlap (exact aliasing is
+// fine; partial overlap trips a debug-mode DCHECK).
+
 /// dst[i] += coeff * src[i] for all i -- the fused kernel every linear
 /// encoder is built from. coeff == 0 is a no-op; coeff == 1 degrades to XOR.
 void addmul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff);
@@ -53,5 +61,13 @@ void mul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff);
 
 /// In-place dst[i] *= coeff.
 void scale_slice(MutableByteSpan dst, Elem coeff);
+
+/// outputs[r] = sum_c coeffs[r * sources.size() + c] * sources[c]: applies a
+/// row-major (outputs.size() x sources.size()) coefficient block to k source
+/// slices in one fused, cache-blocked pass. This is the preferred entry
+/// point for whole-stripe encode/decode; outputs must not alias sources.
+void matrix_apply(std::span<const Elem> coeffs,
+                  std::span<const ByteSpan> sources,
+                  std::span<const MutableByteSpan> outputs);
 
 }  // namespace dblrep::gf

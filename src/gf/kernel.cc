@@ -1,0 +1,224 @@
+#include "gf/kernel.h"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/check.h"
+#include "gf/kernel_tables.h"
+
+namespace dblrep::gf {
+
+namespace detail {
+
+const std::uint8_t* nibble_tables(Elem coeff) {
+  // 256 coefficients x {lo[16], hi[16]} = 8 KiB, built once. Row 0 is all
+  // zeros, row 1 is the identity nibbles -- both still correct if a kernel
+  // skips its fast paths.
+  struct SplitTables {
+    std::array<std::array<std::uint8_t, 32>, 256> rows{};
+    SplitTables() {
+      for (int c = 0; c < 256; ++c) {
+        for (int i = 0; i < 16; ++i) {
+          rows[c][i] = mul(static_cast<Elem>(c), static_cast<Elem>(i));
+          rows[c][16 + i] = mul(static_cast<Elem>(c), static_cast<Elem>(i << 4));
+        }
+      }
+    }
+  };
+  static const SplitTables tables;
+  return tables.rows[coeff].data();
+}
+
+void xor_words(MutableByteSpan dst, ByteSpan src, std::size_t from) {
+  // Delegates to the canonical word-at-a-time loop in common/bytes.cc so
+  // there is exactly one implementation of the coefficient-1 fast path.
+  xor_into(dst.subspan(from), src.subspan(from));
+}
+
+void addmul_scalar_tail(MutableByteSpan dst, ByteSpan src, Elem coeff,
+                        std::size_t from) {
+  const std::uint8_t* row = mul_row(coeff);
+  const std::size_t n = dst.size();
+  for (std::size_t i = from; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_scalar_tail(MutableByteSpan dst, ByteSpan src, Elem coeff,
+                     std::size_t from) {
+  const std::uint8_t* row = mul_row(coeff);
+  const std::size_t n = dst.size();
+  for (std::size_t i = from; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void check_slice_contract(MutableByteSpan dst, ByteSpan src) {
+  DBLREP_CHECK_EQ(dst.size(), src.size());
+  // Partial overlap silently produces garbage (the kernel reads bytes the
+  // same call already rewrote); exact aliasing is element-wise safe and
+  // allowed. Debug-only: two compares per call would show up in encode
+  // throughput.
+  DBLREP_DCHECK_MSG(
+      dst.data() == src.data() || dst.data() + dst.size() <= src.data() ||
+          src.data() + src.size() <= dst.data(),
+      "mul/addmul slices partially overlap: dst=" << (const void*)dst.data()
+                                                  << " src="
+                                                  << (const void*)src.data()
+                                                  << " n=" << dst.size());
+}
+
+void matrix_apply_with(const GfKernel& kernel, std::span<const Elem> coeffs,
+                       std::span<const ByteSpan> sources,
+                       std::span<const MutableByteSpan> outputs) {
+  const std::size_t rows = outputs.size();
+  const std::size_t cols = sources.size();
+  DBLREP_CHECK_EQ(coeffs.size(), rows * cols);
+  const std::size_t n = rows == 0 ? (cols == 0 ? 0 : sources[0].size())
+                                  : outputs[0].size();
+  for (const auto& src : sources) DBLREP_CHECK_EQ(src.size(), n);
+  for (const auto& out : outputs) DBLREP_CHECK_EQ(out.size(), n);
+  if (n == 0 || rows == 0) return;
+
+  // Chunk the slice dimension so each output chunk stays cache-resident
+  // while all k sources stream through it once.
+  constexpr std::size_t kChunk = 32 * 1024;
+  for (std::size_t off = 0; off < n; off += kChunk) {
+    const std::size_t len = std::min(kChunk, n - off);
+    for (std::size_t r = 0; r < rows; ++r) {
+      MutableByteSpan out = outputs[r].subspan(off, len);
+      bool first = true;
+      for (std::size_t c = 0; c < cols; ++c) {
+        const Elem e = coeffs[r * cols + c];
+        if (e == 0) continue;
+        ByteSpan src = sources[c].subspan(off, len);
+        if (first) {
+          kernel.mul_slice(out, src, e);
+          first = false;
+        } else {
+          kernel.addmul_slice(out, src, e);
+        }
+      }
+      if (first) std::memset(out.data(), 0, out.size());
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+// ------------------------------------------------------------------ scalar
+
+void scalar_mul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff) {
+  detail::check_slice_contract(dst, src);
+  if (dst.empty()) return;
+  if (coeff == 0) {
+    std::memset(dst.data(), 0, dst.size());
+    return;
+  }
+  if (coeff == 1) {
+    if (dst.data() != src.data()) {
+      std::memcpy(dst.data(), src.data(), dst.size());
+    }
+    return;
+  }
+  detail::mul_scalar_tail(dst, src, coeff, 0);
+}
+
+void scalar_addmul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff) {
+  detail::check_slice_contract(dst, src);
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    detail::xor_words(dst, src);
+    return;
+  }
+  detail::addmul_scalar_tail(dst, src, coeff, 0);
+}
+
+void scalar_scale_slice(MutableByteSpan dst, Elem coeff) {
+  scalar_mul_slice(dst, dst, coeff);
+}
+
+void scalar_xor_slice(MutableByteSpan dst, ByteSpan src) {
+  detail::check_slice_contract(dst, src);
+  detail::xor_words(dst, src);
+}
+
+constexpr GfKernel kScalarKernel = {
+    "scalar", scalar_mul_slice, scalar_addmul_slice,
+    scalar_scale_slice, scalar_xor_slice,
+    [](std::span<const Elem> coeffs, std::span<const ByteSpan> sources,
+       std::span<const MutableByteSpan> outputs) {
+      detail::matrix_apply_with(kScalarKernel, coeffs, sources, outputs);
+    }};
+
+// ---------------------------------------------------------------- dispatch
+
+std::vector<const GfKernel*> compiled_kernels() {
+  std::vector<const GfKernel*> kernels = {&kScalarKernel};
+  if (const GfKernel* k = detail::ssse3_kernel()) kernels.push_back(k);
+  if (const GfKernel* k = detail::avx2_kernel()) kernels.push_back(k);
+  return kernels;
+}
+
+std::atomic<const GfKernel*> g_active{nullptr};
+std::once_flag g_init_once;
+
+void log_selection(const GfKernel& kernel, const char* how) {
+  std::fprintf(stderr, "dblrep: GF kernel '%s' (%s)\n", kernel.name, how);
+}
+
+void init_active_kernel() {
+  const auto kernels = compiled_kernels();
+  const GfKernel* chosen = kernels.back();  // fastest supported
+  const char* how = "runtime dispatch";
+  if (const char* env = std::getenv("DBLREP_GF_KERNEL");
+      env != nullptr && *env != '\0') {
+    bool found = false;
+    for (const GfKernel* k : kernels) {
+      if (std::string_view(k->name) == env) {
+        chosen = k;
+        how = "forced by DBLREP_GF_KERNEL";
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "dblrep: DBLREP_GF_KERNEL='%s' unknown or unsupported on "
+                   "this CPU; falling back\n",
+                   env);
+    }
+  }
+  g_active.store(chosen, std::memory_order_release);
+  log_selection(*chosen, how);
+}
+
+}  // namespace
+
+const GfKernel& active_kernel() {
+  std::call_once(g_init_once, init_active_kernel);
+  return *g_active.load(std::memory_order_acquire);
+}
+
+std::vector<const GfKernel*> supported_kernels() {
+  active_kernel();  // ensure one-time init/logging happened
+  return compiled_kernels();
+}
+
+const GfKernel* find_kernel(std::string_view name) {
+  for (const GfKernel* k : supported_kernels()) {
+    if (name == k->name) return k;
+  }
+  return nullptr;
+}
+
+bool set_active_kernel(std::string_view name) {
+  const GfKernel* k = find_kernel(name);
+  if (k == nullptr) return false;
+  g_active.store(k, std::memory_order_release);
+  return true;
+}
+
+}  // namespace dblrep::gf

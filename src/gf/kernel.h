@@ -1,0 +1,74 @@
+// GfKernel: pluggable backend for the bulk GF(2^8) slice operations.
+//
+// Every byte that moves through encode, decode, or repair goes through one
+// of these five entry points. Three implementations ship:
+//
+//  * "scalar" -- the portable 64 KiB-table kernel (one load per byte), plus
+//    a 64-bit-word XOR fast path for coefficient-1 terms. Always available.
+//  * "ssse3"  -- split-table kernel: per-coefficient 16-entry low/high
+//    nibble tables applied with pshufb, 16 bytes per step.
+//  * "avx2"   -- the same split-table trick widened to 32 bytes per step
+//    with vpshufb.
+//
+// The active kernel is chosen once at startup by runtime CPUID dispatch
+// (best supported wins) and can be forced with DBLREP_GF_KERNEL=scalar|
+// ssse3|avx2 for testing and benchmarking. Selection is logged to stderr.
+//
+// All kernels are bit-identical by contract; tests/gf_kernel_test.cc
+// cross-checks them exhaustively.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "gf/gf256.h"
+
+namespace dblrep::gf {
+
+/// Dispatch table for the bulk ops. All functions tolerate any coefficient
+/// (0 and 1 take fast paths) and any slice length, including 0 and lengths
+/// that are not multiples of the vector width. dst/src must be equal-sized
+/// and must not partially overlap (exact aliasing is allowed and checked
+/// only in debug builds; see DBLREP_DCHECK).
+struct GfKernel {
+  const char* name;
+
+  /// dst[i] = coeff * src[i].
+  void (*mul_slice)(MutableByteSpan dst, ByteSpan src, Elem coeff);
+
+  /// dst[i] ^= coeff * src[i] -- the fused multiply-accumulate every linear
+  /// encoder is built from.
+  void (*addmul_slice)(MutableByteSpan dst, ByteSpan src, Elem coeff);
+
+  /// In-place dst[i] *= coeff.
+  void (*scale_slice)(MutableByteSpan dst, Elem coeff);
+
+  /// dst[i] ^= src[i] -- the coefficient-1 path.
+  void (*xor_slice)(MutableByteSpan dst, ByteSpan src);
+
+  /// outputs[r] = sum_c coeffs[r * sources.size() + c] * sources[c].
+  /// The whole-matrix fused kernel: applies a row-major coefficient block
+  /// (outputs.size() x sources.size()) to equal-length source slices in one
+  /// cache-friendly pass. Output slices must not alias source slices.
+  void (*matrix_apply)(std::span<const Elem> coeffs,
+                       std::span<const ByteSpan> sources,
+                       std::span<const MutableByteSpan> outputs);
+};
+
+/// The kernel all gf256.h free functions route through. First call performs
+/// CPUID dispatch (honoring DBLREP_GF_KERNEL) and logs the selection.
+const GfKernel& active_kernel();
+
+/// Kernels compiled in and supported by this CPU, slowest first.
+std::vector<const GfKernel*> supported_kernels();
+
+/// Lookup among supported kernels; nullptr if unknown or unsupported here.
+const GfKernel* find_kernel(std::string_view name);
+
+/// Forces the active kernel (test/bench hook). Returns false and leaves the
+/// selection unchanged if the name is unknown or unsupported on this CPU.
+bool set_active_kernel(std::string_view name);
+
+}  // namespace dblrep::gf

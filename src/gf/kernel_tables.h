@@ -1,0 +1,51 @@
+// Internal lookup-table accessors and scalar tail helpers shared by the
+// GF kernel implementations. Not part of the public gf API.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include <span>
+
+#include "common/bytes.h"
+#include "gf/gf256.h"
+
+namespace dblrep::gf {
+
+struct GfKernel;
+
+namespace detail {
+
+/// 256-entry row of the full multiplication table: mul_row(c)[x] == c * x.
+const std::uint8_t* mul_row(Elem coeff);
+
+/// 32-byte split table for `coeff`: bytes [0,16) are products of the low
+/// nibble (coeff * i), bytes [16,32) of the high nibble (coeff * (i << 4)).
+/// c*x == lo[x & 0xf] ^ hi[x >> 4] since GF multiplication is linear over
+/// the nibble decomposition. This is the pshufb/vpshufb operand layout.
+const std::uint8_t* nibble_tables(Elem coeff);
+
+/// Portable 64-bit-word XOR: dst[i] ^= src[i] starting at `from`.
+void xor_words(MutableByteSpan dst, ByteSpan src, std::size_t from = 0);
+
+/// Scalar table loops for vector-kernel tails, starting at `from`.
+void addmul_scalar_tail(MutableByteSpan dst, ByteSpan src, Elem coeff,
+                        std::size_t from);
+void mul_scalar_tail(MutableByteSpan dst, ByteSpan src, Elem coeff,
+                     std::size_t from);
+
+/// Size and overlap preconditions shared by every kernel entry point.
+void check_slice_contract(MutableByteSpan dst, ByteSpan src);
+
+/// Generic chunked matrix_apply built on `kernel`'s own slice ops.
+void matrix_apply_with(const GfKernel& kernel, std::span<const Elem> coeffs,
+                       std::span<const ByteSpan> sources,
+                       std::span<const MutableByteSpan> outputs);
+
+/// x86 kernels, defined in kernel_x86.cc. Return nullptr when the CPU (or
+/// the build target) does not support the instruction set.
+const GfKernel* ssse3_kernel();
+const GfKernel* avx2_kernel();
+
+}  // namespace detail
+}  // namespace dblrep::gf

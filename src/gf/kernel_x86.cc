@@ -1,0 +1,215 @@
+// SSSE3 and AVX2 split-table GF(2^8) kernels.
+//
+// The trick (ISA-L / "Screaming Fast Galois Field Arithmetic" style): for a
+// fixed coefficient c, c*x = lo_table[x & 0xf] ^ hi_table[x >> 4] because
+// multiplication is GF(2)-linear in x. Both 16-entry tables fit in one
+// vector register, so pshufb/vpshufb evaluates 16/32 products per
+// instruction against one byte load, versus one scalar table load per byte.
+//
+// Compiled with function-level target attributes so the rest of the library
+// needs no -march flags; runtime CPUID gates every entry.
+#include "gf/kernel.h"
+#include "gf/kernel_tables.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace dblrep::gf {
+namespace detail {
+namespace {
+
+// ------------------------------------------------------------------- ssse3
+
+__attribute__((target("ssse3"))) void ssse3_mul_body(MutableByteSpan dst,
+                                                     ByteSpan src, Elem coeff,
+                                                     bool accumulate) {
+  const std::uint8_t* tab = nibble_tables(coeff);
+  const __m128i lo =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tab));
+  const __m128i hi =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tab + 16));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  const std::size_t n = dst.size();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src.data() + i));
+    __m128i product = _mm_xor_si128(
+        _mm_shuffle_epi8(lo, _mm_and_si128(s, mask)),
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask)));
+    if (accumulate) {
+      __m128i d =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst.data() + i));
+      product = _mm_xor_si128(product, d);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst.data() + i), product);
+  }
+  if (i < n) {
+    if (accumulate) {
+      addmul_scalar_tail(dst, src, coeff, i);
+    } else {
+      mul_scalar_tail(dst, src, coeff, i);
+    }
+  }
+}
+
+void ssse3_mul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff) {
+  check_slice_contract(dst, src);
+  if (dst.empty()) return;
+  if (coeff == 0) {
+    std::memset(dst.data(), 0, dst.size());
+    return;
+  }
+  if (coeff == 1) {
+    if (dst.data() != src.data()) {
+      std::memcpy(dst.data(), src.data(), dst.size());
+    }
+    return;
+  }
+  ssse3_mul_body(dst, src, coeff, /*accumulate=*/false);
+}
+
+void ssse3_addmul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff) {
+  check_slice_contract(dst, src);
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    xor_words(dst, src);
+    return;
+  }
+  ssse3_mul_body(dst, src, coeff, /*accumulate=*/true);
+}
+
+void ssse3_scale_slice(MutableByteSpan dst, Elem coeff) {
+  ssse3_mul_slice(dst, dst, coeff);
+}
+
+void ssse3_xor_slice(MutableByteSpan dst, ByteSpan src) {
+  check_slice_contract(dst, src);
+  xor_words(dst, src);
+}
+
+constexpr GfKernel kSsse3Kernel = {
+    "ssse3", ssse3_mul_slice, ssse3_addmul_slice,
+    ssse3_scale_slice, ssse3_xor_slice,
+    [](std::span<const Elem> coeffs, std::span<const ByteSpan> sources,
+       std::span<const MutableByteSpan> outputs) {
+      matrix_apply_with(kSsse3Kernel, coeffs, sources, outputs);
+    }};
+
+// -------------------------------------------------------------------- avx2
+
+__attribute__((target("avx2"))) void avx2_mul_body(MutableByteSpan dst,
+                                                   ByteSpan src, Elem coeff,
+                                                   bool accumulate) {
+  const std::uint8_t* tab = nibble_tables(coeff);
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tab)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tab + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  const std::size_t n = dst.size();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src.data() + i));
+    __m256i product = _mm256_xor_si256(
+        _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask)),
+        _mm256_shuffle_epi8(hi,
+                            _mm256_and_si256(_mm256_srli_epi64(s, 4), mask)));
+    if (accumulate) {
+      __m256i d = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(dst.data() + i));
+      product = _mm256_xor_si256(product, d);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst.data() + i), product);
+  }
+  if (i < n) {
+    if (accumulate) {
+      addmul_scalar_tail(dst, src, coeff, i);
+    } else {
+      mul_scalar_tail(dst, src, coeff, i);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_xor_body(MutableByteSpan dst,
+                                                   ByteSpan src) {
+  const std::size_t n = dst.size();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst.data() + i));
+    __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src.data() + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst.data() + i),
+                        _mm256_xor_si256(d, s));
+  }
+  if (i < n) xor_words(dst, src, i);
+}
+
+void avx2_mul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff) {
+  check_slice_contract(dst, src);
+  if (dst.empty()) return;
+  if (coeff == 0) {
+    std::memset(dst.data(), 0, dst.size());
+    return;
+  }
+  if (coeff == 1) {
+    if (dst.data() != src.data()) {
+      std::memcpy(dst.data(), src.data(), dst.size());
+    }
+    return;
+  }
+  avx2_mul_body(dst, src, coeff, /*accumulate=*/false);
+}
+
+void avx2_addmul_slice(MutableByteSpan dst, ByteSpan src, Elem coeff) {
+  check_slice_contract(dst, src);
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    avx2_xor_body(dst, src);
+    return;
+  }
+  avx2_mul_body(dst, src, coeff, /*accumulate=*/true);
+}
+
+void avx2_scale_slice(MutableByteSpan dst, Elem coeff) {
+  avx2_mul_slice(dst, dst, coeff);
+}
+
+void avx2_xor_slice(MutableByteSpan dst, ByteSpan src) {
+  check_slice_contract(dst, src);
+  avx2_xor_body(dst, src);
+}
+
+constexpr GfKernel kAvx2Kernel = {
+    "avx2", avx2_mul_slice, avx2_addmul_slice,
+    avx2_scale_slice, avx2_xor_slice,
+    [](std::span<const Elem> coeffs, std::span<const ByteSpan> sources,
+       std::span<const MutableByteSpan> outputs) {
+      matrix_apply_with(kAvx2Kernel, coeffs, sources, outputs);
+    }};
+
+}  // namespace
+
+const GfKernel* ssse3_kernel() {
+  return __builtin_cpu_supports("ssse3") ? &kSsse3Kernel : nullptr;
+}
+
+const GfKernel* avx2_kernel() {
+  return __builtin_cpu_supports("avx2") ? &kAvx2Kernel : nullptr;
+}
+
+}  // namespace detail
+}  // namespace dblrep::gf
+
+#else  // non-x86: only the scalar kernel is compiled in.
+
+namespace dblrep::gf::detail {
+const GfKernel* ssse3_kernel() { return nullptr; }
+const GfKernel* avx2_kernel() { return nullptr; }
+}  // namespace dblrep::gf::detail
+
+#endif

@@ -229,10 +229,9 @@ std::string Matrix::to_string() const {
 void linear_combine(MutableByteSpan out, std::span<const Elem> coeffs,
                     std::span<const ByteSpan> blocks) {
   DBLREP_CHECK_EQ(coeffs.size(), blocks.size());
-  std::fill(out.begin(), out.end(), std::uint8_t{0});
-  for (std::size_t i = 0; i < coeffs.size(); ++i) {
-    addmul_slice(out, blocks[i], coeffs[i]);
-  }
+  // One-row matrix_apply: a single fused pass through the SIMD kernel.
+  const MutableByteSpan outputs[] = {out};
+  matrix_apply(coeffs, blocks, outputs);
 }
 
 }  // namespace dblrep::gf

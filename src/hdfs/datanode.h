@@ -23,6 +23,12 @@ class DataNode {
   /// Stores a block replica (overwrites an existing one).
   Status put(cluster::SlotAddress address, Buffer bytes);
 
+  /// View overload for arena-backed writers (the stripe codec hands out
+  /// views into scratch memory); copies into node-owned storage.
+  Status put(cluster::SlotAddress address, ByteSpan bytes) {
+    return put(address, Buffer(bytes.begin(), bytes.end()));
+  }
+
   /// Reads a block replica, verifying its checksum.
   Result<Buffer> get(cluster::SlotAddress address) const;
 

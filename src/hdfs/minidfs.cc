@@ -63,14 +63,22 @@ MiniDfs::MiniDfs(const cluster::Topology& topology, std::uint64_t seed)
   }
 }
 
-Result<const ec::CodeScheme*> MiniDfs::scheme(const std::string& code_spec) {
+Result<MiniDfs::SchemeRuntime*> MiniDfs::runtime(const std::string& code_spec) {
   const auto it = schemes_.find(code_spec);
-  if (it != schemes_.end()) return const_cast<const ec::CodeScheme*>(it->second.get());
+  if (it != schemes_.end()) return &it->second;
   auto made = ec::make_code(code_spec);
   if (!made.is_ok()) return made.status();
-  const ec::CodeScheme* raw = made->get();
-  schemes_.emplace(code_spec, std::move(*made));
-  return raw;
+  SchemeRuntime rt;
+  rt.code = std::move(*made);
+  rt.codec = std::make_unique<ec::StripeCodec>(*rt.code);
+  rt.executor = std::make_unique<ec::PlanExecutor>(rt.code->layout());
+  return &schemes_.emplace(code_spec, std::move(rt)).first->second;
+}
+
+Result<const ec::CodeScheme*> MiniDfs::scheme(const std::string& code_spec) {
+  auto rt = runtime(code_spec);
+  if (!rt.is_ok()) return rt.status();
+  return (*rt)->code.get();
 }
 
 Status MiniDfs::write_file(const std::string& path, ByteSpan data,
@@ -78,9 +86,10 @@ Status MiniDfs::write_file(const std::string& path, ByteSpan data,
                            std::size_t block_size) {
   if (files_.contains(path)) return already_exists_error(path);
   if (block_size == 0) return invalid_argument_error("zero block size");
-  auto code_result = scheme(code_spec);
-  if (!code_result.is_ok()) return code_result.status();
-  const ec::CodeScheme& code = **code_result;
+  auto rt_result = runtime(code_spec);
+  if (!rt_result.is_ok()) return rt_result.status();
+  SchemeRuntime& rt = **rt_result;
+  const ec::CodeScheme& code = *rt.code;
 
   // Enough live nodes to place a stripe?
   std::vector<cluster::NodeId> live;
@@ -96,42 +105,42 @@ Status MiniDfs::write_file(const std::string& path, ByteSpan data,
   info.block_size = block_size;
   info.length = data.size();
 
-  const std::size_t stripe_bytes = code.data_blocks() * block_size;
-  const std::size_t num_stripes =
-      data.empty() ? 0 : (data.size() + stripe_bytes - 1) / stripe_bytes;
-  for (std::size_t s = 0; s < num_stripes; ++s) {
-    const std::size_t begin = s * stripe_bytes;
-    const std::size_t len = std::min(stripe_bytes, data.size() - begin);
-    const auto blocks =
-        ec::chunk_data(data.subspan(begin, len), code.data_blocks(), block_size);
-    const auto slots = code.encode(blocks);
+  // Stream the whole file through the stripe codec: systematic symbols are
+  // zero-copy views into `data`, parities come out of one recycled arena,
+  // and each stripe is placed and persisted before the next is encoded.
+  const Status write_status = rt.codec->encode_file(
+      data, block_size,
+      [&](std::size_t, std::span<const ByteSpan> symbols) -> Status {
+        // Local codes prefer rack-aware placement (one local per rack,
+        // globals on a third rack); everything else -- and single-rack
+        // topologies -- use uniform random placement over live nodes.
+        std::vector<cluster::NodeId> group;
+        if (const auto* local =
+                dynamic_cast<const ec::LocalPolygonCode*>(&code)) {
+          group = rack_aware_group(*local, topology_, live, rng_);
+        }
+        if (group.empty()) {
+          for (auto index : rng_.sample_without_replacement(live.size(),
+                                                            code.num_nodes())) {
+            group.push_back(live[index]);
+          }
+        }
+        auto stripe_id = catalog_.register_stripe(code, group);
+        if (!stripe_id.is_ok()) return stripe_id.status();
+        info.stripes.push_back(*stripe_id);
 
-    // Local codes prefer rack-aware placement (one local per rack, globals
-    // on a third rack); everything else -- and single-rack topologies --
-    // use uniform random placement over live nodes.
-    std::vector<cluster::NodeId> group;
-    if (const auto* local = dynamic_cast<const ec::LocalPolygonCode*>(&code)) {
-      group = rack_aware_group(*local, topology_, live, rng_);
-    }
-    if (group.empty()) {
-      for (auto index :
-           rng_.sample_without_replacement(live.size(), code.num_nodes())) {
-        group.push_back(live[index]);
-      }
-    }
-    auto stripe_id = catalog_.register_stripe(code, group);
-    if (!stripe_id.is_ok()) return stripe_id.status();
-    info.stripes.push_back(*stripe_id);
-
-    for (std::size_t slot = 0; slot < slots.size(); ++slot) {
-      const cluster::NodeId node = catalog_.node_of({*stripe_id, slot});
-      DBLREP_RETURN_IF_ERROR(
-          datanodes_[static_cast<std::size_t>(node)].put({*stripe_id, slot},
-                                                         slots[slot]));
-      // Client -> datanode transfer (the client is off-cluster).
-      traffic_.record_to_client(node, static_cast<double>(block_size));
-    }
-  }
+        const auto& layout = code.layout();
+        for (std::size_t slot = 0; slot < layout.num_slots(); ++slot) {
+          const cluster::NodeId node = catalog_.node_of({*stripe_id, slot});
+          DBLREP_RETURN_IF_ERROR(
+              datanodes_[static_cast<std::size_t>(node)].put(
+                  {*stripe_id, slot}, symbols[layout.symbol_of_slot(slot)]));
+          // Client -> datanode transfer (the client is off-cluster).
+          traffic_.record_to_client(node, static_cast<double>(block_size));
+        }
+        return Status::ok();
+      });
+  if (!write_status.is_ok()) return write_status;
   files_.emplace(path, std::move(info));
   return Status::ok();
 }
@@ -174,8 +183,9 @@ Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
   auto plan = code.plan_degraded_read(symbol, failed);
   if (!plan.is_ok()) return plan.status();
   ec::SlotStore store = gather_stripe(stripe);
-  ec::PlanExecutor executor(code.layout());
-  auto delivered = executor.execute(*plan, store);
+  auto rt = runtime(file.code_spec);
+  if (!rt.is_ok()) return rt.status();
+  auto delivered = (*rt)->executor->execute(*plan, store);
   if (!delivered.is_ok()) return delivered.status();
   if (delivered->size() != 1) {
     return internal_error("degraded read returned unexpected block count");
@@ -307,6 +317,23 @@ Status MiniDfs::repair_node(cluster::NodeId node) {
   // A slot needs rebuilding if the datanode should host it but does not.
   // Plans are computed against the set of nodes that are still down plus
   // this node's missing state, stripe by stripe.
+  //
+  // One pipelined pass over the node's stripes: the (code, failure-pattern)
+  // pair almost always repeats across stripes, so the basis solve behind
+  // plan_multi_node_repair runs once per distinct pattern instead of once
+  // per stripe, and each code's executor (with its arena scratch) is reused
+  // for every execution. Repairing an N-block node is then one planning
+  // round plus N fused matrix_apply executions, not N independent
+  // plan-solve-allocate round trips. Traffic accounting is unchanged.
+  std::map<std::pair<const ec::CodeScheme*, std::set<ec::NodeIndex>>,
+           ec::RepairPlan>
+      plan_cache;
+  // Every stripe in the catalog was registered through runtime(), so its
+  // code always has a SchemeRuntime with a warm executor to reuse.
+  std::map<const ec::CodeScheme*, ec::PlanExecutor*> executors;
+  for (auto& [spec, rt] : schemes_) {
+    executors.emplace(rt.code.get(), rt.executor.get());
+  }
   for (cluster::StripeId stripe : catalog_.stripes_on_node(node)) {
     const auto& info = catalog_.stripe(stripe);
     const ec::CodeScheme& code = *info.code;
@@ -329,22 +356,29 @@ Status MiniDfs::repair_node(cluster::NodeId node) {
     }
     if (failed.empty()) continue;
 
-    auto plan = code.plan_multi_node_repair(failed);
-    if (!plan.is_ok()) return plan.status();
+    const auto cache_key = std::make_pair(&code, failed);
+    auto cached = plan_cache.find(cache_key);
+    if (cached == plan_cache.end()) {
+      auto plan = code.plan_multi_node_repair(failed);
+      if (!plan.is_ok()) return plan.status();
+      cached = plan_cache.emplace(cache_key, std::move(*plan)).first;
+    }
+    const ec::RepairPlan& plan = cached->second;
+    const auto executor = executors.find(&code);
+    DBLREP_CHECK(executor != executors.end());
     ec::SlotStore store = gather_stripe(stripe);
-    ec::PlanExecutor executor(code.layout());
-    auto run = executor.execute(*plan, store);
+    auto run = executor->second->execute(plan, store);
     if (!run.is_ok()) return run.status();
 
     // Persist only what landed on *live* nodes (this one included); still
     // -down nodes get theirs when they are repaired. Account traffic per
     // aggregate send.
-    for (const auto& send : plan->aggregates) {
+    for (const auto& send : plan.aggregates) {
       traffic_.record(info.group[static_cast<std::size_t>(send.from_node)],
                       info.group[static_cast<std::size_t>(send.to_node)],
                       static_cast<double>(store.begin()->second.size()));
     }
-    for (const auto& rec : plan->reconstructions) {
+    for (const auto& rec : plan.reconstructions) {
       const cluster::NodeId dest = info.group[static_cast<std::size_t>(
           code.layout().node_of_slot(rec.dest_slot))];
       auto& dest_dn = datanodes_[static_cast<std::size_t>(dest)];
@@ -444,7 +478,7 @@ const ec::CodeScheme& MiniDfs::code_for(const std::string& path) const {
   DBLREP_CHECK_MSG(file.is_ok(), "unknown path " << path);
   const auto it = schemes_.find((*file)->code_spec);
   DBLREP_CHECK(it != schemes_.end());
-  return *it->second;
+  return *it->second.code;
 }
 
 std::size_t MiniDfs::stored_bytes() const {

@@ -26,6 +26,7 @@
 #include "cluster/traffic.h"
 #include "common/rng.h"
 #include "ec/code.h"
+#include "ec/stripe_codec.h"
 #include "hdfs/datanode.h"
 
 namespace dblrep::hdfs {
@@ -101,8 +102,22 @@ class MiniDfs {
   std::size_t stored_bytes() const;
 
  private:
+  /// Everything the data plane keeps warm per code spec: the immutable
+  /// scheme, the arena-backed stripe codec for batch encodes, and a plan
+  /// executor whose scratch is recycled across repair/degraded-read
+  /// executions. Codec and executor carry mutable scratch, which is safe
+  /// because MiniDfs is single-threaded by design (like the rest of the
+  /// in-process simulator); a concurrent DFS would need one runtime per
+  /// worker thread.
+  struct SchemeRuntime {
+    std::unique_ptr<ec::CodeScheme> code;
+    std::unique_ptr<ec::StripeCodec> codec;
+    std::unique_ptr<ec::PlanExecutor> executor;
+  };
+
   Result<const FileInfo*> lookup(const std::string& path) const;
   Result<const ec::CodeScheme*> scheme(const std::string& code_spec);
+  Result<SchemeRuntime*> runtime(const std::string& code_spec);
 
   /// Gathers the live slots of a stripe into a SlotStore (skipping
   /// corrupted blocks), for decode/repair.
@@ -118,7 +133,7 @@ class MiniDfs {
   Rng rng_;
   std::vector<DataNode> datanodes_;
   std::map<std::string, FileInfo> files_;
-  std::map<std::string, std::unique_ptr<ec::CodeScheme>> schemes_;
+  std::map<std::string, SchemeRuntime> schemes_;
 };
 
 }  // namespace dblrep::hdfs

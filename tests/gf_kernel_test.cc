@@ -1,0 +1,203 @@
+// Cross-kernel equivalence property tests: every GF kernel backend (scalar
+// table, SSSE3 split-table, AVX2 split-table, and their shared word-XOR
+// coefficient-1 path) must be bit-identical for every coefficient, for odd
+// and unaligned slice lengths, and under the documented aliasing contracts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "gf/gf256.h"
+#include "gf/kernel.h"
+
+namespace dblrep::gf {
+namespace {
+
+// Lengths chosen to straddle every kernel boundary: empty, sub-word, one
+// byte short of / exactly / one byte past the 64-byte double-vector mark,
+// and a large odd size that exercises main loop + tail together.
+const std::vector<std::size_t> kLengths = {0, 1, 63, 64, 65, 4095};
+
+Buffer pattern_buffer(std::size_t size, std::uint64_t seed) {
+  return random_buffer(size, seed);
+}
+
+/// Ground truth from the scalar single-element API, one byte at a time.
+Buffer reference_mul(const Buffer& src, Elem coeff) {
+  Buffer out(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) out[i] = mul(coeff, src[i]);
+  return out;
+}
+
+class KernelParamTest : public ::testing::TestWithParam<const GfKernel*> {};
+
+TEST_P(KernelParamTest, MulSliceMatchesReferenceForEveryCoefficient) {
+  const GfKernel& kernel = *GetParam();
+  for (std::size_t n : kLengths) {
+    const Buffer src = pattern_buffer(n, 7 + n);
+    for (int c = 0; c < 256; ++c) {
+      const auto coeff = static_cast<Elem>(c);
+      Buffer dst(n, 0xaa);
+      kernel.mul_slice(dst, src, coeff);
+      EXPECT_EQ(dst, reference_mul(src, coeff))
+          << kernel.name << " mul_slice coeff=" << c << " n=" << n;
+    }
+  }
+}
+
+TEST_P(KernelParamTest, AddmulSliceMatchesReferenceForEveryCoefficient) {
+  const GfKernel& kernel = *GetParam();
+  for (std::size_t n : kLengths) {
+    const Buffer src = pattern_buffer(n, 11 + n);
+    const Buffer base = pattern_buffer(n, 13 + n);
+    for (int c = 0; c < 256; ++c) {
+      const auto coeff = static_cast<Elem>(c);
+      Buffer dst = base;
+      kernel.addmul_slice(dst, src, coeff);
+      const Buffer product = reference_mul(src, coeff);
+      Buffer expected = base;
+      for (std::size_t i = 0; i < n; ++i) expected[i] ^= product[i];
+      EXPECT_EQ(dst, expected)
+          << kernel.name << " addmul_slice coeff=" << c << " n=" << n;
+    }
+  }
+}
+
+TEST_P(KernelParamTest, ScaleSliceMatchesMulSlice) {
+  const GfKernel& kernel = *GetParam();
+  for (std::size_t n : kLengths) {
+    const Buffer src = pattern_buffer(n, 17 + n);
+    for (int c = 0; c < 256; ++c) {
+      const auto coeff = static_cast<Elem>(c);
+      Buffer dst = src;
+      kernel.scale_slice(dst, coeff);
+      EXPECT_EQ(dst, reference_mul(src, coeff))
+          << kernel.name << " scale_slice coeff=" << c << " n=" << n;
+    }
+  }
+}
+
+TEST_P(KernelParamTest, XorSliceMatchesWordReference) {
+  const GfKernel& kernel = *GetParam();
+  for (std::size_t n : kLengths) {
+    const Buffer src = pattern_buffer(n, 19 + n);
+    const Buffer base = pattern_buffer(n, 23 + n);
+    Buffer dst = base;
+    kernel.xor_slice(dst, src);
+    Buffer expected = base;
+    for (std::size_t i = 0; i < n; ++i) expected[i] ^= src[i];
+    EXPECT_EQ(dst, expected) << kernel.name << " xor_slice n=" << n;
+  }
+}
+
+TEST_P(KernelParamTest, UnalignedSlicesMatchReference) {
+  // Vector kernels use unaligned loads; prove it by offsetting both ends.
+  const GfKernel& kernel = *GetParam();
+  const std::size_t n = 1021;
+  Buffer src_storage = pattern_buffer(n + 3, 29);
+  Buffer dst_storage = pattern_buffer(n + 5, 31);
+  const ByteSpan src = ByteSpan(src_storage).subspan(3, n);
+  const MutableByteSpan dst = MutableByteSpan(dst_storage).subspan(1, n);
+  const Buffer base(dst.begin(), dst.end());
+  kernel.addmul_slice(dst, src, 0x8e);
+  const Buffer product = reference_mul(Buffer(src.begin(), src.end()), 0x8e);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(dst[i], static_cast<std::uint8_t>(base[i] ^ product[i]))
+        << kernel.name << " unaligned addmul at " << i;
+  }
+}
+
+TEST_P(KernelParamTest, ExactAliasingIsAllowed) {
+  // dst == src (the scale_slice case) is element-wise safe by contract.
+  const GfKernel& kernel = *GetParam();
+  const std::size_t n = 257;
+  const Buffer base = pattern_buffer(n, 37);
+
+  Buffer buf = base;
+  kernel.mul_slice(buf, buf, 0x53);
+  EXPECT_EQ(buf, reference_mul(base, 0x53)) << kernel.name;
+
+  // dst ^= c * dst == (1 + c) * dst in GF(2^8).
+  buf = base;
+  kernel.addmul_slice(buf, buf, 0x53);
+  EXPECT_EQ(buf, reference_mul(base, add(1, 0x53))) << kernel.name;
+}
+
+TEST_P(KernelParamTest, MatrixApplyMatchesRowByRowReference) {
+  const GfKernel& kernel = *GetParam();
+  const std::size_t k = 5;
+  const std::size_t rows = 4;
+  for (std::size_t n : kLengths) {
+    std::vector<Buffer> sources_storage;
+    std::vector<ByteSpan> sources;
+    for (std::size_t i = 0; i < k; ++i) {
+      sources_storage.push_back(pattern_buffer(n, 41 + i));
+      sources.emplace_back(sources_storage.back());
+    }
+    // Coefficients cover the interesting classes: zero rows, all-ones
+    // (XOR parity), and general multipliers.
+    std::vector<Elem> coeffs(rows * k);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < k; ++c) {
+        coeffs[r * k + c] = static_cast<Elem>(
+            r == 0 ? 0 : r == 1 ? 1 : (37 * r + 11 * c + 3) % 256);
+      }
+    }
+    std::vector<Buffer> outputs_storage(rows, Buffer(n, 0x55));
+    std::vector<MutableByteSpan> outputs;
+    for (auto& out : outputs_storage) outputs.emplace_back(out);
+    kernel.matrix_apply(coeffs, sources, outputs);
+
+    for (std::size_t r = 0; r < rows; ++r) {
+      Buffer expected(n, 0);
+      for (std::size_t c = 0; c < k; ++c) {
+        const Buffer product = reference_mul(sources_storage[c], coeffs[r * k + c]);
+        for (std::size_t i = 0; i < n; ++i) expected[i] ^= product[i];
+      }
+      EXPECT_EQ(outputs_storage[r], expected)
+          << kernel.name << " matrix_apply row " << r << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSupportedKernels, KernelParamTest,
+    ::testing::ValuesIn(supported_kernels()),
+    [](const ::testing::TestParamInfo<const GfKernel*>& info) {
+      return std::string(info.param->name);
+    });
+
+TEST(GfKernelDispatch, ScalarKernelIsAlwaysSupported) {
+  EXPECT_NE(find_kernel("scalar"), nullptr);
+  EXPECT_EQ(find_kernel("no-such-kernel"), nullptr);
+}
+
+TEST(GfKernelDispatch, SetActiveKernelRoutesFreeFunctions) {
+  const GfKernel& original = active_kernel();
+  for (const GfKernel* kernel : supported_kernels()) {
+    ASSERT_TRUE(set_active_kernel(kernel->name));
+    EXPECT_EQ(active_kernel().name, kernel->name);
+    // The gf256.h free functions must follow the switch.
+    const Buffer src = pattern_buffer(100, 43);
+    Buffer dst(100, 0);
+    mul_slice(dst, src, 0x1d);
+    EXPECT_EQ(dst, reference_mul(src, 0x1d)) << kernel->name;
+  }
+  EXPECT_FALSE(set_active_kernel("no-such-kernel"));
+  ASSERT_TRUE(set_active_kernel(original.name));
+}
+
+#ifndef NDEBUG
+TEST(GfKernelDispatch, PartialOverlapTripsDebugCheck) {
+  Buffer buf(128, 1);
+  MutableByteSpan dst = MutableByteSpan(buf).subspan(0, 64);
+  ByteSpan src = ByteSpan(buf).subspan(32, 64);
+  EXPECT_THROW(mul_slice(dst, src, 2), ContractViolation);
+  EXPECT_THROW(addmul_slice(dst, src, 2), ContractViolation);
+}
+#endif
+
+}  // namespace
+}  // namespace dblrep::gf
