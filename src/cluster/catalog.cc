@@ -1,11 +1,13 @@
 #include "cluster/catalog.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace dblrep::cluster {
 
 Result<StripeId> BlockCatalog::register_stripe(const ec::CodeScheme& code,
-                                               std::vector<NodeId> group) {
+                                               std::vector<NodeId> group,
+                                               bool sealed) {
   if (group.size() != code.num_nodes()) {
     return invalid_argument_error("placement group size != code length");
   }
@@ -18,8 +20,9 @@ Result<StripeId> BlockCatalog::register_stripe(const ec::CodeScheme& code,
       return invalid_argument_error("placement group node out of range");
     }
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const StripeId id = stripes_.size();
-  stripes_.push_back({&code, group});
+  stripes_.push_back({&code, group, sealed});
   for (std::size_t slot = 0; slot < code.layout().num_slots(); ++slot) {
     const NodeId node =
         group[static_cast<std::size_t>(code.layout().node_of_slot(slot))];
@@ -29,6 +32,7 @@ Result<StripeId> BlockCatalog::register_stripe(const ec::CodeScheme& code,
 }
 
 Status BlockCatalog::unregister_stripe(StripeId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (id >= stripes_.size() || stripes_[id].code == nullptr) {
     return not_found_error("no such stripe");
   }
@@ -46,11 +50,28 @@ Status BlockCatalog::unregister_stripe(StripeId id) {
   return Status::ok();
 }
 
+Status BlockCatalog::seal_stripe(StripeId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (id >= stripes_.size() || stripes_[id].code == nullptr) {
+    return not_found_error("no such stripe");
+  }
+  stripes_[id].sealed = true;
+  return Status::ok();
+}
+
+bool BlockCatalog::is_sealed(StripeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return id < stripes_.size() && stripes_[id].code != nullptr &&
+         stripes_[id].sealed;
+}
+
 bool BlockCatalog::is_registered(StripeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return id < stripes_.size() && stripes_[id].code != nullptr;
 }
 
 std::size_t BlockCatalog::num_stripes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::size_t live = 0;
   for (const auto& info : stripes_) {
     if (info.code != nullptr) ++live;
@@ -58,38 +79,49 @@ std::size_t BlockCatalog::num_stripes() const {
   return live;
 }
 
-const StripeInfo& BlockCatalog::stripe(StripeId id) const {
+const StripeInfo& BlockCatalog::stripe_unlocked(StripeId id) const {
   DBLREP_CHECK_LT(id, stripes_.size());
   DBLREP_CHECK_MSG(stripes_[id].code != nullptr, "stripe " << id << " deleted");
   return stripes_[id];
 }
 
-NodeId BlockCatalog::node_of(SlotAddress address) const {
-  const StripeInfo& info = stripe(address.stripe);
+const StripeInfo& BlockCatalog::stripe(StripeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return stripe_unlocked(id);
+}
+
+NodeId BlockCatalog::node_of_unlocked(SlotAddress address) const {
+  const StripeInfo& info = stripe_unlocked(address.stripe);
   return info.group[static_cast<std::size_t>(
       info.code->layout().node_of_slot(address.slot))];
 }
 
+NodeId BlockCatalog::node_of(SlotAddress address) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return node_of_unlocked(address);
+}
+
 std::vector<NodeId> BlockCatalog::replica_nodes(StripeId id,
                                                 std::size_t symbol) const {
-  const StripeInfo& info = stripe(id);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const StripeInfo& info = stripe_unlocked(id);
   std::vector<NodeId> nodes;
   for (std::size_t slot : info.code->layout().slots_of_symbol(symbol)) {
-    nodes.push_back(node_of({id, slot}));
+    nodes.push_back(node_of_unlocked({id, slot}));
   }
   return nodes;
 }
 
-const std::vector<SlotAddress>& BlockCatalog::slots_on_node(
-    NodeId node) const {
-  static const std::vector<SlotAddress> kEmpty;
+std::vector<SlotAddress> BlockCatalog::slots_on_node(NodeId node) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = node_slots_.find(node);
-  return it == node_slots_.end() ? kEmpty : it->second;
+  return it == node_slots_.end() ? std::vector<SlotAddress>{} : it->second;
 }
 
 std::set<ec::NodeIndex> BlockCatalog::failed_in_stripe(
     StripeId id, const std::set<NodeId>& down_nodes) const {
-  const StripeInfo& info = stripe(id);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const StripeInfo& info = stripe_unlocked(id);
   std::set<ec::NodeIndex> failed;
   for (std::size_t i = 0; i < info.group.size(); ++i) {
     if (down_nodes.contains(info.group[i])) {

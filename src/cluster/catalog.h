@@ -5,12 +5,22 @@
 // code-local node indices to cluster nodes. The HDFS layer stores the
 // actual block payloads; the repair engine and the MapReduce simulator
 // both consult the catalog for replica locations.
+//
+// Thread-safe: all methods synchronize on an internal shared mutex, and
+// stripe records live in a deque so the references stripe() hands out stay
+// valid across concurrent registrations. The one caveat is unregistration:
+// a reference obtained from stripe() is invalidated by unregister_stripe()
+// of that same id, so callers must not delete a stripe while another
+// thread still operates on it (MiniDfs enforces this with its per-path
+// namespace locks).
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -32,6 +42,10 @@ struct SlotAddress {
 struct StripeInfo {
   const ec::CodeScheme* code = nullptr;  // not owned
   std::vector<NodeId> group;             // code node i -> cluster node
+  /// A stripe is sealed once all its blocks are durably stored. Repair and
+  /// scrub skip unsealed stripes: their holes are writes in flight (or the
+  /// debris of a failed write), not failures to recover.
+  bool sealed = true;
 };
 
 class BlockCatalog {
@@ -39,9 +53,15 @@ class BlockCatalog {
   explicit BlockCatalog(const Topology& topology) : topology_(&topology) {}
 
   /// Registers a stripe placed on `group` (one cluster node per code node,
-  /// all distinct). Returns its id.
+  /// all distinct). Returns its id. Pass sealed=false for a stripe whose
+  /// bytes are still being written, then seal_stripe() when they land.
   Result<StripeId> register_stripe(const ec::CodeScheme& code,
-                                   std::vector<NodeId> group);
+                                   std::vector<NodeId> group,
+                                   bool sealed = true);
+
+  /// Marks a stripe's bytes durable (visible to repair and scrub).
+  Status seal_stripe(StripeId id);
+  bool is_sealed(StripeId id) const;
 
   /// Removes a stripe (file deletion); its id becomes a tombstone and its
   /// slots disappear from every node's listing.
@@ -58,8 +78,9 @@ class BlockCatalog {
   /// Cluster nodes holding replicas of (stripe, symbol), in slot order.
   std::vector<NodeId> replica_nodes(StripeId id, std::size_t symbol) const;
 
-  /// All slots a cluster node hosts (across stripes).
-  const std::vector<SlotAddress>& slots_on_node(NodeId node) const;
+  /// All slots a cluster node hosts (across stripes). Returns a snapshot
+  /// by value: the per-node listings mutate under concurrent registration.
+  std::vector<SlotAddress> slots_on_node(NodeId node) const;
 
   /// Code-local failed set for a stripe, given cluster-level down nodes.
   std::set<ec::NodeIndex> failed_in_stripe(
@@ -69,8 +90,12 @@ class BlockCatalog {
   std::vector<StripeId> stripes_on_node(NodeId node) const;
 
  private:
+  const StripeInfo& stripe_unlocked(StripeId id) const;
+  NodeId node_of_unlocked(SlotAddress address) const;
+
   const Topology* topology_;
-  std::vector<StripeInfo> stripes_;
+  mutable std::shared_mutex mu_;
+  std::deque<StripeInfo> stripes_;  // deque: stable refs under push_back
   std::map<NodeId, std::vector<SlotAddress>> node_slots_;
 };
 

@@ -1,44 +1,62 @@
 #include "cluster/traffic.h"
 
+#include "common/check.h"
+
 namespace dblrep::cluster {
+
+namespace {
+
+/// Relaxed CAS-loop accumulation. Relaxed is enough: readers only consume
+/// the totals after the recording threads have been joined (or between
+/// operations), and the meter carries no other data the stores would need
+/// to publish.
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 TrafficMeter::TrafficMeter(const Topology& topology)
     : topology_(&topology),
-      sent_(topology.num_nodes, 0.0),
-      received_(topology.num_nodes, 0.0) {}
+      sent_(topology.num_nodes),
+      received_(topology.num_nodes) {}
 
 void TrafficMeter::record(NodeId from, NodeId to, double bytes) {
   DBLREP_CHECK_GE(bytes, 0.0);
   if (from == to) return;
-  total_ += bytes;
-  if (!topology_->same_rack(from, to)) cross_rack_ += bytes;
-  sent_[static_cast<std::size_t>(from)] += bytes;
-  received_[static_cast<std::size_t>(to)] += bytes;
+  atomic_add(total_, bytes);
+  if (!topology_->same_rack(from, to)) atomic_add(cross_rack_, bytes);
+  atomic_add(sent_[static_cast<std::size_t>(from)], bytes);
+  atomic_add(received_[static_cast<std::size_t>(to)], bytes);
 }
 
 void TrafficMeter::record_to_client(NodeId from, double bytes) {
   DBLREP_CHECK_GE(bytes, 0.0);
-  total_ += bytes;
-  sent_[static_cast<std::size_t>(from)] += bytes;
+  atomic_add(total_, bytes);
+  atomic_add(sent_[static_cast<std::size_t>(from)], bytes);
 }
 
 double TrafficMeter::node_sent_bytes(NodeId node) const {
   DBLREP_CHECK_GE(node, 0);
   DBLREP_CHECK_LT(static_cast<std::size_t>(node), sent_.size());
-  return sent_[static_cast<std::size_t>(node)];
+  return sent_[static_cast<std::size_t>(node)].load(std::memory_order_relaxed);
 }
 
 double TrafficMeter::node_received_bytes(NodeId node) const {
   DBLREP_CHECK_GE(node, 0);
   DBLREP_CHECK_LT(static_cast<std::size_t>(node), received_.size());
-  return received_[static_cast<std::size_t>(node)];
+  return received_[static_cast<std::size_t>(node)].load(
+      std::memory_order_relaxed);
 }
 
 void TrafficMeter::reset() {
-  total_ = 0;
-  cross_rack_ = 0;
-  std::fill(sent_.begin(), sent_.end(), 0.0);
-  std::fill(received_.begin(), received_.end(), 0.0);
+  total_.store(0.0, std::memory_order_relaxed);
+  cross_rack_.store(0.0, std::memory_order_relaxed);
+  for (auto& v : sent_) v.store(0.0, std::memory_order_relaxed);
+  for (auto& v : received_) v.store(0.0, std::memory_order_relaxed);
 }
 
 }  // namespace dblrep::cluster

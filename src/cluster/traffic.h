@@ -1,7 +1,15 @@
 // Network traffic accounting -- the middle panel of Fig. 4 and left panel
 // of Fig. 5 report "network traffic (GB) during job execution".
+//
+// Concurrency-safe: parallel repairs and client operations account bytes
+// from many threads, so the accumulators are atomic doubles updated with a
+// CAS loop (portable across libstdc++ versions without fetch_add(double)).
+// Every recorded value is a whole number of bytes well below 2^53, so the
+// sums are exact and independent of accumulation order -- parallel and
+// serial executions of the same work report bit-identical totals.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -13,6 +21,9 @@ class TrafficMeter {
  public:
   explicit TrafficMeter(const Topology& topology);
 
+  TrafficMeter(const TrafficMeter&) = delete;
+  TrafficMeter& operator=(const TrafficMeter&) = delete;
+
   /// Records `bytes` moving from `from` to `to`. Self-transfers (local
   /// reads) are ignored -- they never touch the network.
   void record(NodeId from, NodeId to, double bytes);
@@ -20,8 +31,10 @@ class TrafficMeter {
   /// Records bytes delivered to an off-cluster client (always network).
   void record_to_client(NodeId from, double bytes);
 
-  double total_bytes() const { return total_; }
-  double cross_rack_bytes() const { return cross_rack_; }
+  double total_bytes() const { return total_.load(std::memory_order_relaxed); }
+  double cross_rack_bytes() const {
+    return cross_rack_.load(std::memory_order_relaxed);
+  }
   double node_sent_bytes(NodeId node) const;
   double node_received_bytes(NodeId node) const;
 
@@ -29,10 +42,10 @@ class TrafficMeter {
 
  private:
   const Topology* topology_;
-  double total_ = 0;
-  double cross_rack_ = 0;
-  std::vector<double> sent_;
-  std::vector<double> received_;
+  std::atomic<double> total_{0.0};
+  std::atomic<double> cross_rack_{0.0};
+  std::vector<std::atomic<double>> sent_;
+  std::vector<std::atomic<double>> received_;
 };
 
 }  // namespace dblrep::cluster

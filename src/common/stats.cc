@@ -22,6 +22,24 @@ void RunningStat::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStat::mean() const { return count_ ? mean_ : 0.0; }
 
 double RunningStat::variance() const {
@@ -52,6 +70,24 @@ void Histogram::add(double x) {
   const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
   counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
   ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  DBLREP_CHECK(bounds_ == other.bounds_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+Histogram Histogram::log_spaced(double lo, double hi, std::size_t per_decade) {
+  DBLREP_CHECK_GT(lo, 0.0);
+  DBLREP_CHECK_LT(lo, hi);
+  DBLREP_CHECK_GT(per_decade, 0u);
+  std::vector<double> bounds;
+  const double step = std::pow(10.0, 1.0 / static_cast<double>(per_decade));
+  for (double b = lo; b < hi * step; b *= step) bounds.push_back(b);
+  return Histogram(std::move(bounds));
 }
 
 double Histogram::quantile(double q) const {

@@ -14,6 +14,11 @@ class RunningStat {
  public:
   void add(double x);
 
+  /// Folds another stat into this one (Chan et al. parallel variance
+  /// combination), exact for mean/min/max/sum. Lets worker threads collect
+  /// into private stats that are merged lock-free at join time.
+  void merge(const RunningStat& other);
+
   std::size_t count() const { return count_; }
   double mean() const;
   double variance() const;  // sample variance (n-1); 0 if n < 2
@@ -42,6 +47,13 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void add(double x);
+
+  /// Adds another histogram's counts; bucket bounds must be identical.
+  void merge(const Histogram& other);
+
+  /// Log-spaced bounds covering [lo, hi] with `per_decade` buckets per
+  /// decade -- the standard latency-histogram shape.
+  static Histogram log_spaced(double lo, double hi, std::size_t per_decade);
 
   std::size_t total() const { return total_; }
   /// counts()[0] is underflow, counts().back() overflow.

@@ -1,0 +1,55 @@
+// StripedSharedMutex: a fixed array of shared mutexes indexed by key hash.
+//
+// The namespace lock of the concurrent MiniDfs: per-path operations hash
+// the path to one of the stripes, so reads of different files proceed in
+// parallel while a delete/rename of a file excludes readers of (at least)
+// that file. Collisions are benign -- two paths sharing a stripe merely
+// serialize against each other.
+//
+// Multi-key operations (rename) must lock stripes in index order to stay
+// deadlock-free; lock_pair() encapsulates that, collapsing to a single
+// lock when both keys collide.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <shared_mutex>
+#include <string_view>
+
+namespace dblrep::exec {
+
+class StripedSharedMutex {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  std::size_t stripe_of(std::string_view key) const {
+    return std::hash<std::string_view>{}(key) % kStripes;
+  }
+
+  std::shared_mutex& of(std::string_view key) {
+    return stripes_[stripe_of(key)];
+  }
+
+  /// Exclusive locks over both keys' stripes, acquired in index order.
+  class PairLock {
+   public:
+    PairLock(StripedSharedMutex& mu, std::string_view a, std::string_view b) {
+      std::size_t lo = mu.stripe_of(a);
+      std::size_t hi = mu.stripe_of(b);
+      if (lo > hi) std::swap(lo, hi);
+      first_ = std::unique_lock<std::shared_mutex>(mu.stripes_[lo]);
+      if (hi != lo) {
+        second_ = std::unique_lock<std::shared_mutex>(mu.stripes_[hi]);
+      }
+    }
+
+   private:
+    std::unique_lock<std::shared_mutex> first_;
+    std::unique_lock<std::shared_mutex> second_;
+  };
+
+ private:
+  std::array<std::shared_mutex, kStripes> stripes_;
+};
+
+}  // namespace dblrep::exec

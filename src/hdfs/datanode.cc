@@ -3,16 +3,18 @@
 namespace dblrep::hdfs {
 
 Status DataNode::put(cluster::SlotAddress address, Buffer bytes) {
-  if (!up_) return unavailable_error("datanode down");
+  if (!is_up()) return unavailable_error("datanode down");
   StoredBlock block;
   block.crc = crc32c(bytes);
   block.bytes = std::move(bytes);
+  std::lock_guard<std::mutex> lock(mu_);
   blocks_[address] = std::move(block);
   return Status::ok();
 }
 
 Result<Buffer> DataNode::get(cluster::SlotAddress address) const {
-  if (!up_) return unavailable_error("datanode down");
+  if (!is_up()) return unavailable_error("datanode down");
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = blocks_.find(address);
   if (it == blocks_.end()) {
     return not_found_error("block not on this datanode");
@@ -26,18 +28,27 @@ Result<Buffer> DataNode::get(cluster::SlotAddress address) const {
 }
 
 bool DataNode::has(cluster::SlotAddress address) const {
-  return up_ && blocks_.contains(address);
+  if (!is_up()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.contains(address);
 }
 
 Status DataNode::drop(cluster::SlotAddress address) {
-  if (!up_) return unavailable_error("datanode down");
+  if (!is_up()) return unavailable_error("datanode down");
+  std::lock_guard<std::mutex> lock(mu_);
   if (blocks_.erase(address) == 0) {
     return not_found_error("block not on this datanode");
   }
   return Status::ok();
 }
 
+std::size_t DataNode::block_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.size();
+}
+
 std::size_t DataNode::bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
   for (const auto& [address, block] : blocks_) {
     (void)address;
@@ -47,13 +58,15 @@ std::size_t DataNode::bytes_stored() const {
 }
 
 void DataNode::fail() {
-  up_ = false;
+  up_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
   blocks_.clear();
 }
 
-void DataNode::restart() { up_ = true; }
+void DataNode::restart() { up_.store(true, std::memory_order_release); }
 
 Status DataNode::corrupt(cluster::SlotAddress address, std::size_t byte_index) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = blocks_.find(address);
   if (it == blocks_.end()) {
     return not_found_error("block not on this datanode");
@@ -66,6 +79,7 @@ Status DataNode::corrupt(cluster::SlotAddress address, std::size_t byte_index) {
 }
 
 std::vector<cluster::SlotAddress> DataNode::stored_addresses() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<cluster::SlotAddress> out;
   out.reserve(blocks_.size());
   for (const auto& [address, block] : blocks_) {

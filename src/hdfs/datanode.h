@@ -3,9 +3,17 @@
 // inside Facebook's HDFS-RAID (hadoop-0.20); this in-process analogue keeps
 // the same responsibilities: store block replicas, serve reads, detect
 // corruption, lose everything on node failure.
+//
+// Thread-safe: each DataNode guards its block map with its own mutex, so
+// the node is one shard of the DFS-wide store -- operations on different
+// nodes never contend, operations on the same node serialize exactly as a
+// real datanode's disk queue would. Liveness is a separate atomic so
+// is_up() probes never touch the block-map lock.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <mutex>
 
 #include "cluster/catalog.h"
 #include "common/bytes.h"
@@ -17,8 +25,11 @@ class DataNode {
  public:
   explicit DataNode(cluster::NodeId id) : id_(id) {}
 
+  DataNode(const DataNode&) = delete;
+  DataNode& operator=(const DataNode&) = delete;
+
   cluster::NodeId id() const { return id_; }
-  bool is_up() const { return up_; }
+  bool is_up() const { return up_.load(std::memory_order_acquire); }
 
   /// Stores a block replica (overwrites an existing one).
   Status put(cluster::SlotAddress address, Buffer bytes);
@@ -35,7 +46,7 @@ class DataNode {
   bool has(cluster::SlotAddress address) const;
   Status drop(cluster::SlotAddress address);
 
-  std::size_t block_count() const { return blocks_.size(); }
+  std::size_t block_count() const;
   std::size_t bytes_stored() const;
 
   /// Crash: the node goes down and its disk contents are gone.
@@ -57,7 +68,8 @@ class DataNode {
   };
 
   cluster::NodeId id_;
-  bool up_ = true;
+  std::atomic<bool> up_{true};
+  mutable std::mutex mu_;  // guards blocks_
   std::map<cluster::SlotAddress, StoredBlock> blocks_;
 };
 

@@ -1,6 +1,8 @@
 #include "hdfs/minidfs.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 
 #include "ec/local_polygon.h"
 #include "ec/registry.h"
@@ -54,9 +56,14 @@ std::vector<cluster::NodeId> rack_aware_group(
 }  // namespace
 
 MiniDfs::MiniDfs(const cluster::Topology& topology, std::uint64_t seed)
+    : MiniDfs(topology, seed, &exec::default_pool()) {}
+
+MiniDfs::MiniDfs(const cluster::Topology& topology, std::uint64_t seed,
+                 exec::ThreadPool* pool)
     : topology_(topology),
       catalog_(topology_),
       traffic_(topology_),
+      pool_(pool != nullptr ? pool : &exec::inline_pool()),
       rng_(seed) {
   for (std::size_t n = 0; n < topology_.num_nodes; ++n) {
     datanodes_.emplace_back(static_cast<cluster::NodeId>(n));
@@ -64,15 +71,22 @@ MiniDfs::MiniDfs(const cluster::Topology& topology, std::uint64_t seed)
 }
 
 Result<MiniDfs::SchemeRuntime*> MiniDfs::runtime(const std::string& code_spec) {
-  const auto it = schemes_.find(code_spec);
-  if (it != schemes_.end()) return &it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(scheme_mu_);
+    const auto it = schemes_.find(code_spec);
+    if (it != schemes_.end()) return &it->second;
+  }
   auto made = ec::make_code(code_spec);
   if (!made.is_ok()) return made.status();
+  std::unique_lock<std::shared_mutex> lock(scheme_mu_);
+  const auto it = schemes_.find(code_spec);
+  if (it != schemes_.end()) return &it->second;  // lost the creation race
   SchemeRuntime rt;
   rt.code = std::move(*made);
-  rt.codec = std::make_unique<ec::StripeCodec>(*rt.code);
-  rt.executor = std::make_unique<ec::PlanExecutor>(rt.code->layout());
-  return &schemes_.emplace(code_spec, std::move(rt)).first->second;
+  rt.runtimes = std::make_unique<exec::RuntimePool>(*rt.code);
+  auto* placed = &schemes_.emplace(code_spec, std::move(rt)).first->second;
+  pools_by_code_.emplace(placed->code.get(), placed->runtimes.get());
+  return placed;
 }
 
 Result<const ec::CodeScheme*> MiniDfs::scheme(const std::string& code_spec) {
@@ -81,15 +95,57 @@ Result<const ec::CodeScheme*> MiniDfs::scheme(const std::string& code_spec) {
   return (*rt)->code.get();
 }
 
+exec::RuntimePool& MiniDfs::runtime_pool_for(const ec::CodeScheme& code) const {
+  std::shared_lock<std::shared_mutex> lock(scheme_mu_);
+  const auto it = pools_by_code_.find(&code);
+  // Every registered stripe's code was created through runtime().
+  DBLREP_CHECK_MSG(it != pools_by_code_.end(),
+                   "no runtime pool for code " << code.params().name);
+  return *it->second;
+}
+
+Result<const ec::RepairPlan*> MiniDfs::cached_repair_plan(
+    const ec::CodeScheme& code, const std::set<ec::NodeIndex>& failed) {
+  const PlanKey key{&code, failed};
+  {
+    std::shared_lock<std::shared_mutex> lock(plan_mu_);
+    const auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) return &it->second;
+  }
+  // Planning (the basis solve) runs outside any lock; losing the insertion
+  // race just discards a duplicate plan.
+  auto plan = code.plan_multi_node_repair(failed);
+  if (!plan.is_ok()) return plan.status();
+  std::unique_lock<std::shared_mutex> lock(plan_mu_);
+  return &plan_cache_.try_emplace(key, std::move(*plan)).first->second;
+}
+
 Status MiniDfs::write_file(const std::string& path, ByteSpan data,
                            const std::string& code_spec,
                            std::size_t block_size) {
-  if (files_.contains(path)) return already_exists_error(path);
   if (block_size == 0) return invalid_argument_error("zero block size");
   auto rt_result = runtime(code_spec);
   if (!rt_result.is_ok()) return rt_result.status();
   SchemeRuntime& rt = **rt_result;
   const ec::CodeScheme& code = *rt.code;
+
+  // Reserve the path: concurrent writers of the same name fail fast, and
+  // readers see nothing until the final publish below.
+  {
+    std::unique_lock<std::shared_mutex> lock(ns_mu_);
+    if (files_.contains(path) || pending_writes_.contains(path)) {
+      return already_exists_error(path);
+    }
+    pending_writes_.insert(path);
+  }
+  struct PendingGuard {
+    MiniDfs* dfs;
+    const std::string& path;
+    ~PendingGuard() {
+      std::unique_lock<std::shared_mutex> lock(dfs->ns_mu_);
+      dfs->pending_writes_.erase(path);
+    }
+  } pending_guard{this, path};
 
   // Enough live nodes to place a stripe?
   std::vector<cluster::NodeId> live;
@@ -105,50 +161,93 @@ Status MiniDfs::write_file(const std::string& path, ByteSpan data,
   info.block_size = block_size;
   info.length = data.size();
 
-  // Stream the whole file through the stripe codec: systematic symbols are
-  // zero-copy views into `data`, parities come out of one recycled arena,
-  // and each stripe is placed and persisted before the next is encoded.
-  const Status write_status = rt.codec->encode_file(
-      data, block_size,
-      [&](std::size_t, std::span<const ByteSpan> symbols) -> Status {
-        // Local codes prefer rack-aware placement (one local per rack,
-        // globals on a third rack); everything else -- and single-rack
-        // topologies -- use uniform random placement over live nodes.
-        std::vector<cluster::NodeId> group;
-        if (const auto* local =
-                dynamic_cast<const ec::LocalPolygonCode*>(&code)) {
-          group = rack_aware_group(*local, topology_, live, rng_);
-        }
-        if (group.empty()) {
-          for (auto index : rng_.sample_without_replacement(live.size(),
-                                                            code.num_nodes())) {
-            group.push_back(live[index]);
-          }
-        }
-        auto stripe_id = catalog_.register_stripe(code, group);
-        if (!stripe_id.is_ok()) return stripe_id.status();
-        info.stripes.push_back(*stripe_id);
+  const std::size_t stripe_bytes = code.data_blocks() * block_size;
+  const std::size_t num_stripes =
+      data.empty() ? 0 : (data.size() + stripe_bytes - 1) / stripe_bytes;
 
+  // Failed writes must not leak: drop whatever blocks landed and
+  // unregister every stripe this call registered (all still possible --
+  // unsealed stripes are invisible to repair, and the unpublished path is
+  // invisible to readers).
+  const auto rollback = [&] {
+    for (const cluster::StripeId stripe : info.stripes) {
+      for (std::size_t slot = 0; slot < code.layout().num_slots(); ++slot) {
+        const cluster::NodeId node = catalog_.node_of({stripe, slot});
+        auto& dn = datanodes_[static_cast<std::size_t>(node)];
+        if (dn.has({stripe, slot})) (void)dn.drop({stripe, slot});
+      }
+      (void)catalog_.unregister_stripe(stripe);
+    }
+  };
+
+  // Phase 1 -- placement, serial: one rng draw sequence per stripe in
+  // order, so the layout is a deterministic function of the seed and
+  // byte-identical between serial and parallel executions.
+  {
+    std::lock_guard<std::mutex> lock(place_mu_);
+    for (std::size_t s = 0; s < num_stripes; ++s) {
+      // Local codes prefer rack-aware placement (one local per rack,
+      // globals on a third rack); everything else -- and single-rack
+      // topologies -- use uniform random placement over live nodes.
+      std::vector<cluster::NodeId> group;
+      if (const auto* local =
+              dynamic_cast<const ec::LocalPolygonCode*>(&code)) {
+        group = rack_aware_group(*local, topology_, live, rng_);
+      }
+      if (group.empty()) {
+        for (auto index : rng_.sample_without_replacement(live.size(),
+                                                          code.num_nodes())) {
+          group.push_back(live[index]);
+        }
+      }
+      // Unsealed until the stripe's bytes land in phase 2: a concurrent
+      // repair pass must not mistake a write in flight for mass failure.
+      auto stripe_id = catalog_.register_stripe(code, group, /*sealed=*/false);
+      if (!stripe_id.is_ok()) {
+        rollback();
+        return stripe_id.status();
+      }
+      info.stripes.push_back(*stripe_id);
+    }
+  }
+
+  // Phase 2 -- encode + store, stripes fanned out across the pool. Each
+  // worker checks out its own codec; systematic symbols are zero-copy
+  // views into `data`, parities come out of the leased codec's arena.
+  const Status write_status = exec::parallel_for(
+      *pool_, num_stripes, [&](std::size_t s) -> Status {
+        const std::size_t begin = s * stripe_bytes;
+        const std::size_t len = std::min(stripe_bytes, data.size() - begin);
+        auto lease = rt.runtimes->acquire();
+        const auto symbols =
+            lease->codec.encode_stripe(data.subspan(begin, len), block_size);
+        const cluster::StripeId stripe_id = info.stripes[s];
         const auto& layout = code.layout();
         for (std::size_t slot = 0; slot < layout.num_slots(); ++slot) {
-          const cluster::NodeId node = catalog_.node_of({*stripe_id, slot});
+          const cluster::NodeId node = catalog_.node_of({stripe_id, slot});
           DBLREP_RETURN_IF_ERROR(
               datanodes_[static_cast<std::size_t>(node)].put(
-                  {*stripe_id, slot}, symbols[layout.symbol_of_slot(slot)]));
+                  {stripe_id, slot}, symbols[layout.symbol_of_slot(slot)]));
           // Client -> datanode transfer (the client is off-cluster).
           traffic_.record_to_client(node, static_cast<double>(block_size));
         }
-        return Status::ok();
+        return catalog_.seal_stripe(stripe_id);
       });
-  if (!write_status.is_ok()) return write_status;
+  if (!write_status.is_ok()) {
+    rollback();
+    return write_status;
+  }
+
+  std::unique_lock<std::shared_mutex> lock(ns_mu_);
   files_.emplace(path, std::move(info));
   return Status::ok();
 }
 
-Result<const FileInfo*> MiniDfs::lookup(const std::string& path) const {
+Result<FileInfo> MiniDfs::lookup_copy(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
   const auto it = files_.find(path);
   if (it == files_.end()) return not_found_error(path);
-  return const_cast<const FileInfo*>(&it->second);
+  return it->second;
 }
 
 ec::SlotStore MiniDfs::gather_stripe(cluster::StripeId stripe) const {
@@ -176,16 +275,29 @@ Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
       return bytes;
     }
   }
-  // On-the-fly repair (Section 3.1): plan against the stripe's failed set
-  // and execute over the surviving bytes.
-  std::set<cluster::NodeId> down = down_nodes();
-  const auto failed = catalog_.failed_in_stripe(stripe, down);
+  // On-the-fly repair (Section 3.1): gather the verifiably-good bytes of
+  // the stripe, then treat every code-local node with an unreadable slot
+  // as failed for planning. Probing actual availability (rather than the
+  // cluster's down set) covers down nodes, nodes restarted-but-still-empty
+  // while a repair is in flight, and CRC-broken replicas on live nodes --
+  // and executing over the gathered copies keeps the read stable even if
+  // the stripe changes under it.
+  ec::SlotStore store = gather_stripe(stripe);
+  std::set<ec::NodeIndex> failed;
+  const std::size_t group_size = catalog_.stripe(stripe).group.size();
+  for (std::size_t i = 0; i < group_size; ++i) {
+    for (std::size_t slot :
+         code.layout().slots_on_node(static_cast<ec::NodeIndex>(i))) {
+      if (!store.contains(slot)) {
+        failed.insert(static_cast<ec::NodeIndex>(i));
+        break;
+      }
+    }
+  }
   auto plan = code.plan_degraded_read(symbol, failed);
   if (!plan.is_ok()) return plan.status();
-  ec::SlotStore store = gather_stripe(stripe);
-  auto rt = runtime(file.code_spec);
-  if (!rt.is_ok()) return rt.status();
-  auto delivered = (*rt)->executor->execute(*plan, store);
+  auto lease = runtime_pool_for(code).acquire();
+  auto delivered = lease->executor.execute(*plan, store);
   if (!delivered.is_ok()) return delivered.status();
   if (delivered->size() != 1) {
     return internal_error("degraded read returned unexpected block count");
@@ -207,73 +319,95 @@ Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
 
 Result<Buffer> MiniDfs::read_block(const std::string& path,
                                    std::size_t block_index) {
-  DBLREP_ASSIGN_OR_RETURN(const FileInfo* info, lookup(path));
-  auto code_result = scheme(info->code_spec);
+  std::shared_lock<std::shared_mutex> path_lock(path_mu_.of(path));
+  DBLREP_ASSIGN_OR_RETURN(const FileInfo info, lookup_copy(path));
+  auto code_result = scheme(info.code_spec);
   if (!code_result.is_ok()) return code_result.status();
   const ec::CodeScheme& code = **code_result;
   const std::size_t stripe_index = block_index / code.data_blocks();
   const std::size_t symbol = block_index % code.data_blocks();
-  if (stripe_index >= info->stripes.size()) {
+  if (stripe_index >= info.stripes.size()) {
     return invalid_argument_error("block index beyond end of file");
   }
-  return read_symbol(*info, info->stripes[stripe_index], symbol);
+  return read_symbol(info, info.stripes[stripe_index], symbol);
 }
 
 Result<Buffer> MiniDfs::read_file(const std::string& path) {
-  DBLREP_ASSIGN_OR_RETURN(const FileInfo* info, lookup(path));
-  auto code_result = scheme(info->code_spec);
+  std::shared_lock<std::shared_mutex> path_lock(path_mu_.of(path));
+  // Resolve once: one namespace lookup and one scheme resolution for the
+  // whole file, then the stripes stream in parallel straight into the
+  // result buffer (each block writes a disjoint byte range).
+  DBLREP_ASSIGN_OR_RETURN(const FileInfo info, lookup_copy(path));
+  auto code_result = scheme(info.code_spec);
   if (!code_result.is_ok()) return code_result.status();
   const ec::CodeScheme& code = **code_result;
 
-  Buffer out;
-  out.reserve(info->length);
+  const std::size_t k = code.data_blocks();
   const std::size_t total_blocks =
-      info->block_size == 0
+      info.block_size == 0
           ? 0
-          : (info->length + info->block_size - 1) / info->block_size;
-  for (std::size_t b = 0; b < total_blocks; ++b) {
-    const std::size_t stripe_index = b / code.data_blocks();
-    const std::size_t symbol = b % code.data_blocks();
-    auto block = read_symbol(*info, info->stripes[stripe_index], symbol);
-    if (!block.is_ok()) return block.status();
-    const std::size_t want =
-        std::min(info->block_size, info->length - b * info->block_size);
-    out.insert(out.end(), block->begin(), block->begin() + static_cast<std::ptrdiff_t>(want));
-  }
+          : (info.length + info.block_size - 1) / info.block_size;
+  Buffer out(info.length);
+  const Status read_status = exec::parallel_for(
+      *pool_, info.stripes.size(), [&](std::size_t si) -> Status {
+        for (std::size_t symbol = 0; symbol < k; ++symbol) {
+          const std::size_t b = si * k + symbol;
+          if (b >= total_blocks) break;
+          auto block = read_symbol(info, info.stripes[si], symbol);
+          if (!block.is_ok()) return block.status();
+          const std::size_t offset = b * info.block_size;
+          const std::size_t want =
+              std::min(info.block_size, info.length - offset);
+          std::memcpy(out.data() + offset, block->data(), want);
+        }
+        return Status::ok();
+      });
+  if (!read_status.is_ok()) return read_status;
   return out;
 }
 
 Status MiniDfs::delete_file(const std::string& path) {
-  const auto it = files_.find(path);
-  if (it == files_.end()) return not_found_error(path);
-  for (cluster::StripeId stripe : it->second.stripes) {
-    const auto& info = catalog_.stripe(stripe);
-    for (std::size_t slot = 0; slot < info.code->layout().num_slots(); ++slot) {
+  std::unique_lock<std::shared_mutex> path_lock(path_mu_.of(path));
+  FileInfo info;
+  {
+    std::unique_lock<std::shared_mutex> lock(ns_mu_);
+    const auto it = files_.find(path);
+    if (it == files_.end()) return not_found_error(path);
+    info = std::move(it->second);
+    files_.erase(it);
+  }
+  for (cluster::StripeId stripe : info.stripes) {
+    const auto& stripe_info = catalog_.stripe(stripe);
+    for (std::size_t slot = 0; slot < stripe_info.code->layout().num_slots();
+         ++slot) {
       const cluster::NodeId node = catalog_.node_of({stripe, slot});
       auto& dn = datanodes_[static_cast<std::size_t>(node)];
       if (dn.has({stripe, slot})) (void)dn.drop({stripe, slot});
     }
     DBLREP_RETURN_IF_ERROR(catalog_.unregister_stripe(stripe));
   }
-  files_.erase(it);
   return Status::ok();
 }
 
 Status MiniDfs::rename(const std::string& from, const std::string& to) {
+  exec::StripedSharedMutex::PairLock path_locks(path_mu_, from, to);
+  std::unique_lock<std::shared_mutex> lock(ns_mu_);
   const auto it = files_.find(from);
   if (it == files_.end()) return not_found_error(from);
-  if (files_.contains(to)) return already_exists_error(to);
+  if (files_.contains(to) || pending_writes_.contains(to)) {
+    return already_exists_error(to);
+  }
   files_.emplace(to, std::move(it->second));
   files_.erase(it);
   return Status::ok();
 }
 
 Result<FileInfo> MiniDfs::stat(const std::string& path) const {
-  DBLREP_ASSIGN_OR_RETURN(const FileInfo* info, lookup(path));
-  return *info;
+  return lookup_copy(path);
 }
 
 std::vector<std::string> MiniDfs::list_files() const {
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
   std::vector<std::string> out;
   out.reserve(files_.size());
   for (const auto& [path, info] : files_) {
@@ -307,6 +441,61 @@ std::set<cluster::NodeId> MiniDfs::down_nodes() const {
   return down;
 }
 
+Status MiniDfs::repair_stripe(cluster::StripeId stripe) {
+  // Skip tombstones (deleted) and unsealed stripes (writes in flight).
+  if (!catalog_.is_sealed(stripe)) return Status::ok();
+  const auto& info = catalog_.stripe(stripe);
+  const ec::CodeScheme& code = *info.code;
+
+  // Which code-local nodes have missing/unreadable slots for this stripe?
+  // Different stripes touch disjoint (stripe, slot) addresses, so this
+  // probe never races with a concurrent repair of another stripe.
+  std::set<ec::NodeIndex> failed;
+  for (std::size_t i = 0; i < info.group.size(); ++i) {
+    const auto& holder = datanodes_[static_cast<std::size_t>(info.group[i])];
+    if (!holder.is_up()) {
+      failed.insert(static_cast<ec::NodeIndex>(i));
+      continue;
+    }
+    for (std::size_t slot :
+         code.layout().slots_on_node(static_cast<ec::NodeIndex>(i))) {
+      if (!holder.has({stripe, slot})) {
+        failed.insert(static_cast<ec::NodeIndex>(i));
+        break;
+      }
+    }
+  }
+  if (failed.empty()) return Status::ok();
+
+  // The (code, failure-pattern) pair almost always repeats across stripes,
+  // so the basis solve behind plan_multi_node_repair runs once per distinct
+  // pattern and is replayed -- across threads -- for every affected stripe.
+  DBLREP_ASSIGN_OR_RETURN(const ec::RepairPlan* plan,
+                          cached_repair_plan(code, failed));
+  auto lease = runtime_pool_for(code).acquire();
+  ec::SlotStore store = gather_stripe(stripe);
+  auto run = lease->executor.execute(*plan, store);
+  if (!run.is_ok()) return run.status();
+
+  // Persist only what landed on *live* nodes; still-down nodes get theirs
+  // when they are repaired. Account traffic per aggregate send.
+  for (const auto& send : plan->aggregates) {
+    traffic_.record(info.group[static_cast<std::size_t>(send.from_node)],
+                    info.group[static_cast<std::size_t>(send.to_node)],
+                    static_cast<double>(store.begin()->second.size()));
+  }
+  for (const auto& rec : plan->reconstructions) {
+    const cluster::NodeId dest = info.group[static_cast<std::size_t>(
+        code.layout().node_of_slot(rec.dest_slot))];
+    auto& dest_dn = datanodes_[static_cast<std::size_t>(dest)];
+    if (dest_dn.is_up()) {
+      DBLREP_RETURN_IF_ERROR(
+          dest_dn.put({stripe, rec.dest_slot}, store.at(rec.dest_slot)));
+    }
+  }
+  return Status::ok();
+}
+
 Status MiniDfs::repair_node(cluster::NodeId node) {
   if (node < 0 || static_cast<std::size_t>(node) >= datanodes_.size()) {
     return invalid_argument_error("no such node");
@@ -314,86 +503,19 @@ Status MiniDfs::repair_node(cluster::NodeId node) {
   auto& dn = datanodes_[static_cast<std::size_t>(node)];
   if (!dn.is_up()) dn.restart();
 
-  // A slot needs rebuilding if the datanode should host it but does not.
-  // Plans are computed against the set of nodes that are still down plus
-  // this node's missing state, stripe by stripe.
-  //
-  // One pipelined pass over the node's stripes: the (code, failure-pattern)
-  // pair almost always repeats across stripes, so the basis solve behind
-  // plan_multi_node_repair runs once per distinct pattern instead of once
-  // per stripe, and each code's executor (with its arena scratch) is reused
-  // for every execution. Repairing an N-block node is then one planning
-  // round plus N fused matrix_apply executions, not N independent
-  // plan-solve-allocate round trips. Traffic accounting is unchanged.
-  std::map<std::pair<const ec::CodeScheme*, std::set<ec::NodeIndex>>,
-           ec::RepairPlan>
-      plan_cache;
-  // Every stripe in the catalog was registered through runtime(), so its
-  // code always has a SchemeRuntime with a warm executor to reuse.
-  std::map<const ec::CodeScheme*, ec::PlanExecutor*> executors;
-  for (auto& [spec, rt] : schemes_) {
-    executors.emplace(rt.code.get(), rt.executor.get());
-  }
-  for (cluster::StripeId stripe : catalog_.stripes_on_node(node)) {
-    const auto& info = catalog_.stripe(stripe);
-    const ec::CodeScheme& code = *info.code;
-
-    // Which code-local nodes have missing/unreadable slots for this stripe?
-    std::set<ec::NodeIndex> failed;
-    for (std::size_t i = 0; i < info.group.size(); ++i) {
-      const auto& holder = datanodes_[static_cast<std::size_t>(info.group[i])];
-      if (!holder.is_up()) {
-        failed.insert(static_cast<ec::NodeIndex>(i));
-        continue;
-      }
-      for (std::size_t slot : code.layout().slots_on_node(
-               static_cast<ec::NodeIndex>(i))) {
-        if (!holder.has({stripe, slot})) {
-          failed.insert(static_cast<ec::NodeIndex>(i));
-          break;
-        }
-      }
-    }
-    if (failed.empty()) continue;
-
-    const auto cache_key = std::make_pair(&code, failed);
-    auto cached = plan_cache.find(cache_key);
-    if (cached == plan_cache.end()) {
-      auto plan = code.plan_multi_node_repair(failed);
-      if (!plan.is_ok()) return plan.status();
-      cached = plan_cache.emplace(cache_key, std::move(*plan)).first;
-    }
-    const ec::RepairPlan& plan = cached->second;
-    const auto executor = executors.find(&code);
-    DBLREP_CHECK(executor != executors.end());
-    ec::SlotStore store = gather_stripe(stripe);
-    auto run = executor->second->execute(plan, store);
-    if (!run.is_ok()) return run.status();
-
-    // Persist only what landed on *live* nodes (this one included); still
-    // -down nodes get theirs when they are repaired. Account traffic per
-    // aggregate send.
-    for (const auto& send : plan.aggregates) {
-      traffic_.record(info.group[static_cast<std::size_t>(send.from_node)],
-                      info.group[static_cast<std::size_t>(send.to_node)],
-                      static_cast<double>(store.begin()->second.size()));
-    }
-    for (const auto& rec : plan.reconstructions) {
-      const cluster::NodeId dest = info.group[static_cast<std::size_t>(
-          code.layout().node_of_slot(rec.dest_slot))];
-      auto& dest_dn = datanodes_[static_cast<std::size_t>(dest)];
-      if (dest_dn.is_up()) {
-        DBLREP_RETURN_IF_ERROR(
-            dest_dn.put({stripe, rec.dest_slot}, store.at(rec.dest_slot)));
-      }
-    }
-  }
-  return Status::ok();
+  // One pass over the node's stripes, fanned out across the pool: each
+  // stripe independently probes its holes, fetches the shared cached plan
+  // for its failure pattern, and executes with a checked-out executor.
+  const auto stripes = catalog_.stripes_on_node(node);
+  return exec::parallel_for(*pool_, stripes.size(), [&](std::size_t i) {
+    return repair_stripe(stripes[i]);
+  });
 }
 
 Status MiniDfs::repair_all() {
   // Restart everyone first so repairs can land replicas on all nodes, then
-  // rebuild node by node (plans see the remaining holes shrink).
+  // rebuild node by node (plans see the remaining holes shrink); each
+  // node's stripes are repaired in parallel.
   for (auto& dn : datanodes_) {
     if (!dn.is_up()) dn.restart();
   }
@@ -404,6 +526,7 @@ Status MiniDfs::repair_all() {
 }
 
 Status MiniDfs::scrub() {
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
   for (const auto& [path, info] : files_) {
     auto code_result = scheme(info.code_spec);
     if (!code_result.is_ok()) return code_result.status();
@@ -414,12 +537,12 @@ Status MiniDfs::scrub() {
         const cluster::NodeId node = catalog_.node_of({stripe, slot});
         const auto& dn = datanodes_[static_cast<std::size_t>(node)];
         if (!dn.is_up()) continue;
-        if (!dn.has({stripe, slot})) {
+        auto bytes = dn.get({stripe, slot});
+        if (bytes.status().code() == StatusCode::kNotFound) {
           return corruption_error(path + ": stripe " + std::to_string(stripe) +
                                   " slot " + std::to_string(slot) +
                                   " missing on live node");
         }
-        auto bytes = dn.get({stripe, slot});
         if (!bytes.is_ok()) return bytes.status();
         store[slot] = std::move(*bytes);
       }
@@ -430,41 +553,57 @@ Status MiniDfs::scrub() {
 }
 
 Result<std::size_t> MiniDfs::scrub_repair() {
-  std::size_t healed = 0;
-  for (const auto& [path, info] : files_) {
+  // Snapshot the namespace, then heal file by file with the stripes of
+  // each file fanned out across the pool.
+  std::vector<std::pair<std::string, FileInfo>> snapshot;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    snapshot.assign(files_.begin(), files_.end());
+  }
+  std::atomic<std::size_t> healed{0};
+  for (const auto& [path, info] : snapshot) {
+    std::shared_lock<std::shared_mutex> path_lock(path_mu_.of(path));
     auto code_result = scheme(info.code_spec);
     if (!code_result.is_ok()) return code_result.status();
     const ec::CodeScheme& code = **code_result;
-    for (cluster::StripeId stripe : info.stripes) {
-      // Gather the verifiably-good slots, then decode once and rewrite
-      // every bad or missing slot on a live node from the re-encoded
-      // stripe. (Replica-copy would be cheaper per block; decoding keeps
-      // this path simple and also heals parity-vs-data inconsistency.)
-      ec::SlotStore good = gather_stripe(stripe);
-      const std::size_t slot_count = code.layout().num_slots();
-      std::vector<std::size_t> bad_slots;
-      for (std::size_t slot = 0; slot < slot_count; ++slot) {
-        const cluster::NodeId node = catalog_.node_of({stripe, slot});
-        const auto& dn = datanodes_[static_cast<std::size_t>(node)];
-        if (!dn.is_up()) continue;  // node repair handles down nodes
-        if (!good.contains(slot)) bad_slots.push_back(slot);
-      }
-      if (bad_slots.empty()) continue;
-      auto data = code.decode(good, info.block_size);
-      if (!data.is_ok()) return data.status();
-      const auto symbols = code.encode_symbols(*data);
-      for (std::size_t slot : bad_slots) {
-        const cluster::NodeId node = catalog_.node_of({stripe, slot});
-        DBLREP_RETURN_IF_ERROR(datanodes_[static_cast<std::size_t>(node)].put(
-            {stripe, slot}, symbols[code.layout().symbol_of_slot(slot)]));
-        // The rewrite is sourced from the decoding site; count one block
-        // of traffic per healed replica.
-        traffic_.record_to_client(node, static_cast<double>(info.block_size));
-        ++healed;
-      }
-    }
+    const Status file_status = exec::parallel_for(
+        *pool_, info.stripes.size(), [&](std::size_t si) -> Status {
+          const cluster::StripeId stripe = info.stripes[si];
+          // Gather the verifiably-good slots, then decode once and rewrite
+          // every bad or missing slot on a live node from the re-encoded
+          // stripe. (Replica-copy would be cheaper per block; decoding
+          // keeps this path simple and also heals parity-vs-data
+          // inconsistency.)
+          ec::SlotStore good = gather_stripe(stripe);
+          const std::size_t slot_count = code.layout().num_slots();
+          std::vector<std::size_t> bad_slots;
+          for (std::size_t slot = 0; slot < slot_count; ++slot) {
+            const cluster::NodeId node = catalog_.node_of({stripe, slot});
+            const auto& dn = datanodes_[static_cast<std::size_t>(node)];
+            if (!dn.is_up()) continue;  // node repair handles down nodes
+            if (!good.contains(slot)) bad_slots.push_back(slot);
+          }
+          if (bad_slots.empty()) return Status::ok();
+          auto data = code.decode(good, info.block_size);
+          if (!data.is_ok()) return data.status();
+          const auto symbols = code.encode_symbols(*data);
+          for (std::size_t slot : bad_slots) {
+            const cluster::NodeId node = catalog_.node_of({stripe, slot});
+            DBLREP_RETURN_IF_ERROR(
+                datanodes_[static_cast<std::size_t>(node)].put(
+                    {stripe, slot},
+                    symbols[code.layout().symbol_of_slot(slot)]));
+            // The rewrite is sourced from the decoding site; count one
+            // block of traffic per healed replica.
+            traffic_.record_to_client(node,
+                                      static_cast<double>(info.block_size));
+            healed.fetch_add(1);
+          }
+          return Status::ok();
+        });
+    if (!file_status.is_ok()) return file_status;
   }
-  return healed;
+  return healed.load();
 }
 
 DataNode& MiniDfs::datanode(cluster::NodeId node) {
@@ -474,9 +613,10 @@ DataNode& MiniDfs::datanode(cluster::NodeId node) {
 }
 
 const ec::CodeScheme& MiniDfs::code_for(const std::string& path) const {
-  const auto file = lookup(path);
+  const auto file = lookup_copy(path);
   DBLREP_CHECK_MSG(file.is_ok(), "unknown path " << path);
-  const auto it = schemes_.find((*file)->code_spec);
+  std::shared_lock<std::shared_mutex> lock(scheme_mu_);
+  const auto it = schemes_.find(file->code_spec);
   DBLREP_CHECK(it != schemes_.end());
   return *it->second.code;
 }

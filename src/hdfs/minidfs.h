@@ -2,11 +2,11 @@
 // layer end to end with real bytes -- the role HDFS + HDFS-RAID play in the
 // paper's Section 4 testbeds.
 //
-// Components (all in-process, synchronous):
+// Components (all in-process):
 //  * NameNode state: file namespace (path -> stripes) + the cluster
 //    BlockCatalog (stripe placements); placement picks uniformly random
 //    live nodes per stripe, like the paper's single-rack testbeds.
-//  * DataNodes: per-node CRC-checked block stores.
+//  * DataNodes: per-node CRC-checked block stores, each its own lock shard.
 //  * Client operations: write_file (stripe + encode + place), read_file /
 //    read_block (replica read, with corruption fallback and on-the-fly
 //    degraded reads through ec::RepairPlan when every replica is lost).
@@ -15,18 +15,42 @@
 //  * TrafficMeter: every byte that crosses the (simulated) wire is
 //    accounted, so tests can assert the paper's repair-bandwidth numbers
 //    end to end.
+//
+// Concurrency model (the paper's real deployment regime: many clients
+// reading and writing while repairs run in the background):
+//  * Byte-heavy operations -- write_file, read_file, repair_node,
+//    repair_all, scrub_repair -- fan their stripes out across an
+//    exec::ThreadPool; placement stays serial so the stripe layout (and
+//    therefore every byte and traffic total) is identical to the
+//    zero-worker serial execution.
+//  * DataNode stores are per-node lock shards; the namespace is guarded by
+//    a striped per-path shared mutex (concurrent readers, exclusive
+//    delete/rename) plus a map-structure mutex.
+//  * Mutable codec scratch (ec::StripeCodec / ec::PlanExecutor) is checked
+//    out per worker from an exec::RuntimePool per scheme.
+//  * Repair plans are cached per (code, failure-pattern) under a
+//    shared-read lock and replayed across stripes and threads.
+//  * Not supported: deleting or renaming a file concurrently with a repair
+//    or scrub that covers its stripes (catalog references would dangle) --
+//    the same restriction a NameNode lease would enforce.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
+#include <set>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 
 #include "cluster/catalog.h"
 #include "cluster/topology.h"
 #include "cluster/traffic.h"
 #include "common/rng.h"
 #include "ec/code.h"
-#include "ec/stripe_codec.h"
+#include "exec/runtime_pool.h"
+#include "exec/striped_mutex.h"
+#include "exec/thread_pool.h"
 #include "hdfs/datanode.h"
 
 namespace dblrep::hdfs {
@@ -40,17 +64,30 @@ struct FileInfo {
 
 class MiniDfs {
  public:
+  /// Runs parallel operations on exec::default_pool() (DBLREP_THREADS
+  /// override applies).
   MiniDfs(const cluster::Topology& topology, std::uint64_t seed);
+
+  /// Pool injection for benchmarks and determinism tests. `pool` is not
+  /// owned and must outlive the DFS; nullptr selects exec::inline_pool(),
+  /// i.e. the fully serial execution order.
+  MiniDfs(const cluster::Topology& topology, std::uint64_t seed,
+          exec::ThreadPool* pool);
+
+  MiniDfs(const MiniDfs&) = delete;
+  MiniDfs& operator=(const MiniDfs&) = delete;
 
   // ------------------------------------------------------------ client
 
   /// Writes `data` as a new file encoded with `code_spec`, striping into
-  /// blocks of `block_size` bytes.
+  /// blocks of `block_size` bytes. Stripes are placed serially (so layout
+  /// is deterministic per seed) and encoded/stored in parallel.
   Status write_file(const std::string& path, ByteSpan data,
                     const std::string& code_spec, std::size_t block_size);
 
-  /// Whole-file read; degraded reads kick in automatically for blocks with
-  /// no healthy replica.
+  /// Whole-file read: resolves the file once, then streams its stripes in
+  /// parallel straight into the result buffer; degraded reads kick in
+  /// automatically for blocks with no healthy replica.
   Result<Buffer> read_file(const std::string& path);
 
   /// Reads one data block (index within the file).
@@ -70,7 +107,8 @@ class MiniDfs {
   Status restart_node(cluster::NodeId node);
 
   /// Rebuilds everything the (restarted) node should host, using the
-  /// cheapest repair plans available under the current failure set.
+  /// cheapest repair plans available under the current failure set. The
+  /// node's stripes are repaired in parallel across the pool.
   Status repair_node(cluster::NodeId node);
 
   /// Restarts and repairs every down node (multi-failure aware: plans are
@@ -85,9 +123,9 @@ class MiniDfs {
   Status scrub();
 
   /// Scrubs and *heals*: corrupted or missing replicas on live nodes are
-  /// rewritten from a healthy replica or decoded from the stripe. Returns
-  /// the number of blocks repaired, or an error if a stripe is beyond
-  /// recovery.
+  /// rewritten from a healthy replica or decoded from the stripe, stripes
+  /// fanned out across the pool. Returns the number of blocks repaired, or
+  /// an error if a stripe is beyond recovery.
   Result<std::size_t> scrub_repair();
 
   // ------------------------------------------------------------ access
@@ -97,27 +135,38 @@ class MiniDfs {
   const cluster::BlockCatalog& catalog() const { return catalog_; }
   DataNode& datanode(cluster::NodeId node);
   const ec::CodeScheme& code_for(const std::string& path) const;
+  exec::ThreadPool& pool() const { return *pool_; }
 
   /// Total stored bytes across all datanodes (for overhead assertions).
   std::size_t stored_bytes() const;
 
  private:
   /// Everything the data plane keeps warm per code spec: the immutable
-  /// scheme, the arena-backed stripe codec for batch encodes, and a plan
-  /// executor whose scratch is recycled across repair/degraded-read
-  /// executions. Codec and executor carry mutable scratch, which is safe
-  /// because MiniDfs is single-threaded by design (like the rest of the
-  /// in-process simulator); a concurrent DFS would need one runtime per
-  /// worker thread.
+  /// scheme plus a RuntimePool of per-worker StripeCodec/PlanExecutor
+  /// instances (mutable scratch is never shared between threads).
   struct SchemeRuntime {
     std::unique_ptr<ec::CodeScheme> code;
-    std::unique_ptr<ec::StripeCodec> codec;
-    std::unique_ptr<ec::PlanExecutor> executor;
+    std::unique_ptr<exec::RuntimePool> runtimes;
   };
 
-  Result<const FileInfo*> lookup(const std::string& path) const;
-  Result<const ec::CodeScheme*> scheme(const std::string& code_spec);
+  /// Repair plans keyed by (code, code-local failure pattern); shared
+  /// across stripes, repair rounds, and threads.
+  using PlanKey = std::pair<const ec::CodeScheme*, std::set<ec::NodeIndex>>;
+
+  /// Snapshot of a file's metadata under the namespace lock. FileInfo is
+  /// immutable once published, so the copy stays valid without holding any
+  /// lock while bytes move.
+  Result<FileInfo> lookup_copy(const std::string& path) const;
+
   Result<SchemeRuntime*> runtime(const std::string& code_spec);
+  Result<const ec::CodeScheme*> scheme(const std::string& code_spec);
+  exec::RuntimePool& runtime_pool_for(const ec::CodeScheme& code) const;
+
+  /// Plan for `failed` under `code`, computed once per distinct pattern and
+  /// served under a shared-read lock afterwards. The returned pointer stays
+  /// valid for the lifetime of the DFS (entries are never evicted).
+  Result<const ec::RepairPlan*> cached_repair_plan(
+      const ec::CodeScheme& code, const std::set<ec::NodeIndex>& failed);
 
   /// Gathers the live slots of a stripe into a SlotStore (skipping
   /// corrupted blocks), for decode/repair.
@@ -127,13 +176,29 @@ class MiniDfs {
   Result<Buffer> read_symbol(const FileInfo& file, cluster::StripeId stripe,
                              std::size_t symbol);
 
+  /// Repairs one stripe's holes as part of repair_node(node).
+  Status repair_stripe(cluster::StripeId stripe);
+
   cluster::Topology topology_;
   cluster::BlockCatalog catalog_;
   cluster::TrafficMeter traffic_;
+  exec::ThreadPool* pool_;
+  std::deque<DataNode> datanodes_;  // deque: DataNode is pinned (own mutex)
+
+  mutable std::mutex place_mu_;  // guards rng_ + placement decisions
   Rng rng_;
-  std::vector<DataNode> datanodes_;
+
+  mutable std::shared_mutex ns_mu_;  // guards files_ + pending_writes_
   std::map<std::string, FileInfo> files_;
+  std::set<std::string> pending_writes_;  // paths being written right now
+  mutable exec::StripedSharedMutex path_mu_;  // per-path op exclusion
+
+  mutable std::shared_mutex scheme_mu_;  // guards schemes_ + pools_by_code_
   std::map<std::string, SchemeRuntime> schemes_;
+  std::map<const ec::CodeScheme*, exec::RuntimePool*> pools_by_code_;
+
+  mutable std::shared_mutex plan_mu_;  // guards plan_cache_
+  std::map<PlanKey, ec::RepairPlan> plan_cache_;
 };
 
 }  // namespace dblrep::hdfs

@@ -1,0 +1,186 @@
+#include "hdfs/workload_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "ec/registry.h"
+
+namespace dblrep::hdfs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double micros_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+void OpStats::record(double us, bool ok) {
+  latency_us.add(us);
+  latency_hist.add(us);
+  if (!ok) ++errors;
+}
+
+void OpStats::merge(const OpStats& other) {
+  latency_us.merge(other.latency_us);
+  latency_hist.merge(other.latency_hist);
+  errors += other.errors;
+}
+
+WorkloadDriver::WorkloadDriver(MiniDfs& dfs, WorkloadOptions options)
+    : dfs_(&dfs), options_(std::move(options)) {}
+
+Status WorkloadDriver::preload() {
+  if (options_.preload_files == 0 || options_.stripes_per_file == 0 ||
+      options_.block_size == 0) {
+    return invalid_argument_error(
+        "workload needs preload_files, stripes_per_file, block_size > 0");
+  }
+  auto code = ec::make_code(options_.code_spec);
+  if (!code.is_ok()) return code.status();
+  const std::size_t file_bytes = options_.stripes_per_file *
+                                 (*code)->data_blocks() * options_.block_size;
+  payload_ = random_buffer(file_bytes, options_.seed ^ 0x9e3779b9u);
+  for (std::size_t f = 0; f < options_.preload_files; ++f) {
+    const std::string path = "/wl/preload/" + std::to_string(f);
+    DBLREP_RETURN_IF_ERROR(dfs_->write_file(path, payload_,
+                                            options_.code_spec,
+                                            options_.block_size));
+    preloaded_.push_back(path);
+  }
+  return Status::ok();
+}
+
+void WorkloadDriver::client_loop(std::size_t client_index, Rng rng,
+                                 ClientStats& stats) {
+  const double mix_total = options_.read_fraction + options_.write_fraction +
+                           options_.degraded_fraction;
+  const double read_cut = options_.read_fraction / mix_total;
+  const double write_cut = read_cut + options_.write_fraction / mix_total;
+  const std::size_t blocks_per_file =
+      payload_.size() / options_.block_size;
+
+  for (std::size_t op = 0; op < options_.ops_per_client; ++op) {
+    const double pick = rng.next_double();
+    if (pick >= read_cut && pick < write_cut) {
+      const std::string path = "/wl/client" + std::to_string(client_index) +
+                               "/f" + std::to_string(op);
+      const auto start = Clock::now();
+      const Status status = dfs_->write_file(
+          path, payload_, options_.code_spec, options_.block_size);
+      stats.write.record(micros_since(start), status.is_ok());
+      continue;
+    }
+    const bool want_degraded = pick >= write_cut;
+    if (want_degraded && !degraded_blocks_.empty()) {
+      const auto& [path, block] = degraded_blocks_[static_cast<std::size_t>(
+          rng.next_below(degraded_blocks_.size()))];
+      const auto start = Clock::now();
+      const auto result = dfs_->read_block(path, block);
+      stats.degraded.record(micros_since(start), result.is_ok());
+      continue;
+    }
+    // Plain read (also the fallback when nothing is degraded). Note the
+    // block may still be served degraded while the cluster has failures --
+    // categories describe intent, the DFS decides the path.
+    const auto& path = preloaded_[static_cast<std::size_t>(
+        rng.next_below(preloaded_.size()))];
+    const std::size_t block =
+        static_cast<std::size_t>(rng.next_below(blocks_per_file));
+    const auto start = Clock::now();
+    const auto result = dfs_->read_block(path, block);
+    (want_degraded ? stats.degraded : stats.read)
+        .record(micros_since(start), result.is_ok());
+  }
+}
+
+Result<WorkloadReport> WorkloadDriver::run() {
+  if (preloaded_.empty()) {
+    DBLREP_RETURN_IF_ERROR(preload());
+  }
+  auto code = ec::make_code(options_.code_spec);
+  if (!code.is_ok()) return code.status();
+  const std::size_t k = (*code)->data_blocks();
+
+  // Crash-fail nodes out of the first preloaded stripe's placement group,
+  // so the failures are guaranteed to hit stored data.
+  if (options_.fail_nodes > 0) {
+    const auto info = dfs_->stat(preloaded_.front());
+    if (!info.is_ok()) return info.status();
+    const auto group = dfs_->catalog().stripe(info->stripes.front()).group;
+    for (std::size_t i = 0; i < options_.fail_nodes && i < group.size(); ++i) {
+      DBLREP_RETURN_IF_ERROR(dfs_->fail_node(group[i]));
+    }
+  }
+
+  // Index the blocks whose replicas are all gone: the degraded-read mix.
+  degraded_blocks_.clear();
+  const auto down = dfs_->down_nodes();
+  if (!down.empty()) {
+    for (const auto& path : preloaded_) {
+      const auto info = dfs_->stat(path);
+      if (!info.is_ok()) return info.status();
+      for (std::size_t si = 0; si < info->stripes.size(); ++si) {
+        for (std::size_t symbol = 0; symbol < k; ++symbol) {
+          const auto replicas =
+              dfs_->catalog().replica_nodes(info->stripes[si], symbol);
+          const bool all_lost =
+              std::all_of(replicas.begin(), replicas.end(),
+                          [&](cluster::NodeId n) { return down.contains(n); });
+          if (all_lost) {
+            degraded_blocks_.emplace_back(path, si * k + symbol);
+          }
+        }
+      }
+    }
+  }
+
+  // Forked deterministic streams, one per client (forked serially so the
+  // set of streams is a function of the seed alone).
+  Rng root(options_.seed);
+  std::vector<Rng> client_rngs;
+  client_rngs.reserve(options_.clients);
+  for (std::size_t c = 0; c < options_.clients; ++c) {
+    client_rngs.push_back(root.fork());
+  }
+
+  WorkloadReport report;
+  std::vector<ClientStats> per_client(options_.clients);
+  const auto start = Clock::now();
+
+  std::thread repair_thread;
+  if (options_.repair_concurrently) {
+    repair_thread = std::thread([&] {
+      const auto repair_start = Clock::now();
+      report.repair_status = dfs_->repair_all();
+      report.repair_s = micros_since(repair_start) / 1e6;
+    });
+  }
+  std::vector<std::thread> clients;
+  clients.reserve(options_.clients);
+  for (std::size_t c = 0; c < options_.clients; ++c) {
+    clients.emplace_back([this, c, &per_client, &client_rngs] {
+      client_loop(c, client_rngs[c], per_client[c]);
+    });
+  }
+  for (auto& t : clients) t.join();
+  if (repair_thread.joinable()) repair_thread.join();
+
+  report.wall_s = micros_since(start) / 1e6;
+  for (const auto& stats : per_client) {
+    report.read.merge(stats.read);
+    report.write.merge(stats.write);
+    report.degraded.merge(stats.degraded);
+  }
+  report.ops_per_s =
+      report.wall_s > 0
+          ? static_cast<double>(report.total_ops()) / report.wall_s
+          : 0.0;
+  return report;
+}
+
+}  // namespace dblrep::hdfs

@@ -1,0 +1,112 @@
+// WorkloadDriver: closed-loop client traffic against a MiniDfs.
+//
+// The paper's deployment context -- and the regime "XORing Elephants"
+// (Sathiamoorthy et al.) and "Optimal Repair Layering" (Hu et al.) evaluate
+// -- is an HDFS-RAID cluster serving foreground read/write traffic while
+// node repairs run in the background. The driver reproduces that: N client
+// threads each issue a closed loop of operations (read / write / degraded
+// read, mixed by configurable fractions) against the shared DFS,
+// optionally while repair_all() executes on a background thread. Each
+// client collects per-op latency into private RunningStat/Histogram
+// instances that are merged lock-free at join time.
+//
+// Degraded reads are real ones: before the run the driver crash-fails
+// `fail_nodes` nodes and indexes every block whose replicas were all lost;
+// the degraded mix then reads exactly those blocks, exercising the
+// on-the-fly ec::RepairPlan path under concurrency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "hdfs/minidfs.h"
+
+namespace dblrep::hdfs {
+
+struct WorkloadOptions {
+  std::size_t clients = 4;
+  std::size_t ops_per_client = 50;
+
+  /// Op mix; fractions are normalized by their sum. "degraded" falls back
+  /// to a plain read when no block is actually degraded (healthy cluster).
+  double read_fraction = 0.6;
+  double write_fraction = 0.2;
+  double degraded_fraction = 0.2;
+
+  std::string code_spec = "rs-10-4";
+  std::size_t block_size = 4096;
+  std::size_t stripes_per_file = 2;
+  std::size_t preload_files = 8;
+
+  /// Nodes crash-failed before the clients start (picked deterministically
+  /// from the first stripe's placement so data is actually lost).
+  std::size_t fail_nodes = 0;
+
+  /// Run repair_all() on a background thread concurrently with the
+  /// clients -- the workload-under-repair scenario.
+  bool repair_concurrently = false;
+
+  std::uint64_t seed = 1;
+};
+
+/// Per-operation-type latency record. Latencies are microseconds.
+struct OpStats {
+  RunningStat latency_us;
+  Histogram latency_hist = Histogram::log_spaced(1.0, 1e7, 4);
+  std::size_t errors = 0;
+
+  void record(double us, bool ok);
+  void merge(const OpStats& other);
+};
+
+struct WorkloadReport {
+  OpStats read;
+  OpStats write;
+  OpStats degraded;
+
+  double wall_s = 0;
+  double ops_per_s = 0;
+
+  /// Wall time of the concurrent repair_all(), 0 when not requested.
+  double repair_s = 0;
+  Status repair_status;
+
+  std::size_t total_ops() const {
+    return read.latency_us.count() + write.latency_us.count() +
+           degraded.latency_us.count();
+  }
+  std::size_t total_errors() const {
+    return read.errors + write.errors + degraded.errors;
+  }
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(MiniDfs& dfs, WorkloadOptions options);
+
+  /// Writes the initial file population the read mix will target. Must be
+  /// called (successfully) before run().
+  Status preload();
+
+  /// Fails nodes, spawns the clients (and the background repair when
+  /// configured), joins everything, and returns the merged report.
+  Result<WorkloadReport> run();
+
+ private:
+  struct ClientStats {
+    OpStats read, write, degraded;
+  };
+
+  void client_loop(std::size_t client_index, Rng rng, ClientStats& stats);
+
+  MiniDfs* dfs_;
+  WorkloadOptions options_;
+  std::vector<std::string> preloaded_;
+  Buffer payload_;  // shared immutable write payload
+  std::vector<std::pair<std::string, std::size_t>> degraded_blocks_;
+};
+
+}  // namespace dblrep::hdfs

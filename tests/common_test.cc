@@ -254,6 +254,68 @@ TEST(Histogram, UnsortedBoundsRejected) {
   EXPECT_THROW(Histogram({2.0, 1.0}), ContractViolation);
 }
 
+TEST(RunningStat, MergeMatchesSequentialAdds) {
+  // Split one sample stream across three "threads" and merge: count, sum,
+  // mean, min/max exact; variance to combination-formula precision.
+  const std::vector<double> all = {2.0, 4.0, 4.0, 4.0, 5.0,
+                                   5.0, 7.0, 9.0, -1.0, 12.5};
+  RunningStat whole;
+  for (double x : all) whole.add(x);
+  RunningStat parts[3];
+  for (std::size_t i = 0; i < all.size(); ++i) parts[i % 3].add(all[i]);
+  RunningStat merged;
+  for (const auto& part : parts) merged.merge(part);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat a;
+  RunningStat b;
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);  // empty <- populated
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  RunningStat empty;
+  a.merge(empty);  // populated <- empty is a no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(Histogram, MergeAddsCountsBucketwise) {
+  Histogram a({0.0, 10.0, 20.0});
+  Histogram b({0.0, 10.0, 20.0});
+  a.add(5.0);
+  a.add(15.0);
+  b.add(5.0);
+  b.add(25.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.counts()[1], 2u);  // [0,10)
+  EXPECT_EQ(a.counts()[2], 1u);  // [10,20)
+  EXPECT_EQ(a.counts()[3], 1u);  // overflow
+  Histogram mismatched({0.0, 5.0});
+  EXPECT_THROW(a.merge(mismatched), ContractViolation);
+}
+
+TEST(Histogram, LogSpacedCoversRangeMonotonically) {
+  const Histogram h = Histogram::log_spaced(1.0, 1e6, 4);
+  // 6 decades x 4 buckets each, within one bucket of rounding.
+  EXPECT_GE(h.counts().size(), 24u);
+  Histogram copy = h;
+  copy.add(0.5);      // underflow
+  copy.add(1e7);      // overflow
+  copy.add(1234.5);   // interior
+  EXPECT_EQ(copy.total(), 3u);
+  EXPECT_EQ(copy.counts().front(), 1u);
+  EXPECT_EQ(copy.counts().back(), 1u);
+}
+
 // ---------------------------------------------------------------- table.h
 
 TEST(TextTable, AlignsAndRendersAllRows) {

@@ -1,0 +1,227 @@
+// Tests for the execution subsystem: thread pool, parallel_for semantics
+// (correctness, error propagation, nesting, zero-worker serial mode),
+// runtime checkout, and the striped namespace mutex.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "ec/registry.h"
+#include "exec/runtime_pool.h"
+#include "exec/striped_mutex.h"
+#include "exec/thread_pool.h"
+
+namespace dblrep::exec {
+namespace {
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPool, AsyncReturnsFutureResults) {
+  ThreadPool pool(3);
+  auto a = pool.async([] { return 7; });
+  auto b = pool.async([] { return std::string("ok"); });
+  EXPECT_EQ(a.get(), 7);
+  EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  std::thread::id submitter = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, submitter);  // submit() executed it synchronously
+}
+
+TEST(ThreadPool, TasksSubmittedFromTasksComplete) {
+  // Recursive submission exercises the worker-local push + steal path.
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::promise<void> all_done;
+  constexpr int kFanout = 25;
+  for (int i = 0; i < kFanout; ++i) {
+    pool.submit([&] {
+      pool.submit([&] {
+        if (done.fetch_add(1) + 1 == kFanout) all_done.set_value();
+      });
+    });
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(done.load(), kFanout);
+}
+
+TEST(ThreadPool, ParseWorkerCount) {
+  EXPECT_EQ(ThreadPool::parse_worker_count("8"), 8u);
+  EXPECT_EQ(ThreadPool::parse_worker_count("0"), 0u);
+  EXPECT_EQ(ThreadPool::parse_worker_count(nullptr), std::nullopt);
+  EXPECT_EQ(ThreadPool::parse_worker_count(""), std::nullopt);
+  EXPECT_EQ(ThreadPool::parse_worker_count("x"), std::nullopt);
+  EXPECT_EQ(ThreadPool::parse_worker_count("4x"), std::nullopt);
+  EXPECT_EQ(ThreadPool::parse_worker_count("-2"), std::nullopt);
+}
+
+// ---------------------------------------------------------- parallel_for
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (std::size_t workers : {0u, 1u, 4u}) {
+    ThreadPool pool(workers);
+    constexpr std::size_t kN = 500;
+    std::vector<std::atomic<int>> hits(kN);
+    const Status status = parallel_for(pool, kN, [&](std::size_t i) {
+      hits[i].fetch_add(1);
+      return Status::ok();
+    });
+    EXPECT_TRUE(status.is_ok());
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " workers " << workers;
+    }
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsOk) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(parallel_for(pool, 0, [](std::size_t) {
+                return internal_error("never called");
+              }).is_ok());
+}
+
+TEST(ParallelFor, PropagatesFirstErrorAndSkipsRemainder) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> executed{0};
+  const Status status = parallel_for(pool, 10000, [&](std::size_t i) {
+    executed.fetch_add(1);
+    if (i == 3) return invalid_argument_error("boom");
+    return Status::ok();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "boom");
+  // Iterations claimed after the failure are skipped, so far fewer than
+  // the full range ran (in-flight ones may still have completed).
+  EXPECT_LT(executed.load(), 10000u);
+}
+
+TEST(ParallelFor, SerialModeRunsInOrderAndStopsAtError) {
+  ThreadPool pool(0);
+  std::vector<std::size_t> order;
+  const Status status = parallel_for(pool, 10, [&](std::size_t i) {
+    order.push_back(i);
+    if (i == 4) return internal_error("stop");
+    return Status::ok();
+  });
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  // Every outer iteration runs an inner parallel_for on the same small
+  // pool; caller participation guarantees progress even with all workers
+  // blocked in outer iterations.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  const Status status = parallel_for(pool, 8, [&](std::size_t) {
+    return parallel_for(pool, 8, [&](std::size_t) {
+      total.fetch_add(1);
+      return Status::ok();
+    });
+  });
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelFor, ConcurrentCallersFromManyThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      const Status status = parallel_for(pool, 50, [&](std::size_t) {
+        total.fetch_add(1);
+        return Status::ok();
+      });
+      EXPECT_TRUE(status.is_ok());
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 200);
+}
+
+// ----------------------------------------------------------- RuntimePool
+
+TEST(RuntimePool, ReusesReturnedRuntime) {
+  const auto code = ec::make_code("rs-10-4").value();
+  RuntimePool pool(*code);
+  const RuntimePool::Runtime* first;
+  {
+    auto lease = pool.acquire();
+    first = &*lease;
+  }
+  auto lease = pool.acquire();
+  EXPECT_EQ(&*lease, first);  // checked back in, checked back out
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(RuntimePool, ConcurrentLeasesAreDistinct) {
+  const auto code = ec::make_code("pentagon").value();
+  RuntimePool pool(*code);
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  EXPECT_NE(&*a, &*b);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(RuntimePool, ParallelCheckoutNeverShares) {
+  const auto code = ec::make_code("heptagon").value();
+  RuntimePool rpool(*code);
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<const RuntimePool::Runtime*> in_use;
+  const Status status = parallel_for(pool, 200, [&](std::size_t) -> Status {
+    auto lease = rpool.acquire();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!in_use.insert(&*lease).second) {
+        return internal_error("runtime leased twice concurrently");
+      }
+    }
+    // Exercise the leased codec so a shared arena would corrupt.
+    const Buffer data = random_buffer(7 * 64, 3);
+    (void)lease->codec.encode_stripe(data, 64);
+    std::lock_guard<std::mutex> lock(mu);
+    in_use.erase(&*lease);
+    return Status::ok();
+  });
+  EXPECT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_LE(rpool.size(), 5u);  // at most one per participant
+}
+
+// ----------------------------------------------------- StripedSharedMutex
+
+TEST(StripedSharedMutex, SameKeySameStripe) {
+  StripedSharedMutex mu;
+  EXPECT_EQ(&mu.of("/a/b"), &mu.of("/a/b"));
+}
+
+TEST(StripedSharedMutex, ExclusiveExcludesShared) {
+  StripedSharedMutex mu;
+  std::unique_lock<std::shared_mutex> writer(mu.of("/x"));
+  std::shared_mutex& same = mu.of("/x");
+  EXPECT_FALSE(same.try_lock_shared());
+  writer.unlock();
+  EXPECT_TRUE(same.try_lock_shared());
+  same.unlock_shared();
+}
+
+TEST(StripedSharedMutex, PairLockHandlesCollidingKeys) {
+  StripedSharedMutex mu;
+  // Locking (k, k) must not self-deadlock even though both map to the
+  // same stripe; scope exit must fully release.
+  { StripedSharedMutex::PairLock lock(mu, "/same", "/same"); }
+  EXPECT_TRUE(mu.of("/same").try_lock());
+  mu.of("/same").unlock();
+}
+
+}  // namespace
+}  // namespace dblrep::exec

@@ -172,11 +172,13 @@ TEST(MiniDfs, BothReplicasCorruptTriggersDegradedRead) {
     const cluster::NodeId holder = dfs.catalog().node_of({stripe, slot});
     ASSERT_TRUE(dfs.datanode(holder).corrupt({stripe, slot}, 0).is_ok());
   }
-  // Degraded read path cannot engage (the nodes are up but their blocks
-  // corrupt, and planning keys off down nodes) -- documented limitation:
-  // the read reports corruption instead of returning bad bytes.
+  // The degraded-read planner probes actual block availability (not just
+  // down nodes), so a block whose replicas are all CRC-broken on *live*
+  // nodes is still served by on-the-fly decode from the rest of the
+  // stripe -- and never returns bad bytes.
   const auto block = dfs.read_block("/f", 0);
-  EXPECT_FALSE(block.is_ok());
+  ASSERT_TRUE(block.is_ok()) << block.status().to_string();
+  EXPECT_TRUE(std::equal(block->begin(), block->end(), data.begin()));
 }
 
 TEST(MiniDfs, ScrubRepairHealsCorruptReplicas) {
@@ -202,9 +204,10 @@ TEST(MiniDfs, ScrubRepairHealsCorruptReplicas) {
 }
 
 TEST(MiniDfs, ScrubRepairHealsEvenWithBothReplicasOfABlockCorrupt) {
-  // Unlike the plain read path (which keys degraded reads off *down*
-  // nodes), scrub_repair decodes from whatever verifies, so it recovers a
-  // block whose two replicas are both CRC-broken on live nodes.
+  // scrub_repair decodes from whatever verifies, so it durably rewrites a
+  // block whose two replicas are both CRC-broken on live nodes (reads of
+  // the block already succeed beforehand via availability-probed degraded
+  // reads, but only the scrub restores the replicas on disk).
   MiniDfs dfs = make_dfs();
   const Buffer data = payload(kBlockSize * 9, 31);
   ASSERT_TRUE(dfs.write_file("/f", data, "pentagon", kBlockSize).is_ok());
@@ -215,7 +218,7 @@ TEST(MiniDfs, ScrubRepairHealsEvenWithBothReplicasOfABlockCorrupt) {
     const cluster::NodeId holder = dfs.catalog().node_of({stripe, slot});
     ASSERT_TRUE(dfs.datanode(holder).corrupt({stripe, slot}, 2).is_ok());
   }
-  EXPECT_FALSE(dfs.read_block("/f", 4).is_ok());
+  EXPECT_TRUE(dfs.read_block("/f", 4).is_ok());
   const auto healed = dfs.scrub_repair();
   ASSERT_TRUE(healed.is_ok());
   EXPECT_EQ(*healed, 2u);

@@ -1,0 +1,281 @@
+// Determinism and safety of the concurrent data plane.
+//
+// The core property: for every registered code and every failure count the
+// code tolerates (capped at 3), running the byte-heavy paths on a real
+// thread pool leaves *byte-identical* datanode contents and *identical*
+// traffic totals versus the zero-worker serial execution. Placement is
+// serialized by design, and every traffic increment is a whole number of
+// bytes (exact in double), so parallel and serial runs must agree exactly
+// -- any divergence is a lost update or a double-repair.
+//
+// Plus end-to-end safety runs: closed-loop clients with a concurrent
+// repair_all (the workload-under-repair regime), and raw multi-threaded
+// writer/reader crossfire against one DFS.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "ec/registry.h"
+#include "exec/thread_pool.h"
+#include "hdfs/minidfs.h"
+#include "hdfs/workload_driver.h"
+
+namespace dblrep::hdfs {
+namespace {
+
+constexpr std::size_t kBlockSize = 64;
+constexpr std::size_t kNodes = 25;
+
+/// Full cluster image: node -> (address -> bytes). get() re-verifies CRCs,
+/// so a corrupt block would show up as absent and fail the comparison.
+using ClusterImage =
+    std::map<cluster::NodeId, std::map<cluster::SlotAddress, Buffer>>;
+
+ClusterImage image_of(MiniDfs& dfs) {
+  ClusterImage image;
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    auto& dn = dfs.datanode(static_cast<cluster::NodeId>(n));
+    auto& blocks = image[static_cast<cluster::NodeId>(n)];
+    for (const auto& address : dn.stored_addresses()) {
+      auto bytes = dn.get(address);
+      if (bytes.is_ok()) blocks.emplace(address, std::move(*bytes));
+    }
+  }
+  return image;
+}
+
+struct RunResult {
+  ClusterImage image;
+  double traffic_total = 0;
+  double traffic_cross_rack = 0;
+  std::size_t healed = 0;
+};
+
+/// One deterministic failure/repair scenario for `spec` with `failures`
+/// nodes lost, executed on `pool` (nullptr = serial reference).
+RunResult run_repair_scenario(const std::string& spec, int failures,
+                              exec::ThreadPool* pool) {
+  cluster::Topology topology;
+  topology.num_nodes = kNodes;
+  MiniDfs dfs(topology, /*seed=*/99, pool);
+  const auto code = ec::make_code(spec).value();
+  // 3 full stripes plus a ragged tail, two files.
+  const std::size_t bytes =
+      code->data_blocks() * kBlockSize * 3 + 2 * kBlockSize;
+  EXPECT_TRUE(
+      dfs.write_file("/a", random_buffer(bytes, 5), spec, kBlockSize).is_ok());
+  EXPECT_TRUE(
+      dfs.write_file("/b", random_buffer(bytes, 6), spec, kBlockSize).is_ok());
+
+  // Fail members of the first stripe's placement group: guaranteed data
+  // loss, never beyond the per-stripe tolerance, and the same nodes in the
+  // serial and parallel runs (placement is deterministic per seed).
+  const auto group = dfs.catalog().stripe(dfs.stat("/a")->stripes[0]).group;
+  for (int i = 0; i < failures; ++i) {
+    EXPECT_TRUE(dfs.fail_node(group[static_cast<std::size_t>(i)]).is_ok());
+  }
+  dfs.traffic().reset();
+  const Status repaired = dfs.repair_all();
+  EXPECT_TRUE(repaired.is_ok()) << spec << ": " << repaired.to_string();
+  EXPECT_TRUE(dfs.scrub().is_ok()) << spec;
+
+  RunResult result;
+  result.image = image_of(dfs);
+  result.traffic_total = dfs.traffic().total_bytes();
+  result.traffic_cross_rack = dfs.traffic().cross_rack_bytes();
+  return result;
+}
+
+TEST(ParallelRepairEquivalence, ByteIdenticalToSerialForEveryCode) {
+  auto specs = ec::paper_code_specs();
+  specs.push_back("rs-10-4");
+  exec::ThreadPool pool(4);
+  for (const auto& spec : specs) {
+    const auto code = ec::make_code(spec).value();
+    const int max_failures =
+        std::min(3, code->params().fault_tolerance);
+    for (int failures = 1; failures <= max_failures; ++failures) {
+      SCOPED_TRACE(spec + " failures=" + std::to_string(failures));
+      const RunResult serial = run_repair_scenario(spec, failures, nullptr);
+      const RunResult parallel = run_repair_scenario(spec, failures, &pool);
+      EXPECT_EQ(serial.image, parallel.image);
+      EXPECT_DOUBLE_EQ(serial.traffic_total, parallel.traffic_total);
+      EXPECT_DOUBLE_EQ(serial.traffic_cross_rack,
+                       parallel.traffic_cross_rack);
+      EXPECT_GT(parallel.traffic_total, 0.0);  // the repair actually ran
+    }
+  }
+}
+
+/// Deterministic corruption + scrub_repair scenario.
+RunResult run_scrub_scenario(const std::string& spec, exec::ThreadPool* pool) {
+  cluster::Topology topology;
+  topology.num_nodes = kNodes;
+  MiniDfs dfs(topology, /*seed=*/123, pool);
+  const auto code = ec::make_code(spec).value();
+  const std::size_t bytes = code->data_blocks() * kBlockSize * 2;
+  EXPECT_TRUE(
+      dfs.write_file("/f", random_buffer(bytes, 8), spec, kBlockSize).is_ok());
+  // Corrupt one replica of symbol 0 and -- when the code has a second
+  // symbol to spare -- drop one replica of the last symbol in every
+  // stripe; same addresses in serial and parallel runs because placement
+  // is deterministic per seed. (Single-symbol replication codes only get
+  // the corruption: hitting both copies of their one block is data loss.)
+  const auto info = *dfs.stat("/f");
+  for (const auto stripe : info.stripes) {
+    const auto& layout = code->layout();
+    const std::size_t slot_a = layout.slots_of_symbol(0).front();
+    EXPECT_TRUE(dfs.datanode(dfs.catalog().node_of({stripe, slot_a}))
+                    .corrupt({stripe, slot_a}, 1)
+                    .is_ok());
+    if (code->num_symbols() > 1) {
+      const std::size_t slot_b =
+          layout.slots_of_symbol(code->num_symbols() - 1).back();
+      EXPECT_TRUE(dfs.datanode(dfs.catalog().node_of({stripe, slot_b}))
+                      .drop({stripe, slot_b})
+                      .is_ok());
+    }
+  }
+  dfs.traffic().reset();
+  const auto healed = dfs.scrub_repair();
+  EXPECT_TRUE(healed.is_ok()) << spec << ": " << healed.status().to_string();
+  EXPECT_TRUE(dfs.scrub().is_ok()) << spec;
+
+  RunResult result;
+  result.image = image_of(dfs);
+  result.traffic_total = dfs.traffic().total_bytes();
+  result.traffic_cross_rack = dfs.traffic().cross_rack_bytes();
+  result.healed = healed.is_ok() ? *healed : 0;
+  return result;
+}
+
+TEST(ParallelScrubRepairEquivalence, ByteIdenticalToSerialForEveryCode) {
+  auto specs = ec::paper_code_specs();
+  specs.push_back("rs-10-4");
+  exec::ThreadPool pool(4);
+  for (const auto& spec : specs) {
+    SCOPED_TRACE(spec);
+    const RunResult serial = run_scrub_scenario(spec, nullptr);
+    const RunResult parallel = run_scrub_scenario(spec, &pool);
+    EXPECT_EQ(serial.healed, parallel.healed);
+    EXPECT_GT(parallel.healed, 0u);
+    EXPECT_EQ(serial.image, parallel.image);
+    EXPECT_DOUBLE_EQ(serial.traffic_total, parallel.traffic_total);
+  }
+}
+
+// ------------------------------------------------- workload under repair
+
+TEST(WorkloadDriver, MixedWorkloadUnderConcurrentRepairIsErrorFree) {
+  cluster::Topology topology;
+  topology.num_nodes = kNodes;
+  exec::ThreadPool pool(2);
+  MiniDfs dfs(topology, 31, &pool);
+
+  WorkloadOptions options;
+  options.code_spec = "pentagon";
+  options.block_size = kBlockSize;
+  options.stripes_per_file = 2;
+  options.preload_files = 4;
+  options.clients = 3;
+  options.ops_per_client = 25;
+  options.fail_nodes = 2;
+  options.repair_concurrently = true;
+  options.seed = 17;
+  WorkloadDriver driver(dfs, options);
+  const auto report = driver.run();
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report->repair_status.is_ok())
+      << report->repair_status.to_string();
+  EXPECT_EQ(report->total_errors(), 0u);
+  EXPECT_GT(report->total_ops(), 0u);
+  EXPECT_GT(report->repair_s, 0.0);
+  // The cluster must come out consistent: every file readable, codewords
+  // intact, nothing left degraded.
+  EXPECT_TRUE(dfs.repair_all().is_ok());
+  EXPECT_TRUE(dfs.scrub().is_ok());
+  for (const auto& path : dfs.list_files()) {
+    EXPECT_TRUE(dfs.read_file(path).is_ok()) << path;
+  }
+}
+
+TEST(WorkloadDriver, DegradedMixTargetsActuallyLostBlocks) {
+  cluster::Topology topology;
+  topology.num_nodes = kNodes;
+  exec::ThreadPool pool(2);
+  MiniDfs dfs(topology, 32, &pool);
+
+  WorkloadOptions options;
+  options.code_spec = "rs-10-4";  // no replication: any loss is degraded
+  options.block_size = kBlockSize;
+  options.stripes_per_file = 1;
+  options.preload_files = 3;
+  options.clients = 2;
+  options.ops_per_client = 20;
+  options.read_fraction = 0.0;
+  options.write_fraction = 0.0;
+  options.degraded_fraction = 1.0;
+  options.fail_nodes = 2;
+  options.repair_concurrently = false;  // stays degraded the whole run
+  options.seed = 23;
+  WorkloadDriver driver(dfs, options);
+  const auto report = driver.run();
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->total_errors(), 0u);
+  EXPECT_EQ(report->degraded.latency_us.count(), 40u);
+  // Degraded reads move extra blocks over the wire; with rs-10-4 each one
+  // costs k transfers, so traffic dwarfs the block count.
+  EXPECT_GT(dfs.traffic().total_bytes(), 40.0 * kBlockSize);
+}
+
+// --------------------------------------------------- raw client crossfire
+
+TEST(ConcurrentClients, WritersReadersAndRepairDoNotCorrupt) {
+  cluster::Topology topology;
+  topology.num_nodes = kNodes;
+  exec::ThreadPool pool(3);
+  MiniDfs dfs(topology, 77, &pool);
+
+  const auto code = ec::make_code("pentagon").value();
+  const Buffer payload =
+      random_buffer(code->data_blocks() * kBlockSize * 2, 9);
+  for (int f = 0; f < 3; ++f) {
+    ASSERT_TRUE(dfs.write_file("/seed/" + std::to_string(f), payload,
+                               "pentagon", kBlockSize)
+                    .is_ok());
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 3; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < 8; ++i) {
+        const std::string path =
+            "/w" + std::to_string(w) + "/" + std::to_string(i);
+        if (!dfs.write_file(path, payload, "pentagon", kBlockSize).is_ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(static_cast<std::uint64_t>(r) + 1);
+      for (int i = 0; i < 12; ++i) {
+        const auto path = "/seed/" + std::to_string(rng.next_below(3));
+        const auto read = dfs.read_file(path);
+        if (!read.is_ok() || *read != payload) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(dfs.scrub().is_ok());
+  EXPECT_EQ(dfs.list_files().size(), 3u + 24u);
+}
+
+}  // namespace
+}  // namespace dblrep::hdfs
