@@ -1,0 +1,304 @@
+// Rack-aware placement x two-stage repair layering: the cross-rack repair
+// traffic each combination produces, swept over placement policy, scheme,
+// and rack count, for both plain node repair and the mixed
+// workload-under-repair scenario. Emits BENCH_rack_layering.json.
+//
+// The headline comparison (asserted at exit, mirroring the PR acceptance
+// bar): at 3 racks, layered group_per_rack heptagon-local repair moves
+// strictly fewer cross-rack bytes than rack-blind flat placement -- while
+// layered and unlayered repairs of the same configuration leave every
+// datanode byte-identical and move the same total number of bytes.
+//
+// Self-contained harness (no google-benchmark), same pattern as
+// bench_parallel_scaling. Runs on the inline (serial) pool so every number
+// is a deterministic function of the seed.
+//
+// Usage: rack_layering [--block-size=BYTES] [--stripes=N] [--racks=CSV]
+//                      [--schemes=CSV] [--json=PATH] [--skip-mixed]
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "cluster/topology.h"
+#include "common/bytes.h"
+#include "common/check.h"
+#include "ec/registry.h"
+#include "hdfs/minidfs.h"
+#include "hdfs/workload_driver.h"
+
+namespace {
+
+using namespace dblrep;
+
+struct Sample {
+  std::string scheme;
+  std::string policy;
+  std::size_t racks = 1;
+  bool layered = false;
+  // Node repair of one failed stripe-group member.
+  double repair_total_bytes = 0;
+  double repair_cross_rack_bytes = 0;
+  double repair_intra_rack_bytes = 0;
+  bool repair_bytes_identical = true;  // vs the unlayered twin run
+  // Closed-loop clients + concurrent repair_all (2 failed nodes).
+  double mixed_total_bytes = 0;
+  double mixed_cross_rack_bytes = 0;
+  double mixed_client_bytes = 0;
+  std::size_t mixed_errors = 0;
+};
+
+/// FNV-1a over every stored block (address + bytes) of every node.
+/// Deliberately excludes traffic totals: layering changes *where* bytes
+/// flow, never what ends up stored.
+std::uint64_t stored_fingerprint(hdfs::MiniDfs& dfs, std::size_t num_nodes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xff)) * 1099511628211ULL;
+    }
+  };
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    auto& dn = dfs.datanode(static_cast<cluster::NodeId>(n));
+    for (const auto& address : dn.stored_addresses()) {
+      mix(address.stripe);
+      mix(address.slot);
+      const auto bytes = dn.get(address);
+      if (!bytes.is_ok()) continue;
+      for (std::uint8_t b : *bytes) h = (h ^ b) * 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t block_size = 4096;
+  std::size_t stripes = 4;
+  std::vector<std::size_t> rack_counts = {1, 3, 9};
+  std::vector<std::string> schemes = {"heptagon-local", "rs-10-4", "pentagon"};
+  std::string json_path = "BENCH_rack_layering.json";
+  bool skip_mixed = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--block-size=", 0) == 0) {
+        block_size = std::stoull(arg.substr(13));
+      } else if (arg.rfind("--stripes=", 0) == 0) {
+        stripes = std::stoull(arg.substr(10));
+      } else if (arg.rfind("--racks=", 0) == 0) {
+        rack_counts.clear();
+        for (const auto& r : split_csv(arg.substr(8))) {
+          rack_counts.push_back(std::stoull(r));
+        }
+      } else if (arg.rfind("--schemes=", 0) == 0) {
+        schemes = split_csv(arg.substr(10));
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json_path = arg.substr(7);
+      } else if (arg == "--skip-mixed") {
+        skip_mixed = true;
+      } else {
+        std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad numeric value in %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (block_size == 0 || stripes == 0 || rack_counts.empty()) {
+    std::fprintf(stderr, "--block-size, --stripes, --racks must be set\n");
+    return 2;
+  }
+
+  constexpr std::size_t kNumNodes = 27;  // divides evenly into 1/3/9 racks
+  constexpr std::uint64_t kSeed = 17;
+
+  std::vector<Sample> samples;
+  // Fingerprint of the unlayered run, keyed by (scheme, policy, racks).
+  std::map<std::string, std::uint64_t> unlayered_fingerprint;
+
+  for (const std::size_t racks : rack_counts) {
+    cluster::Topology topology;
+    topology.num_nodes = kNumNodes;
+    topology.num_racks = racks;
+    std::fprintf(stderr, "== %zu rack(s) ==\n", racks);
+
+    for (const auto& spec : schemes) {
+      const auto code = ec::make_code(spec).value();
+      const std::size_t data_bytes =
+          stripes * code->data_blocks() * block_size;
+      const Buffer data = random_buffer(data_bytes, 99);
+
+      for (const auto policy : cluster::all_placement_policies()) {
+        for (const bool layered : {false, true}) {
+          hdfs::MiniDfsOptions options;
+          options.placement = policy;
+          options.layered_repair = layered;
+
+          Sample sample;
+          sample.scheme = spec;
+          sample.policy = cluster::to_string(policy);
+          sample.racks = racks;
+          sample.layered = layered;
+
+          // ---- node repair: fail one stripe-group member -------------
+          {
+            hdfs::MiniDfs dfs(topology, kSeed, nullptr, options);
+            DBLREP_CHECK(
+                dfs.write_file("/f", data, spec, block_size).is_ok());
+            const auto group =
+                dfs.catalog().stripe(dfs.stat("/f")->stripes.front()).group;
+            DBLREP_CHECK(dfs.fail_node(group[2]).is_ok());
+            dfs.traffic().reset();
+            DBLREP_CHECK(dfs.repair_all().is_ok());
+            sample.repair_total_bytes = dfs.traffic().total_bytes();
+            sample.repair_cross_rack_bytes = dfs.traffic().cross_rack_bytes();
+            sample.repair_intra_rack_bytes = dfs.traffic().intra_rack_bytes();
+
+            // Layered and unlayered twins must repair to identical bytes.
+            const std::string twin_key =
+                spec + "|" + sample.policy + "|" + std::to_string(racks);
+            const std::uint64_t fp = stored_fingerprint(dfs, kNumNodes);
+            if (!layered) {
+              unlayered_fingerprint[twin_key] = fp;
+            } else {
+              sample.repair_bytes_identical =
+                  (fp == unlayered_fingerprint.at(twin_key));
+            }
+          }
+
+          // ---- mixed: clients + concurrent repair of 2 failures ------
+          if (!skip_mixed) {
+            hdfs::MiniDfs dfs(topology, kSeed, nullptr, options);
+            hdfs::WorkloadOptions wl;
+            wl.code_spec = spec;
+            wl.block_size = block_size;
+            wl.stripes_per_file = 2;
+            wl.preload_files = 4;
+            wl.clients = 3;
+            wl.ops_per_client = 30;
+            wl.fail_nodes = 2;
+            wl.repair_concurrently = true;
+            wl.seed = 23;
+            hdfs::WorkloadDriver driver(dfs, wl);
+            auto report = driver.run();
+            DBLREP_CHECK_MSG(report.is_ok(), report.status().to_string());
+            DBLREP_CHECK_MSG(report->repair_status.is_ok(),
+                             report->repair_status.to_string());
+            sample.mixed_total_bytes = report->traffic_total_bytes;
+            sample.mixed_cross_rack_bytes = report->traffic_cross_rack_bytes;
+            sample.mixed_client_bytes = report->traffic_client_bytes;
+            sample.mixed_errors = report->total_errors();
+          }
+
+          std::fprintf(
+              stderr,
+              "  %-15s %-14s layered=%d  repair %7.0f KB total, %7.0f KB "
+              "cross-rack (identical=%d)  mixed cross %7.0f KB errors %zu\n",
+              spec.c_str(), sample.policy.c_str(), layered ? 1 : 0,
+              sample.repair_total_bytes / 1024,
+              sample.repair_cross_rack_bytes / 1024,
+              sample.repair_bytes_identical ? 1 : 0,
+              sample.mixed_cross_rack_bytes / 1024, sample.mixed_errors);
+          samples.push_back(sample);
+        }
+      }
+    }
+  }
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n  \"bench\": \"rack_layering\",\n"
+       << "  \"block_size\": " << block_size << ",\n"
+       << "  \"stripes\": " << stripes << ",\n"
+       << "  \"num_nodes\": " << kNumNodes << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    json << "    {\"scheme\": \"" << s.scheme << "\", \"policy\": \""
+         << s.policy << "\", \"racks\": " << s.racks
+         << ", \"layered\": " << (s.layered ? "true" : "false")
+         << ", \"repair_total_bytes\": " << s.repair_total_bytes
+         << ", \"repair_cross_rack_bytes\": " << s.repair_cross_rack_bytes
+         << ", \"repair_intra_rack_bytes\": " << s.repair_intra_rack_bytes
+         << ", \"repair_bytes_identical_to_unlayered\": "
+         << (s.repair_bytes_identical ? "true" : "false")
+         << ", \"mixed_total_bytes\": " << s.mixed_total_bytes
+         << ", \"mixed_cross_rack_bytes\": " << s.mixed_cross_rack_bytes
+         << ", \"mixed_client_bytes\": " << s.mixed_client_bytes
+         << ", \"mixed_errors\": " << s.mixed_errors << "}"
+         << (i + 1 == samples.size() ? "\n" : ",\n");
+  }
+  json << "  ]\n}\n";
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+
+  // ---- acceptance gates --------------------------------------------------
+  bool ok = true;
+  for (const auto& s : samples) {
+    if (!s.repair_bytes_identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s/%s at %zu racks: layered repair diverged from "
+                   "unlayered bytes\n",
+                   s.scheme.c_str(), s.policy.c_str(), s.racks);
+      ok = false;
+    }
+  }
+  auto find_sample = [&](const std::string& scheme, const std::string& policy,
+                         std::size_t racks, bool layered) -> const Sample* {
+    for (const auto& s : samples) {
+      if (s.scheme == scheme && s.policy == policy && s.racks == racks &&
+          s.layered == layered) {
+        return &s;
+      }
+    }
+    return nullptr;
+  };
+  // Layering must never increase cross-rack repair bytes (totals equal).
+  for (const auto& s : samples) {
+    if (!s.layered) continue;
+    const Sample* twin = find_sample(s.scheme, s.policy, s.racks, false);
+    if (twin == nullptr) continue;
+    if (s.repair_cross_rack_bytes > twin->repair_cross_rack_bytes ||
+        s.repair_total_bytes != twin->repair_total_bytes) {
+      std::fprintf(stderr,
+                   "FAIL: %s/%s at %zu racks: layered cross %.0f vs %.0f, "
+                   "total %.0f vs %.0f\n",
+                   s.scheme.c_str(), s.policy.c_str(), s.racks,
+                   s.repair_cross_rack_bytes, twin->repair_cross_rack_bytes,
+                   s.repair_total_bytes, twin->repair_total_bytes);
+      ok = false;
+    }
+  }
+  // The headline: layered group_per_rack heptagon-local at 3 racks beats
+  // flat placement on cross-rack repair bytes, strictly.
+  const Sample* hero = find_sample("heptagon-local", "group_per_rack", 3, true);
+  const Sample* flat = find_sample("heptagon-local", "flat", 3, false);
+  if (hero != nullptr && flat != nullptr) {
+    if (!(hero->repair_cross_rack_bytes < flat->repair_cross_rack_bytes)) {
+      std::fprintf(stderr,
+                   "FAIL: layered group_per_rack heptagon-local (%.0f "
+                   "cross-rack bytes) not below flat (%.0f)\n",
+                   hero->repair_cross_rack_bytes,
+                   flat->repair_cross_rack_bytes);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

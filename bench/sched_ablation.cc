@@ -1,5 +1,5 @@
-// Ablation study for the task-assignment design choices DESIGN.md calls
-// out:
+// Ablation study for the task-assignment design choices behind the Fig. 3
+// schedulers (see docs/paper_map.md):
 //  * delay-scheduler skip budget D (0 = no patience .. 2N sweeps);
 //  * stripe-aware vs basic peeling (the paper's "modified" peeling);
 //  * headroom left to the max-matching optimum.

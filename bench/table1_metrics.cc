@@ -6,8 +6,8 @@
 //
 // Model: exact per-placement-group absorbing CTMC (node MTBF 10 years,
 // node MTTR 1 hour, parallel repair, rank-oracle fatality), system MTTDL =
-// group MTTDL / number of disjoint groups in 25 nodes. See EXPERIMENTS.md
-// for calibration and the tier-3 discussion.
+// group MTTDL / number of disjoint groups in 25 nodes. See
+// docs/paper_map.md for calibration and the tier-3 discussion.
 #include <iostream>
 #include <string>
 
@@ -68,6 +68,6 @@ int main(int argc, char** argv) {
                "    raidm-11 < raidm-9 reproduce the paper; the exact chain\n"
                "    credits parity recovery fully, so 3-failure-tolerant\n"
                "    codes land higher than the paper's model (see "
-               "EXPERIMENTS.md).\n";
+               "docs/paper_map.md).\n";
   return 0;
 }

@@ -1,0 +1,152 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+
+#include "ec/local_polygon.h"
+
+namespace dblrep::cluster {
+
+namespace {
+
+/// Live nodes bucketed by rack, each bucket in live order.
+std::vector<std::vector<NodeId>> bucket_by_rack(
+    const Topology& topology, const std::vector<NodeId>& live) {
+  std::vector<std::vector<NodeId>> by_rack(topology.num_racks);
+  for (NodeId node : live) {
+    by_rack[static_cast<std::size_t>(topology.rack_of(node))].push_back(node);
+  }
+  return by_rack;
+}
+
+std::vector<NodeId> place_flat(const std::vector<NodeId>& live, std::size_t n,
+                               Rng& rng) {
+  std::vector<NodeId> group;
+  group.reserve(n);
+  for (auto index : rng.sample_without_replacement(live.size(), n)) {
+    group.push_back(live[index]);
+  }
+  return group;
+}
+
+/// Round-robin over shuffled racks: every rack gives up one (shuffled) node
+/// per cycle, so the group spans min(num_racks, n) racks and no rack holds
+/// more than ceil(n / racks_with_nodes) of it.
+std::vector<NodeId> place_rack_aware(const Topology& topology,
+                                     const std::vector<NodeId>& live,
+                                     std::size_t n, Rng& rng) {
+  auto by_rack = bucket_by_rack(topology, live);
+  std::vector<std::size_t> rack_order;
+  for (std::size_t r = 0; r < by_rack.size(); ++r) {
+    if (!by_rack[r].empty()) rack_order.push_back(r);
+  }
+  rng.shuffle(rack_order);
+  for (std::size_t r : rack_order) rng.shuffle(by_rack[r]);
+
+  std::vector<NodeId> group;
+  group.reserve(n);
+  while (group.size() < n) {
+    for (std::size_t r : rack_order) {
+      if (group.size() == n) break;
+      auto& bucket = by_rack[r];
+      if (bucket.empty()) continue;
+      group.push_back(bucket.back());
+      bucket.pop_back();
+    }
+  }
+  return group;
+}
+
+/// Section 2.2 placement for local polygon codes: each local wholly in its
+/// own rack, the global parity node in a third. Returns empty when the
+/// topology cannot honor the constraint (fewer than 3 racks, or not enough
+/// live nodes per rack); the caller then degrades to rack-aware.
+std::vector<NodeId> place_local_groups_per_rack(
+    const ec::LocalPolygonCode& code, const Topology& topology,
+    const std::vector<NodeId>& live, Rng& rng) {
+  if (topology.num_racks < 3) return {};
+  auto by_rack = bucket_by_rack(topology, live);
+  const auto n = static_cast<std::size_t>(code.n());
+  // Pick two racks that can host a full local each, and a third (distinct)
+  // for the global node; randomize the choice among feasible racks.
+  std::vector<std::size_t> rack_order(topology.num_racks);
+  for (std::size_t r = 0; r < rack_order.size(); ++r) rack_order[r] = r;
+  rng.shuffle(rack_order);
+  std::vector<std::size_t> locals;
+  std::size_t global_rack = topology.num_racks;
+  for (std::size_t rack : rack_order) {
+    if (locals.size() < 2 && by_rack[rack].size() >= n) {
+      locals.push_back(rack);
+    } else if (global_rack == topology.num_racks && !by_rack[rack].empty()) {
+      global_rack = rack;
+    }
+  }
+  if (locals.size() < 2 || global_rack == topology.num_racks) return {};
+
+  std::vector<NodeId> group;
+  group.reserve(code.num_nodes());
+  for (std::size_t rack : locals) {
+    auto& pool = by_rack[rack];
+    for (auto index : rng.sample_without_replacement(pool.size(), n)) {
+      group.push_back(pool[index]);
+    }
+  }
+  auto& pool = by_rack[global_rack];
+  group.push_back(pool[rng.next_below(pool.size())]);
+  return group;
+}
+
+}  // namespace
+
+const char* to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFlat:
+      return "flat";
+    case PlacementPolicy::kRackAware:
+      return "rack_aware";
+    case PlacementPolicy::kGroupPerRack:
+      return "group_per_rack";
+  }
+  return "unknown";
+}
+
+Result<PlacementPolicy> parse_placement_policy(const std::string& name) {
+  if (name == "flat") return PlacementPolicy::kFlat;
+  if (name == "rack_aware") return PlacementPolicy::kRackAware;
+  if (name == "group_per_rack") return PlacementPolicy::kGroupPerRack;
+  return invalid_argument_error("unknown placement policy: " + name);
+}
+
+std::vector<PlacementPolicy> all_placement_policies() {
+  return {PlacementPolicy::kFlat, PlacementPolicy::kRackAware,
+          PlacementPolicy::kGroupPerRack};
+}
+
+Result<std::vector<NodeId>> place_stripe_group(PlacementPolicy policy,
+                                               const Topology& topology,
+                                               const ec::CodeScheme& code,
+                                               const std::vector<NodeId>& live,
+                                               Rng& rng) {
+  const std::size_t n = code.num_nodes();
+  if (live.size() < n) {
+    return resource_exhausted_error("not enough live nodes for " +
+                                    code.params().name);
+  }
+  switch (policy) {
+    case PlacementPolicy::kFlat:
+      return place_flat(live, n, rng);
+    case PlacementPolicy::kGroupPerRack:
+      if (const auto* local =
+              dynamic_cast<const ec::LocalPolygonCode*>(&code)) {
+        auto group = place_local_groups_per_rack(*local, topology, live, rng);
+        if (!group.empty()) return group;
+      }
+      // Codes without locality structure (and infeasible topologies)
+      // degrade to rack-aware spreading.
+      [[fallthrough]];
+    case PlacementPolicy::kRackAware:
+      return place_rack_aware(topology, live, n, rng);
+  }
+  return invalid_argument_error("unknown placement policy");
+}
+
+}  // namespace dblrep::cluster

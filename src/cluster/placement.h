@@ -1,0 +1,62 @@
+// Stripe placement policies: which cluster nodes host a stripe's group.
+//
+// The paper's testbeds are single-rack, but its heptagon-local code exists
+// precisely so each local group can live in its own rack (Section 2.2) --
+// and in real Hadoop clusters cross-rack bytes, not total bytes, are the
+// scarce repair resource (Sathiamoorthy et al. 2013; Hu et al. 2017). The
+// placement policy decides how much of that structure the data plane can
+// exploit:
+//
+//  * kFlat          -- uniform random over live nodes, rack-blind. The
+//                      paper's single-rack testbeds, and the baseline every
+//                      rack-aware number is compared against.
+//  * kRackAware     -- spreads the group round-robin across racks as evenly
+//                      as the live set allows, so no rack concentrates a
+//                      stripe (HDFS's classic block-placement goal).
+//  * kGroupPerRack  -- maps code *locality groups* onto racks: for local
+//                      polygon codes, each local lands wholly in its own
+//                      rack and the global parity node in a third, so local
+//                      repairs never cross racks. Codes without locality
+//                      structure -- and topologies that cannot honor the
+//                      constraint -- fall back to kRackAware.
+//
+// Policies are pure functions of (topology, code, live set, rng): MiniDfs
+// calls them under its serial placement lock, so placement stays a
+// deterministic function of the seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "ec/code.h"
+
+namespace dblrep::cluster {
+
+enum class PlacementPolicy {
+  kFlat,
+  kRackAware,
+  kGroupPerRack,
+};
+
+/// "flat" | "rack_aware" | "group_per_rack".
+const char* to_string(PlacementPolicy policy);
+Result<PlacementPolicy> parse_placement_policy(const std::string& name);
+
+/// All policies benches and the CLI can sweep, in stable order.
+std::vector<PlacementPolicy> all_placement_policies();
+
+/// Picks the cluster nodes hosting one stripe of `code` from `live`
+/// (distinct nodes, group[i] hosts code-local node i). Fails only when
+/// `live` has fewer nodes than the code needs; a kGroupPerRack request
+/// whose rack constraint is infeasible degrades gracefully to kRackAware
+/// (which cannot fail given enough live nodes) rather than erroring.
+Result<std::vector<NodeId>> place_stripe_group(PlacementPolicy policy,
+                                               const Topology& topology,
+                                               const ec::CodeScheme& code,
+                                               const std::vector<NodeId>& live,
+                                               Rng& rng);
+
+}  // namespace dblrep::cluster

@@ -36,6 +36,7 @@ void TrafficMeter::record(NodeId from, NodeId to, double bytes) {
 void TrafficMeter::record_to_client(NodeId from, double bytes) {
   DBLREP_CHECK_GE(bytes, 0.0);
   atomic_add(total_, bytes);
+  atomic_add(client_, bytes);
   atomic_add(sent_[static_cast<std::size_t>(from)], bytes);
 }
 
@@ -55,6 +56,7 @@ double TrafficMeter::node_received_bytes(NodeId node) const {
 void TrafficMeter::reset() {
   total_.store(0.0, std::memory_order_relaxed);
   cross_rack_.store(0.0, std::memory_order_relaxed);
+  client_.store(0.0, std::memory_order_relaxed);
   for (auto& v : sent_) v.store(0.0, std::memory_order_relaxed);
   for (auto& v : received_) v.store(0.0, std::memory_order_relaxed);
 }

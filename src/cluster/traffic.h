@@ -35,6 +35,16 @@ class TrafficMeter {
   double cross_rack_bytes() const {
     return cross_rack_.load(std::memory_order_relaxed);
   }
+  /// Bytes exchanged with off-cluster clients in either direction (write
+  /// uploads, read/degraded-read deliveries, scrub-heal rewrites). Neither
+  /// intra- nor cross-rack: they leave the cluster regardless of topology.
+  double client_bytes() const {
+    return client_.load(std::memory_order_relaxed);
+  }
+  /// Node-to-node bytes that stayed inside one rack.
+  double intra_rack_bytes() const {
+    return total_bytes() - cross_rack_bytes() - client_bytes();
+  }
   double node_sent_bytes(NodeId node) const;
   double node_received_bytes(NodeId node) const;
 
@@ -44,6 +54,7 @@ class TrafficMeter {
   const Topology* topology_;
   std::atomic<double> total_{0.0};
   std::atomic<double> cross_rack_{0.0};
+  std::atomic<double> client_{0.0};
   std::vector<std::atomic<double>> sent_;
   std::vector<std::atomic<double>> received_;
 };

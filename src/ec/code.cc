@@ -247,7 +247,7 @@ Result<RepairPlan> CodeScheme::plan_multi_node_repair(
       const std::size_t symbol = layout_.symbol_of_slot(slot);
       if (const auto src = live_slot_of(symbol)) {
         plan.aggregates.push_back(
-            {layout_.node_of_slot(*src), node, {{*src, 1}}});
+            {layout_.node_of_slot(*src), node, {{*src, 1}}, {}});
         plan.reconstructions.push_back(
             {symbol, slot, {{plan.aggregates.size() - 1, 1}}, {}});
         available[slot] = true;
@@ -265,7 +265,8 @@ Result<RepairPlan> CodeScheme::plan_multi_node_repair(
     const std::size_t symbol = layout_.symbol_of_slot(slot);
     if (const auto src = live_slot_of(symbol)) {
       // A replica was rebuilt earlier in this plan.
-      plan.aggregates.push_back({layout_.node_of_slot(*src), node, {{*src, 1}}});
+      plan.aggregates.push_back(
+          {layout_.node_of_slot(*src), node, {{*src, 1}}, {}});
       plan.reconstructions.push_back(
           {symbol, slot, {{plan.aggregates.size() - 1, 1}}, {}});
       available[slot] = true;
@@ -334,7 +335,7 @@ Result<RepairPlan> CodeScheme::plan_multi_node_repair(
     rec.dest_slot = slot;
     rec.local_terms = std::move(local_terms);
     for (auto& [src_node, terms] : per_node) {
-      plan.aggregates.push_back({src_node, node, std::move(terms)});
+      plan.aggregates.push_back({src_node, node, std::move(terms), {}});
       rec.from_aggregates.emplace_back(plan.aggregates.size() - 1, 1);
     }
     plan.reconstructions.push_back(std::move(rec));
@@ -356,7 +357,7 @@ Result<RepairPlan> CodeScheme::generic_degraded_read(
   for (std::size_t slot : layout_.slots_of_symbol(symbol)) {
     if (!failed.contains(layout_.node_of_slot(slot))) {
       plan.aggregates.push_back(
-          {layout_.node_of_slot(slot), kClientNode, {{slot, 1}}});
+          {layout_.node_of_slot(slot), kClientNode, {{slot, 1}}, {}});
       plan.reconstructions.push_back(
           {symbol, Reconstruction::kClientSlot, {{0, 1}}, {}});
       return plan;
@@ -402,7 +403,7 @@ Result<RepairPlan> CodeScheme::generic_degraded_read(
   rec.symbol = symbol;
   rec.dest_slot = Reconstruction::kClientSlot;
   for (auto& [src_node, terms] : per_node) {
-    plan.aggregates.push_back({src_node, kClientNode, std::move(terms)});
+    plan.aggregates.push_back({src_node, kClientNode, std::move(terms), {}});
     rec.from_aggregates.emplace_back(plan.aggregates.size() - 1, 1);
   }
   plan.reconstructions.push_back(std::move(rec));

@@ -1,0 +1,168 @@
+#include "ec/layering.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dblrep::ec {
+
+namespace {
+
+int rack_of(NodeIndex node, std::span<const int> node_racks, int client_rack) {
+  if (node == kClientNode) return client_rack;
+  DBLREP_CHECK_GE(node, 0);
+  DBLREP_CHECK_LT(static_cast<std::size_t>(node), node_racks.size());
+  return node_racks[static_cast<std::size_t>(node)];
+}
+
+}  // namespace
+
+std::size_t cross_rack_sends(const RepairPlan& plan,
+                             std::span<const int> node_racks,
+                             int client_rack) {
+  std::size_t count = 0;
+  for (const auto& send : plan.aggregates) {
+    if (rack_of(send.from_node, node_racks, client_rack) !=
+        rack_of(send.to_node, node_racks, client_rack)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+RepairPlan layer_plan(const RepairPlan& plan, std::span<const int> node_racks,
+                      int client_rack) {
+  RepairPlan out = plan;
+  const std::size_t original_count = out.aggregates.size();
+
+  // Candidates for relaying are plain (non-relay) aggregates consumed by
+  // exactly one reconstruction and by nothing else. Every planner in this
+  // library emits such plans; aggregates already feeding a relay (an
+  // input that was layered before) are left untouched, which makes the
+  // pass idempotent.
+  std::vector<std::size_t> consumer_count(original_count, 0);
+  for (const auto& rec : out.reconstructions) {
+    for (const auto& [index, coeff] : rec.from_aggregates) {
+      (void)coeff;
+      if (index < original_count) ++consumer_count[index];
+    }
+  }
+  for (const auto& send : out.aggregates) {
+    for (const auto& [index, coeff] : send.from_aggregates) {
+      (void)coeff;
+      if (index < original_count) consumer_count[index] += 2;  // disqualify
+    }
+  }
+
+  for (std::size_t r = 0; r < out.reconstructions.size(); ++r) {
+    auto& rec = out.reconstructions[r];
+    // Bucket this reconstruction's remote-rack aggregates by
+    // (destination, source rack).
+    std::map<std::pair<NodeIndex, int>, std::vector<std::size_t>> groups;
+    for (const auto& [index, coeff] : rec.from_aggregates) {
+      (void)coeff;
+      if (index >= original_count) continue;
+      const auto& send = out.aggregates[index];
+      if (send.is_relay() || consumer_count[index] != 1) continue;
+      const int src_rack = rack_of(send.from_node, node_racks, client_rack);
+      const int dst_rack = rack_of(send.to_node, node_racks, client_rack);
+      if (src_rack == dst_rack) continue;  // already intra-rack
+      groups[{send.to_node, src_rack}].push_back(index);
+    }
+
+    for (const auto& [key, members] : groups) {
+      if (members.size() < 2) continue;  // nothing to aggregate
+      const NodeIndex dest = key.first;
+      const NodeIndex aggregator = out.aggregates[members[0]].from_node;
+
+      AggregateSend relay;
+      relay.from_node = aggregator;
+      relay.to_node = dest;
+      std::vector<bool> folded(members.size(), false);
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        const std::size_t index = members[m];
+        // The reconstruction's coefficient for this aggregate scales its
+        // whole payload inside the relay.
+        gf::Elem coeff = 1;
+        for (const auto& [ref, c] : rec.from_aggregates) {
+          if (ref == index) coeff = c;
+        }
+        auto& send = out.aggregates[index];
+        if (send.from_node == aggregator) {
+          // The aggregator's own partial needs no send at all: its terms
+          // fold straight into the relay payload.
+          for (const auto& term : send.terms) {
+            relay.terms.push_back({term.slot, gf::mul(coeff, term.coeff)});
+          }
+          folded[m] = true;
+        } else {
+          // First stage: deliver to the in-rack aggregator instead.
+          send.to_node = aggregator;
+          relay.from_aggregates.emplace_back(index, coeff);
+        }
+      }
+      out.aggregates.push_back(std::move(relay));
+      const std::size_t relay_index = out.aggregates.size() - 1;
+
+      // The reconstruction now consumes the relay (coefficient 1) in place
+      // of the rack's individual sends; folded members disappear entirely.
+      std::vector<std::pair<std::size_t, gf::Elem>> rewritten;
+      for (const auto& entry : rec.from_aggregates) {
+        if (std::find(members.begin(), members.end(), entry.first) ==
+            members.end()) {
+          rewritten.push_back(entry);
+        }
+      }
+      rewritten.emplace_back(relay_index, gf::Elem{1});
+      rec.from_aggregates = std::move(rewritten);
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        if (folded[m]) consumer_count[members[m]] = 0;  // mark for pruning
+      }
+    }
+  }
+
+  // Prune folded (now-unreferenced) aggregates and remap indices.
+  std::vector<bool> keep(out.aggregates.size(), true);
+  for (std::size_t i = 0; i < original_count; ++i) {
+    bool referenced = false;
+    for (const auto& rec : out.reconstructions) {
+      for (const auto& [index, coeff] : rec.from_aggregates) {
+        (void)coeff;
+        if (index == i) referenced = true;
+      }
+    }
+    for (const auto& send : out.aggregates) {
+      for (const auto& [index, coeff] : send.from_aggregates) {
+        (void)coeff;
+        if (index == i) referenced = true;
+      }
+    }
+    keep[i] = referenced;
+  }
+  std::vector<std::size_t> remap(out.aggregates.size());
+  std::vector<AggregateSend> compacted;
+  compacted.reserve(out.aggregates.size());
+  for (std::size_t i = 0; i < out.aggregates.size(); ++i) {
+    if (!keep[i]) continue;
+    remap[i] = compacted.size();
+    compacted.push_back(std::move(out.aggregates[i]));
+  }
+  for (auto& send : compacted) {
+    for (auto& [index, coeff] : send.from_aggregates) {
+      (void)coeff;
+      index = remap[index];
+    }
+  }
+  for (auto& rec : out.reconstructions) {
+    for (auto& [index, coeff] : rec.from_aggregates) {
+      (void)coeff;
+      index = remap[index];
+    }
+  }
+  out.aggregates = std::move(compacted);
+  return out;
+}
+
+}  // namespace dblrep::ec

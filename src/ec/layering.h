@@ -1,0 +1,53 @@
+// Two-stage repair layering: rewrite a RepairPlan so that each rack
+// forwards at most one block per reconstruction across the rack boundary.
+//
+// The idea is Hu et al.'s repair layering (DoubleR): helpers inside a rack
+// send their partial results to one *intra-rack aggregator*, which
+// GF-combines them locally and relays a single AggregateSend to the
+// (cross-rack) rebuild site. Total network blocks are unchanged -- the
+// same number of block-sized payloads move -- but the share that crosses
+// racks shrinks from "one per helper" to "one per rack", which is the
+// scarce resource in real Hadoop clusters (Sathiamoorthy et al. 2013).
+//
+// The pass is topology-driven but layout-free: callers supply the rack of
+// every code-local node (MiniDfs derives it from the stripe's placement
+// group and the cluster Topology). It is semantics-preserving -- executing
+// the layered plan over the same SlotStore yields byte-identical rebuilt
+// slots and client deliveries (property-tested per scheme and failure
+// pattern) -- and idempotent: layering a layered plan changes nothing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "ec/repair.h"
+
+namespace dblrep::ec {
+
+/// Rack of a reading client that has no rack affinity (off-cluster, as in
+/// MiniDfs): distinct from every real rack, so every send to the client is
+/// a rack-boundary crossing and per-rack aggregation still applies.
+inline constexpr int kNoRack = -1;
+
+/// Sends whose source and destination racks differ. `node_racks[i]` is the
+/// rack of code-local node i; sends to kClientNode use `client_rack`.
+std::size_t cross_rack_sends(const RepairPlan& plan,
+                             std::span<const int> node_racks,
+                             int client_rack = kNoRack);
+
+/// Rewrites `plan` into two-stage layered form under the given rack map:
+/// whenever one reconstruction pulls two or more aggregates out of the same
+/// remote rack, those sends are redirected to an aggregator node inside
+/// that rack (the first sender; its own partial folds into the relay's
+/// local terms) and replaced by a single relay send to the rebuild site.
+///
+/// Guarantees, for any input plan:
+///  * executing the result is byte-identical to executing the input;
+///  * cross_rack_sends(result) <= cross_rack_sends(input);
+///  * network_blocks() never increases (and is exactly unchanged for the
+///    per-node-folded plans this library's planners emit);
+///  * layering an already-layered plan is a no-op.
+RepairPlan layer_plan(const RepairPlan& plan, std::span<const int> node_racks,
+                      int client_rack = kNoRack);
+
+}  // namespace dblrep::ec

@@ -1,5 +1,6 @@
 #include "ec/repair.h"
 
+#include <functional>
 #include <sstream>
 
 namespace dblrep::ec {
@@ -12,6 +13,14 @@ std::size_t RepairPlan::partial_parity_sends() const {
   return count;
 }
 
+std::size_t RepairPlan::relay_sends() const {
+  std::size_t count = 0;
+  for (const auto& send : aggregates) {
+    if (send.is_relay()) ++count;
+  }
+  return count;
+}
+
 std::string RepairPlan::to_string() const {
   std::ostringstream os;
   os << "plan: " << aggregates.size() << " network blocks ("
@@ -20,14 +29,20 @@ std::string RepairPlan::to_string() const {
     const auto& send = aggregates[i];
     os << "  A" << i << ": N" << send.from_node << " -> N" << send.to_node
        << "  [";
-    for (std::size_t t = 0; t < send.terms.size(); ++t) {
-      if (t) os << " + ";
-      if (send.terms[t].coeff != 1) {
-        os << static_cast<int>(send.terms[t].coeff) << "*";
-      }
-      os << "slot" << send.terms[t].slot;
+    bool first = true;
+    for (const auto& term : send.terms) {
+      if (!first) os << " + ";
+      first = false;
+      if (term.coeff != 1) os << static_cast<int>(term.coeff) << "*";
+      os << "slot" << term.slot;
     }
-    os << "]\n";
+    for (const auto& [agg, coeff] : send.from_aggregates) {
+      if (!first) os << " + ";
+      first = false;
+      if (coeff != 1) os << static_cast<int>(coeff) << "*";
+      os << "A" << agg;
+    }
+    os << "]" << (send.is_relay() ? "  (relay)" : "") << "\n";
   }
   for (const auto& rec : reconstructions) {
     os << "  rebuild sym" << rec.symbol << " -> ";
@@ -95,14 +110,55 @@ Result<std::vector<Buffer>> PlanExecutor::execute(const RepairPlan& plan,
   };
 
   // Aggregates may reference slots rebuilt by earlier reconstructions, so
-  // evaluate them lazily, in reconstruction order.
-  auto materialize_aggregate = [&](std::size_t index) -> Status {
+  // evaluate them lazily, in reconstruction order. A relay send first
+  // materializes the (strictly earlier) aggregates it folds in, then
+  // combines them with its local slot terms in one fused pass.
+  std::function<Status(std::size_t)> materialize_aggregate =
+      [&](std::size_t index) -> Status {
     if (aggregate_ready[index]) return Status::ok();
     const auto& send = plan.aggregates[index];
-    // Uninitialized: eval_terms' matrix_apply fully overwrites the output.
+    for (const auto& [src_index, coeff] : send.from_aggregates) {
+      (void)coeff;
+      if (src_index >= index) {
+        return invalid_argument_error(
+            "relay references aggregate " + std::to_string(src_index) +
+            " at or after its own position " + std::to_string(index));
+      }
+      DBLREP_RETURN_IF_ERROR(materialize_aggregate(src_index));
+      if (plan.aggregates[src_index].to_node != send.from_node) {
+        return failed_precondition_error(
+            "relay combines an aggregate delivered to another node");
+      }
+    }
+    // Gather after the recursion: the recursive calls reuse the same
+    // term_sources_/term_coeffs_ scratch.
+    term_sources_.clear();
+    term_coeffs_.clear();
+    for (const auto& term : send.terms) {
+      const auto it = store.find(term.slot);
+      if (it == store.end()) {
+        return unavailable_error("slot " + std::to_string(term.slot) +
+                                 " not available for repair");
+      }
+      if (it->second.size() != block_size) {
+        return invalid_argument_error("block size mismatch in plan execution");
+      }
+      if (layout_->node_of_slot(term.slot) != send.from_node) {
+        return failed_precondition_error("plan reads slot " +
+                                         std::to_string(term.slot) +
+                                         " from the wrong node");
+      }
+      term_sources_.emplace_back(it->second);
+      term_coeffs_.push_back(term.coeff);
+    }
+    for (const auto& [src_index, coeff] : send.from_aggregates) {
+      term_sources_.emplace_back(aggregate_bytes[src_index]);
+      term_coeffs_.push_back(coeff);
+    }
+    // Uninitialized: matrix_apply fully overwrites (or zeroes) the output.
     aggregate_bytes[index] = arena_.alloc_uninit(block_size);
-    DBLREP_RETURN_IF_ERROR(
-        eval_terms(send.from_node, send.terms, aggregate_bytes[index]));
+    const MutableByteSpan outputs[] = {aggregate_bytes[index]};
+    gf::matrix_apply(term_coeffs_, term_sources_, outputs);
     aggregate_ready[index] = true;
     return Status::ok();
   };

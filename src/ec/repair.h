@@ -8,11 +8,19 @@
 // The partial-parity optimization the paper highlights is expressed
 // naturally: an AggregateSend whose `terms` XOR/GF-combine several slots of
 // the sending node still costs one block of network traffic.
+//
+// Plans can additionally be *layered* for rack topologies (Hu et al.'s
+// repair layering): an AggregateSend may relay -- its payload combines
+// earlier aggregates delivered to its own node (`from_aggregates`) with its
+// local slot terms, so an intra-rack aggregator can GF-combine its rack's
+// partial results and forward a single cross-rack block. ec/layering.h
+// rewrites any plan into that form; the executor runs both forms.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/arena.h"
@@ -35,14 +43,24 @@ struct PartialTerm {
 /// the GF-linear combination of its local slots, delivered to `to_node`.
 /// A plain replica copy is a single term with coefficient 1; a partial
 /// parity combines several local slots before sending.
+///
+/// A *relay* send additionally folds in earlier aggregates (by index into
+/// RepairPlan::aggregates, each scaled by a coefficient) that were delivered
+/// to `from_node` -- the two-stage form an intra-rack aggregator uses to
+/// forward one combined block instead of its rack's individual partials.
+/// Referenced indices must be smaller than the relay's own index (plans are
+/// DAGs evaluated in aggregate order).
 struct AggregateSend {
   NodeIndex from_node = 0;
   NodeIndex to_node = 0;
   std::vector<PartialTerm> terms;
+  std::vector<std::pair<std::size_t, gf::Elem>> from_aggregates;
 
   bool is_plain_copy() const {
-    return terms.size() == 1 && terms[0].coeff == 1;
+    return terms.size() == 1 && terms[0].coeff == 1 && from_aggregates.empty();
   }
+
+  bool is_relay() const { return !from_aggregates.empty(); }
 
   bool operator==(const AggregateSend&) const = default;
 };
@@ -75,6 +93,9 @@ struct RepairPlan {
 
   /// Number of sends that are partial parities rather than plain copies.
   std::size_t partial_parity_sends() const;
+
+  /// Number of two-stage relay sends (layered plans only).
+  std::size_t relay_sends() const;
 
   std::string to_string() const;
 };

@@ -4,63 +4,22 @@
 #include <atomic>
 #include <cstring>
 
-#include "ec/local_polygon.h"
+#include "ec/layering.h"
 #include "ec/registry.h"
 
 namespace dblrep::hdfs {
-
-namespace {
-
-/// Rack-aware placement for local codes (Section 2.2: "the two heptagons
-/// and the global parity node would be placed in three different racks").
-/// Returns an empty vector when the topology cannot honor the constraint
-/// (fewer than 3 racks or not enough live nodes per rack); the caller then
-/// falls back to uniform placement.
-std::vector<cluster::NodeId> rack_aware_group(
-    const ec::LocalPolygonCode& code, const cluster::Topology& topology,
-    const std::vector<cluster::NodeId>& live, Rng& rng) {
-  if (topology.num_racks < 3) return {};
-  std::vector<std::vector<cluster::NodeId>> by_rack(topology.num_racks);
-  for (cluster::NodeId node : live) {
-    by_rack[static_cast<std::size_t>(topology.rack_of(node))].push_back(node);
-  }
-  const auto n = static_cast<std::size_t>(code.n());
-  // Pick two racks that can host a full local each, and a third (distinct)
-  // for the global node; randomize the choice among feasible racks.
-  std::vector<std::size_t> rack_order(topology.num_racks);
-  for (std::size_t r = 0; r < rack_order.size(); ++r) rack_order[r] = r;
-  rng.shuffle(rack_order);
-  std::vector<std::size_t> locals;
-  std::size_t global_rack = topology.num_racks;
-  for (std::size_t rack : rack_order) {
-    if (locals.size() < 2 && by_rack[rack].size() >= n) {
-      locals.push_back(rack);
-    } else if (global_rack == topology.num_racks && !by_rack[rack].empty()) {
-      global_rack = rack;
-    }
-  }
-  if (locals.size() < 2 || global_rack == topology.num_racks) return {};
-
-  std::vector<cluster::NodeId> group;
-  for (std::size_t rack : locals) {
-    auto& pool = by_rack[rack];
-    for (auto index : rng.sample_without_replacement(pool.size(), n)) {
-      group.push_back(pool[index]);
-    }
-  }
-  auto& pool = by_rack[global_rack];
-  group.push_back(pool[rng.next_below(pool.size())]);
-  return group;
-}
-
-}  // namespace
 
 MiniDfs::MiniDfs(const cluster::Topology& topology, std::uint64_t seed)
     : MiniDfs(topology, seed, &exec::default_pool()) {}
 
 MiniDfs::MiniDfs(const cluster::Topology& topology, std::uint64_t seed,
                  exec::ThreadPool* pool)
+    : MiniDfs(topology, seed, pool, MiniDfsOptions{}) {}
+
+MiniDfs::MiniDfs(const cluster::Topology& topology, std::uint64_t seed,
+                 exec::ThreadPool* pool, const MiniDfsOptions& options)
     : topology_(topology),
+      options_(options),
       catalog_(topology_),
       traffic_(topology_),
       pool_(pool != nullptr ? pool : &exec::inline_pool()),
@@ -68,6 +27,15 @@ MiniDfs::MiniDfs(const cluster::Topology& topology, std::uint64_t seed,
   for (std::size_t n = 0; n < topology_.num_nodes; ++n) {
     datanodes_.emplace_back(static_cast<cluster::NodeId>(n));
   }
+}
+
+std::vector<int> MiniDfs::group_racks(
+    const std::vector<cluster::NodeId>& group) const {
+  std::vector<int> racks(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    racks[i] = topology_.rack_of(group[i]);
+  }
+  return racks;
 }
 
 Result<MiniDfs::SchemeRuntime*> MiniDfs::runtime(const std::string& code_spec) {
@@ -186,20 +154,16 @@ Status MiniDfs::write_file(const std::string& path, ByteSpan data,
   {
     std::lock_guard<std::mutex> lock(place_mu_);
     for (std::size_t s = 0; s < num_stripes; ++s) {
-      // Local codes prefer rack-aware placement (one local per rack,
-      // globals on a third rack); everything else -- and single-rack
-      // topologies -- use uniform random placement over live nodes.
-      std::vector<cluster::NodeId> group;
-      if (const auto* local =
-              dynamic_cast<const ec::LocalPolygonCode*>(&code)) {
-        group = rack_aware_group(*local, topology_, live, rng_);
+      // The construction-time policy decides the rack structure: flat
+      // (rack-blind uniform), rack_aware spreading, or group_per_rack,
+      // which pins each local code group to its own rack.
+      auto group_result = cluster::place_stripe_group(
+          options_.placement, topology_, code, live, rng_);
+      if (!group_result.is_ok()) {
+        rollback();
+        return group_result.status();
       }
-      if (group.empty()) {
-        for (auto index : rng_.sample_without_replacement(live.size(),
-                                                          code.num_nodes())) {
-          group.push_back(live[index]);
-        }
-      }
+      std::vector<cluster::NodeId> group = std::move(*group_result);
       // Unsealed until the stripe's bytes land in phase 2: a concurrent
       // repair pass must not mistake a write in flight for mass failure.
       auto stripe_id = catalog_.register_stripe(code, group, /*sealed=*/false);
@@ -294,17 +258,23 @@ Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
       }
     }
   }
-  auto plan = code.plan_degraded_read(symbol, failed);
-  if (!plan.is_ok()) return plan.status();
+  auto plan_result = code.plan_degraded_read(symbol, failed);
+  if (!plan_result.is_ok()) return plan_result.status();
+  ec::RepairPlan plan = std::move(*plan_result);
+  const auto& group = catalog_.stripe(stripe).group;
+  // Layered mode: each rack combines its partials locally and sends the
+  // client one block per rack instead of one per helper.
+  if (options_.layered_repair) {
+    plan = ec::layer_plan(plan, group_racks(group));
+  }
   auto lease = runtime_pool_for(code).acquire();
-  auto delivered = lease->executor.execute(*plan, store);
+  auto delivered = lease->executor.execute(plan, store);
   if (!delivered.is_ok()) return delivered.status();
   if (delivered->size() != 1) {
     return internal_error("degraded read returned unexpected block count");
   }
   // Account every aggregate that crossed the wire.
-  const auto& group = catalog_.stripe(stripe).group;
-  for (const auto& send : plan->aggregates) {
+  for (const auto& send : plan.aggregates) {
     const cluster::NodeId from =
         group[static_cast<std::size_t>(send.from_node)];
     if (send.to_node == ec::kClientNode) {
@@ -472,6 +442,14 @@ Status MiniDfs::repair_stripe(cluster::StripeId stripe) {
   // pattern and is replayed -- across threads -- for every affected stripe.
   DBLREP_ASSIGN_OR_RETURN(const ec::RepairPlan* plan,
                           cached_repair_plan(code, failed));
+  // Layering depends on this stripe's rack assignment, so it happens per
+  // stripe over the shared cached plan (a cheap list rewrite -- the GF
+  // work on actual blocks dwarfs it).
+  ec::RepairPlan layered;
+  if (options_.layered_repair) {
+    layered = ec::layer_plan(*plan, group_racks(info.group));
+    plan = &layered;
+  }
   auto lease = runtime_pool_for(code).acquire();
   ec::SlotStore store = gather_stripe(stripe);
   auto run = lease->executor.execute(*plan, store);

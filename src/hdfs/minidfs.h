@@ -4,17 +4,21 @@
 //
 // Components (all in-process):
 //  * NameNode state: file namespace (path -> stripes) + the cluster
-//    BlockCatalog (stripe placements); placement picks uniformly random
-//    live nodes per stripe, like the paper's single-rack testbeds.
+//    BlockCatalog (stripe placements); placement runs through a selectable
+//    cluster::PlacementPolicy -- flat (the paper's single-rack testbeds),
+//    rack_aware replica spreading, or group_per_rack, which pins each
+//    heptagon-local group to its own rack (Section 2.2).
 //  * DataNodes: per-node CRC-checked block stores, each its own lock shard.
 //  * Client operations: write_file (stripe + encode + place), read_file /
 //    read_block (replica read, with corruption fallback and on-the-fly
 //    degraded reads through ec::RepairPlan when every replica is lost).
 //  * Repair engine: node repair driven by the same RepairPlan objects,
-//    including multi-failure partial-parity recovery.
+//    including multi-failure partial-parity recovery; with layered_repair
+//    enabled, every plan is rewritten through ec::layer_plan so each rack
+//    relays one combined block instead of per-helper sends.
 //  * TrafficMeter: every byte that crosses the (simulated) wire is
-//    accounted, so tests can assert the paper's repair-bandwidth numbers
-//    end to end.
+//    accounted -- split into intra-rack, cross-rack, and client-bound --
+//    so tests can assert the paper's repair-bandwidth numbers end to end.
 //
 // Concurrency model (the paper's real deployment regime: many clients
 // reading and writing while repairs run in the background):
@@ -44,6 +48,7 @@
 #include <utility>
 
 #include "cluster/catalog.h"
+#include "cluster/placement.h"
 #include "cluster/topology.h"
 #include "cluster/traffic.h"
 #include "common/rng.h"
@@ -62,6 +67,19 @@ struct FileInfo {
   std::vector<cluster::StripeId> stripes;
 };
 
+/// Data-plane knobs fixed at construction.
+struct MiniDfsOptions {
+  /// How stripe groups map onto cluster nodes (and therefore racks).
+  cluster::PlacementPolicy placement =
+      cluster::PlacementPolicy::kGroupPerRack;
+
+  /// Rewrite every repair / degraded-read plan into two-stage layered form
+  /// (ec::layer_plan): helpers send to an intra-rack aggregator, one
+  /// combined block crosses the rack boundary. Rebuilt bytes are identical
+  /// either way; only the traffic's rack split changes.
+  bool layered_repair = false;
+};
+
 class MiniDfs {
  public:
   /// Runs parallel operations on exec::default_pool() (DBLREP_THREADS
@@ -73,6 +91,9 @@ class MiniDfs {
   /// i.e. the fully serial execution order.
   MiniDfs(const cluster::Topology& topology, std::uint64_t seed,
           exec::ThreadPool* pool);
+
+  MiniDfs(const cluster::Topology& topology, std::uint64_t seed,
+          exec::ThreadPool* pool, const MiniDfsOptions& options);
 
   MiniDfs(const MiniDfs&) = delete;
   MiniDfs& operator=(const MiniDfs&) = delete;
@@ -132,6 +153,7 @@ class MiniDfs {
 
   const cluster::TrafficMeter& traffic() const { return traffic_; }
   cluster::TrafficMeter& traffic() { return traffic_; }
+  const MiniDfsOptions& options() const { return options_; }
   const cluster::BlockCatalog& catalog() const { return catalog_; }
   DataNode& datanode(cluster::NodeId node);
   const ec::CodeScheme& code_for(const std::string& path) const;
@@ -172,6 +194,10 @@ class MiniDfs {
   /// corrupted blocks), for decode/repair.
   ec::SlotStore gather_stripe(cluster::StripeId stripe) const;
 
+  /// Rack of each code-local node of a placement group, per the topology.
+  std::vector<int> group_racks(
+      const std::vector<cluster::NodeId>& group) const;
+
   /// Reads one symbol of one stripe with all fallbacks; records traffic.
   Result<Buffer> read_symbol(const FileInfo& file, cluster::StripeId stripe,
                              std::size_t symbol);
@@ -180,6 +206,7 @@ class MiniDfs {
   Status repair_stripe(cluster::StripeId stripe);
 
   cluster::Topology topology_;
+  MiniDfsOptions options_;
   cluster::BlockCatalog catalog_;
   cluster::TrafficMeter traffic_;
   exec::ThreadPool* pool_;

@@ -150,6 +150,10 @@ Result<WorkloadReport> WorkloadDriver::run() {
 
   WorkloadReport report;
   std::vector<ClientStats> per_client(options_.clients);
+  const auto& meter = dfs_->traffic();
+  const double traffic_total0 = meter.total_bytes();
+  const double traffic_cross0 = meter.cross_rack_bytes();
+  const double traffic_client0 = meter.client_bytes();
   const auto start = Clock::now();
 
   std::thread repair_thread;
@@ -171,6 +175,12 @@ Result<WorkloadReport> WorkloadDriver::run() {
   if (repair_thread.joinable()) repair_thread.join();
 
   report.wall_s = micros_since(start) / 1e6;
+  report.traffic_total_bytes = meter.total_bytes() - traffic_total0;
+  report.traffic_cross_rack_bytes = meter.cross_rack_bytes() - traffic_cross0;
+  report.traffic_client_bytes = meter.client_bytes() - traffic_client0;
+  report.traffic_intra_rack_bytes = report.traffic_total_bytes -
+                                    report.traffic_cross_rack_bytes -
+                                    report.traffic_client_bytes;
   for (const auto& stats : per_client) {
     report.read.merge(stats.read);
     report.write.merge(stats.write);

@@ -74,6 +74,15 @@ struct WorkloadReport {
   double repair_s = 0;
   Status repair_status;
 
+  /// Wire traffic the run generated (TrafficMeter delta over the run):
+  /// node-to-node bytes split intra- vs cross-rack per the topology, plus
+  /// client-facing bytes in either direction (write uploads as well as
+  /// read deliveries). total = intra + cross + client.
+  double traffic_total_bytes = 0;
+  double traffic_intra_rack_bytes = 0;
+  double traffic_cross_rack_bytes = 0;
+  double traffic_client_bytes = 0;
+
   std::size_t total_ops() const {
     return read.latency_us.count() + write.latency_us.count() +
            degraded.latency_us.count();

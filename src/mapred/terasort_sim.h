@@ -23,7 +23,7 @@
 //    doubly-lost block vs 9 for (10,9) RAID+m.
 //
 // Absolute seconds depend on service-time calibration (documented in
-// EXPERIMENTS.md); the cross-code comparisons do not.
+// docs/paper_map.md); the cross-code comparisons do not.
 #pragma once
 
 #include <set>

@@ -4,7 +4,7 @@
 // failure and repair models available in the literature [Xin et al. 2003]"
 // without disclosing the constants. We use an exponential-failure /
 // exponential-repair continuous-time Markov model with the parameters
-// below; EXPERIMENTS.md documents the calibration and the residual gap on
+// below; docs/paper_map.md documents the calibration and the residual gap on
 // the fault-tolerance-3 codes.
 #pragma once
 

@@ -212,7 +212,7 @@ TEST(Table1, QualitativeOrderingOfTier3Codes) {
   // Note: the paper also places heptagon-local above raidm-9; the exact
   // chain inverts that pair because (10,9) RAID+m has proportionally fewer
   // fatal 4-patterns (45 of 4845) than heptagon-local (140 of 1365) and
-  // the paper's model constants are not disclosed. See EXPERIMENTS.md.
+  // the paper's model constants are not disclosed. See docs/paper_map.md.
   ReliabilityParams p = paper_params();
   const double r11 =
       GroupMarkovModel(*ec::make_code("raidm-11").value(), p).mttdl_system_years();

@@ -257,7 +257,7 @@ TEST(PlanExecutor, RefusesPlanReadingFromWrongNode) {
   auto store = store_without_nodes(pentagon, data, {});
   RepairPlan bogus;
   // Slot 0 lives on node 0; claim to send it from node 3.
-  bogus.aggregates.push_back({3, kClientNode, {{0, 1}}});
+  bogus.aggregates.push_back({3, kClientNode, {{0, 1}}, {}});
   bogus.reconstructions.push_back(
       {0, Reconstruction::kClientSlot, {{0, 1}}, {}});
   const auto run = executor.execute(bogus, store);
@@ -273,7 +273,7 @@ TEST(PlanExecutor, RefusesMissingSlot) {
   RepairPlan bogus;
   const std::size_t dead_slot = pentagon.layout().slots_on_node(0)[0];
   bogus.aggregates.push_back(
-      {0, kClientNode, {{dead_slot, 1}}});
+      {0, kClientNode, {{dead_slot, 1}}, {}});
   bogus.reconstructions.push_back(
       {0, Reconstruction::kClientSlot, {{0, 1}}, {}});
   const auto run = executor.execute(bogus, store);
@@ -287,7 +287,8 @@ TEST(PlanExecutor, RefusesAggregateDeliveredToWrongSite) {
   const auto data = random_data(pentagon, 7);
   auto store = store_without_nodes(pentagon, data, {});
   RepairPlan bogus;
-  bogus.aggregates.push_back({1, 2, {{pentagon.layout().slots_on_node(1)[0], 1}}});
+  bogus.aggregates.push_back(
+      {1, 2, {{pentagon.layout().slots_on_node(1)[0], 1}}, {}});
   // Reconstruction wants delivery at the client, but aggregate goes to N2.
   bogus.reconstructions.push_back(
       {0, Reconstruction::kClientSlot, {{0, 1}}, {}});

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (the CI docs job).
+
+Checks, with no third-party dependencies:
+
+1. Every relative markdown link in README.md, ROADMAP.md, and docs/*.md
+   points at a file or directory that exists (anchors are stripped;
+   http(s)/mailto links are only syntax-checked).
+2. Every bench target named in docs/paper_map.md (``bench_<name>`` or
+   ``BENCH_<name>.json``) corresponds to a real ``bench/<name>.cc`` file --
+   and every ``bench/*.cc`` target is covered by docs/paper_map.md, so the
+   paper map can never silently fall behind the benchmarks.
+
+Exit code 0 when everything checks out, 1 with a per-finding report
+otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Markdown inline links: [text](target). Reference-style links are not used
+# in this repo.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BENCH_NAME_RE = re.compile(r"\bbench_([a-z0-9_]+)\b|\bBENCH_([a-z0-9_]+)\.json\b")
+
+
+def doc_files() -> list[pathlib.Path]:
+    files = [REPO / "README.md", REPO / "ROADMAP.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links(errors: list[str]) -> None:
+    for doc in doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{doc.relative_to(REPO)}: broken link -> {target}"
+                )
+
+
+def check_paper_map(errors: list[str]) -> None:
+    paper_map = REPO / "docs" / "paper_map.md"
+    if not paper_map.exists():
+        errors.append("docs/paper_map.md is missing")
+        return
+    text = paper_map.read_text(encoding="utf-8")
+
+    named = set()
+    for match in BENCH_NAME_RE.finditer(text):
+        named.add(match.group(1) or match.group(2))
+
+    real = {p.stem for p in (REPO / "bench").glob("*.cc")}
+
+    for name in sorted(named - real):
+        errors.append(
+            f"docs/paper_map.md names bench target '{name}' but "
+            f"bench/{name}.cc does not exist"
+        )
+    for name in sorted(real - named):
+        errors.append(
+            f"bench/{name}.cc has no entry in docs/paper_map.md "
+            "(every bench target must be mapped)"
+        )
+
+
+def main() -> int:
+    errors: list[str] = []
+    check_links(errors)
+    check_paper_map(errors)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s):")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(
+        f"check_docs: OK ({len(doc_files())} docs link-checked, "
+        "paper map covers every bench target)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
