@@ -1,0 +1,134 @@
+// chaos_replay: reproduce one chaos scenario from its seed.
+//
+// The triage entry point for a failing seed out of bench_chaos_sweep or
+// the nightly sweep: re-runs the scenario deterministically, prints the
+// full event trace with per-step state fingerprints, re-runs it a second
+// time to prove the replay is byte-identical, and (on violation) prints
+// the greedily minimized event list that still violates.
+//
+// Usage:
+//   chaos_replay --seed=N [--scheme=rs-10-4] [--mix=mixed]
+//                [--placement=group_per_rack] [--layered]
+//                [--nodes=21] [--racks=3] [--horizon=30]
+//                [--pool=inline|default] [--no-minimize] [--quiet]
+//
+// Exit code: 0 when the scenario holds every invariant and replays
+// identically, 1 otherwise.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "chaos/harness.h"
+#include "cluster/placement.h"
+#include "exec/thread_pool.h"
+
+using namespace dblrep;
+
+int main(int argc, char** argv) {
+  chaos::ChaosConfig config;
+  config.minimize_on_violation = true;
+  std::uint64_t seed = 1;
+  bool quiet = false;
+  std::string pool = "inline";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--seed=", 0) == 0) {
+        seed = std::stoull(arg.substr(7));
+      } else if (arg.rfind("--scheme=", 0) == 0) {
+        config.code_spec = arg.substr(9);
+      } else if (arg.rfind("--mix=", 0) == 0) {
+        auto mix = chaos::FaultMix::preset(arg.substr(6));
+        if (!mix.is_ok()) {
+          std::fprintf(stderr, "%s\n", mix.status().to_string().c_str());
+          return 2;
+        }
+        config.mix = *mix;
+      } else if (arg.rfind("--placement=", 0) == 0) {
+        auto policy = cluster::parse_placement_policy(arg.substr(12));
+        if (!policy.is_ok()) {
+          std::fprintf(stderr, "%s\n", policy.status().to_string().c_str());
+          return 2;
+        }
+        config.dfs_options.placement = *policy;
+      } else if (arg == "--layered") {
+        config.dfs_options.layered_repair = true;
+      } else if (arg.rfind("--nodes=", 0) == 0) {
+        config.topology.num_nodes = std::stoull(arg.substr(8));
+      } else if (arg.rfind("--racks=", 0) == 0) {
+        config.topology.num_racks = std::stoull(arg.substr(8));
+      } else if (arg.rfind("--horizon=", 0) == 0) {
+        config.horizon_s = std::stod(arg.substr(10));
+      } else if (arg.rfind("--pool=", 0) == 0) {
+        pool = arg.substr(7);
+      } else if (arg == "--no-minimize") {
+        config.minimize_on_violation = false;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else {
+        std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad numeric value in %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (pool == "default") {
+    config.pool = &exec::default_pool();  // DBLREP_THREADS applies
+  } else if (pool != "inline") {
+    std::fprintf(stderr, "--pool must be inline or default\n");
+    return 2;
+  }
+
+  const chaos::ChaosHarness harness(config);
+  const chaos::ChaosReport report = harness.run_seed(seed);
+  // The byte-identity twin run skips minimization: on a violating seed the
+  // first run already minimized, and only the trace is compared here.
+  chaos::ChaosConfig twin_config = config;
+  twin_config.minimize_on_violation = false;
+  const chaos::ChaosReport again = chaos::ChaosHarness(twin_config).run_seed(seed);
+
+  if (!quiet) {
+    std::printf("scheme=%s mix=%s placement=%s layered=%d pool=%s\n",
+                config.code_spec.c_str(), config.mix.name.c_str(),
+                cluster::to_string(config.dfs_options.placement),
+                config.dfs_options.layered_repair ? 1 : 0, pool.c_str());
+    std::printf("%s", report.trace_to_string().c_str());
+    std::printf(
+        "repairs %zu/%zu ok, reads %zu (%zu errors), writes %zu (%zu "
+        "errors)\n",
+        report.repair_successes, report.repair_attempts, report.reads,
+        report.read_errors, report.writes, report.write_errors);
+    std::printf("traffic total=%.0f intra=%.0f cross=%.0f client=%.0f\n",
+                report.traffic_total_bytes, report.traffic_intra_rack_bytes,
+                report.traffic_cross_rack_bytes, report.traffic_client_bytes);
+  }
+
+  bool ok = report.ok();
+  if (report.trace != again.trace ||
+      report.final_fingerprint != again.final_fingerprint) {
+    std::fprintf(stderr,
+                 "REPLAY DIVERGED: two runs of seed %llu differ -- "
+                 "determinism bug\n",
+                 static_cast<unsigned long long>(seed));
+    ok = false;
+  } else if (!quiet) {
+    std::printf("replay check: second run byte-identical (state=%llu)\n",
+                static_cast<unsigned long long>(report.final_fingerprint));
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "seed %llu VIOLATES (%zu violations)\n",
+                 static_cast<unsigned long long>(seed),
+                 report.violations.size());
+    if (!report.minimized.empty()) {
+      std::fprintf(stderr, "minimized to %zu events:\n",
+                   report.minimized.size());
+      for (const auto& event : report.minimized) {
+        std::fprintf(stderr, "  %s\n", event.to_string().c_str());
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}

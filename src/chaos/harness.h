@@ -1,0 +1,109 @@
+// ChaosHarness: deterministic fault-injection runs over MiniDfs.
+//
+// FoundationDB-style simulation testing, scaled to this repo: a scenario
+// is (config, uint64 seed); the harness generates the seed's schedule,
+// drives a fresh MiniDfs through it one event at a time -- each event is a
+// serial barrier, though the DFS parallelizes freely *inside* an event,
+// which is byte-identical to serial execution by the data plane's design
+// -- and runs the cluster-wide invariant checkers between steps. The
+// trace records every event's outcome and a post-event state fingerprint,
+// so two runs agree iff their traces are equal, element by element.
+//
+// On violation the report carries the seed, the violating trace, and
+// (when configured) a greedily minimized event list that still violates.
+// chaos_replay (examples/) re-runs any seed from the command line;
+// bench/chaos_sweep.cc enumerates schemes x fault mixes x seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.h"
+#include "chaos/schedule.h"
+#include "common/stats.h"
+
+namespace dblrep::chaos {
+
+/// One executed event: what ran, what it reported (Status codes only --
+/// deterministic across thread counts), and the state it left behind.
+struct EventOutcome {
+  ChaosEvent event;
+  std::string outcome;
+  std::uint64_t storage_fingerprint = 0;  // disk bytes only
+  std::uint64_t fingerprint = 0;          // + membership + traffic totals
+
+  bool operator==(const EventOutcome&) const = default;
+};
+
+struct ChaosReport {
+  std::uint64_t seed = 0;
+  std::vector<EventOutcome> trace;
+  std::vector<std::string> violations;
+
+  std::size_t repair_attempts = 0;
+  std::size_t repair_successes = 0;
+  std::size_t reads = 0;
+  std::size_t read_errors = 0;
+  std::size_t writes = 0;
+  std::size_t write_errors = 0;
+
+  /// Client-read latencies, split by whether the cluster had down nodes at
+  /// the time of the read. Wall-clock: reported, never part of the trace.
+  RunningStat read_us;
+  RunningStat degraded_read_us;
+
+  double traffic_total_bytes = 0;
+  double traffic_intra_rack_bytes = 0;
+  double traffic_cross_rack_bytes = 0;
+  double traffic_client_bytes = 0;
+
+  std::uint64_t final_storage_fingerprint = 0;
+  std::uint64_t final_fingerprint = 0;
+
+  /// Only filled by run_seed when config.minimize_on_violation is set and
+  /// the run violated: a (locally) minimal sub-schedule that still does.
+  std::vector<ChaosEvent> minimized;
+
+  bool ok() const { return violations.empty(); }
+  double repair_success_rate() const {
+    return repair_attempts == 0
+               ? 1.0
+               : static_cast<double>(repair_successes) /
+                     static_cast<double>(repair_attempts);
+  }
+  std::string trace_to_string() const;
+};
+
+class ChaosHarness {
+ public:
+  explicit ChaosHarness(ChaosConfig config) : config_(std::move(config)) {}
+
+  const ChaosConfig& config() const { return config_; }
+
+  /// Generates the seed's schedule and runs it. Replaying the same seed
+  /// reproduces the identical trace and final state, byte for byte.
+  ChaosReport run_seed(std::uint64_t seed) const;
+
+  /// Runs an explicit event list (a minimized trace, or a hand-built one).
+  ChaosReport run_schedule(std::uint64_t seed,
+                           const std::vector<ChaosEvent>& events) const;
+
+  /// Greedy backward elimination: drops every event whose removal keeps
+  /// the run violating. O(n) replays of <= n events each.
+  std::vector<ChaosEvent> minimize(std::uint64_t seed,
+                                   std::vector<ChaosEvent> events) const;
+
+ private:
+  ChaosConfig config_;
+};
+
+/// The layered-repair equivalence invariant, run as twin scenarios: the
+/// same seed with ec::layer_plan rewriting off and on must leave every
+/// datanode byte-identical after every event, move the same total number
+/// of bytes, and never cross racks more often when layered. Returns the
+/// violations (empty = equivalent).
+std::vector<std::string> check_layering_equivalence(const ChaosConfig& config,
+                                                    std::uint64_t seed);
+
+}  // namespace dblrep::chaos

@@ -1,0 +1,403 @@
+#include "chaos/invariants.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "cluster/placement.h"
+#include "ec/local_polygon.h"
+
+namespace dblrep::chaos {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((v >> (8 * i)) & 0xff)) * kFnvPrime;
+  }
+}
+
+void mix_bytes(std::uint64_t& h, ByteSpan bytes) {
+  for (std::uint8_t b : bytes) h = (h ^ b) * kFnvPrime;
+}
+
+std::string stripe_label(const std::string& path, cluster::StripeId stripe) {
+  return path + " stripe " + std::to_string(stripe);
+}
+
+/// Gathers the CRC-verified, reachable slots of a stripe (the same view
+/// the read and repair paths plan against) plus the node-level failure
+/// pattern: a code-local node is failed iff any of its slots is
+/// unreadable.
+ec::SlotStore gather_verified(const hdfs::MiniDfs& dfs,
+                              cluster::StripeId stripe,
+                              std::set<ec::NodeIndex>& failed) {
+  const auto& info = dfs.catalog().stripe(stripe);
+  const auto& layout = info.code->layout();
+  ec::SlotStore store;
+  for (std::size_t slot = 0; slot < layout.num_slots(); ++slot) {
+    const cluster::NodeId node = dfs.catalog().node_of({stripe, slot});
+    auto bytes = dfs.datanode(node).get({stripe, slot});
+    if (bytes.is_ok()) store[slot] = std::move(*bytes);
+  }
+  for (std::size_t i = 0; i < info.group.size(); ++i) {
+    for (std::size_t slot :
+         layout.slots_on_node(static_cast<ec::NodeIndex>(i))) {
+      if (!store.contains(slot)) {
+        failed.insert(static_cast<ec::NodeIndex>(i));
+        break;
+      }
+    }
+  }
+  return store;
+}
+
+}  // namespace
+
+std::set<ec::NodeIndex> probe_failed_nodes(const hdfs::MiniDfs& dfs,
+                                           cluster::StripeId stripe) {
+  std::set<ec::NodeIndex> failed;
+  (void)gather_verified(dfs, stripe, failed);
+  return failed;
+}
+
+std::uint64_t storage_fingerprint(const hdfs::MiniDfs& dfs) {
+  std::uint64_t h = kFnvOffset;
+  const std::size_t num_nodes = dfs.topology().num_nodes;
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    const auto& dn = dfs.datanode(static_cast<cluster::NodeId>(n));
+    for (const auto& address : dn.stored_addresses()) {
+      mix_u64(h, address.stripe);
+      mix_u64(h, address.slot);
+      const auto bytes = dn.peek(address);
+      if (bytes.is_ok()) mix_bytes(h, *bytes);
+    }
+  }
+  return h;
+}
+
+std::uint64_t cluster_fingerprint(const hdfs::MiniDfs& dfs) {
+  std::uint64_t h = storage_fingerprint(dfs);
+  const std::size_t num_nodes = dfs.topology().num_nodes;
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    mix_u64(h, dfs.datanode(static_cast<cluster::NodeId>(n)).is_up() ? 1 : 0);
+  }
+  const auto& meter = dfs.traffic();
+  mix_u64(h, std::bit_cast<std::uint64_t>(meter.total_bytes()));
+  mix_u64(h, std::bit_cast<std::uint64_t>(meter.intra_rack_bytes()));
+  mix_u64(h, std::bit_cast<std::uint64_t>(meter.cross_rack_bytes()));
+  mix_u64(h, std::bit_cast<std::uint64_t>(meter.client_bytes()));
+  return h;
+}
+
+void check_durability(const hdfs::MiniDfs& dfs, const TruthMap& truth,
+                      std::vector<std::string>& violations) {
+  for (const auto& [path, file] : truth) {
+    const auto info = dfs.stat(path);
+    if (!info.is_ok()) {
+      violations.push_back("durability: tracked file " + path +
+                           " vanished from the namespace: " +
+                           info.status().to_string());
+      continue;
+    }
+    const ec::CodeScheme& code = dfs.code_for(path);
+    const std::size_t k = code.data_blocks();
+    const std::size_t stripe_bytes = k * info->block_size;
+    for (std::size_t si = 0; si < info->stripes.size(); ++si) {
+      const cluster::StripeId stripe = info->stripes[si];
+      std::set<ec::NodeIndex> node_failures;
+      ec::SlotStore store = gather_verified(dfs, stripe, node_failures);
+      const bool recoverable = code.is_recoverable(node_failures);
+      auto decoded = code.decode(store, info->block_size);
+
+      if (!decoded.is_ok()) {
+        if (recoverable) {
+          std::ostringstream os;
+          os << "durability: " << stripe_label(path, stripe) << " has "
+             << node_failures.size()
+             << " failed nodes (within tolerance of "
+             << code.params().fault_tolerance
+             << ") but failed to decode: " << decoded.status().to_string();
+          violations.push_back(os.str());
+        }
+        continue;  // beyond tolerance, a failed decode is the honest answer
+      }
+
+      // A successful decode must return the write-time bytes whether or
+      // not the pattern was recoverable: wrong data is never acceptable.
+      const std::size_t offset = si * stripe_bytes;
+      bool match = true;
+      for (std::size_t b = 0; b < k && match; ++b) {
+        const std::size_t begin = offset + b * info->block_size;
+        if (begin >= file.expected.size()) break;
+        const std::size_t want =
+            std::min(info->block_size, file.expected.size() - begin);
+        match = std::memcmp((*decoded)[b].data(), file.expected.data() + begin,
+                            want) == 0;
+      }
+      if (!match) {
+        std::ostringstream os;
+        os << "durability: " << stripe_label(path, stripe)
+           << " decoded successfully but the bytes differ from the "
+              "write-time contents ("
+           << (recoverable ? "within" : "beyond") << " tolerance, "
+           << node_failures.size() << " failed nodes)";
+        violations.push_back(os.str());
+      }
+
+      // Slot-level ground truth: every readable slot -- parity and replica
+      // slots included -- must equal the re-encoding of the write-time
+      // data. This is what catches CRC-valid tampering of a slot the
+      // decoder's systematic fast path never touches.
+      const std::size_t begin = std::min(offset, file.expected.size());
+      const std::size_t len =
+          std::min(stripe_bytes, file.expected.size() - begin);
+      const auto expected_blocks = ec::chunk_data(
+          ByteSpan(file.expected.data() + begin, len), k, info->block_size);
+      const auto expected_symbols = code.encode_symbols(expected_blocks);
+      for (const auto& [slot, bytes] : store) {
+        const std::size_t symbol = code.layout().symbol_of_slot(slot);
+        if (bytes != expected_symbols[symbol]) {
+          std::ostringstream os;
+          os << "durability: " << stripe_label(path, stripe) << " slot "
+             << slot << " (symbol " << symbol
+             << ") differs from the write-time encoding";
+          violations.push_back(os.str());
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Strict rack_aware promise: the group spans as many racks as it can and
+/// no rack is loaded more than one block-group above another.
+void check_rack_spread(const cluster::Topology& topology,
+                       const std::vector<cluster::NodeId>& group,
+                       const std::string& label,
+                       std::vector<std::string>& violations) {
+  std::map<int, std::size_t> hist;
+  for (cluster::NodeId node : group) ++hist[topology.rack_of(node)];
+  const std::size_t expected_racks =
+      std::min(topology.num_racks, group.size());
+  if (hist.size() != expected_racks) {
+    violations.push_back("placement: " + label + " spans " +
+                         std::to_string(hist.size()) + " racks, expected " +
+                         std::to_string(expected_racks));
+    return;
+  }
+  std::size_t lo = group.size(), hi = 0;
+  for (const auto& [rack, count] : hist) {
+    lo = std::min(lo, count);
+    hi = std::max(hi, count);
+  }
+  if (hi - lo > 1) {
+    violations.push_back("placement: " + label +
+                         " rack load unbalanced (max " + std::to_string(hi) +
+                         " vs min " + std::to_string(lo) + ")");
+  }
+}
+
+/// Can group_per_rack honor the pinning constraint on a fully-live
+/// cluster? Mirrors place_local_groups_per_rack's requirements: two racks
+/// that can host a whole local each, plus a third distinct rack.
+bool group_per_rack_feasible(const cluster::Topology& topology,
+                             std::size_t local_size) {
+  if (topology.num_racks < 3) return false;
+  std::vector<std::size_t> rack_sizes(topology.num_racks, 0);
+  for (std::size_t n = 0; n < topology.num_nodes; ++n) {
+    ++rack_sizes[static_cast<std::size_t>(
+        topology.rack_of(static_cast<cluster::NodeId>(n)))];
+  }
+  std::size_t big_racks = 0;
+  for (std::size_t size : rack_sizes) {
+    if (size >= local_size) ++big_racks;
+  }
+  return big_racks >= 2;
+}
+
+void check_group_pinning(const cluster::Topology& topology,
+                         const ec::LocalPolygonCode& code,
+                         const std::vector<cluster::NodeId>& group,
+                         const std::string& label,
+                         std::vector<std::string>& violations) {
+  // Rack of each local group must be unique per local; the global parity
+  // node must sit in yet another rack.
+  std::map<int, std::set<int>> local_racks;  // local -> racks used
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const int local = code.local_of_node(static_cast<ec::NodeIndex>(i));
+    if (local >= 0) {
+      local_racks[local].insert(topology.rack_of(group[i]));
+    }
+  }
+  std::set<int> used;
+  for (const auto& [local, racks] : local_racks) {
+    if (racks.size() != 1) {
+      violations.push_back("placement: " + label + " local group " +
+                           std::to_string(local) + " straddles " +
+                           std::to_string(racks.size()) + " racks");
+      return;
+    }
+    if (!used.insert(*racks.begin()).second) {
+      violations.push_back("placement: " + label +
+                           " two local groups share one rack");
+      return;
+    }
+  }
+  const int global_rack = topology.rack_of(
+      group[static_cast<std::size_t>(code.global_node())]);
+  if (used.contains(global_rack)) {
+    violations.push_back("placement: " + label +
+                         " global parity node shares a rack with a local "
+                         "group");
+  }
+}
+
+}  // namespace
+
+void check_placement(const hdfs::MiniDfs& dfs, const TruthMap& truth,
+                     std::vector<std::string>& violations) {
+  const cluster::Topology& topology = dfs.topology();
+  const cluster::PlacementPolicy policy = dfs.options().placement;
+
+  for (const auto& [path, file] : truth) {
+    const auto info = dfs.stat(path);
+    if (!info.is_ok()) continue;  // durability checker reports this
+    const ec::CodeScheme& code = dfs.code_for(path);
+    for (cluster::StripeId stripe : info->stripes) {
+      const auto& group = dfs.catalog().stripe(stripe).group;
+      const std::string label = stripe_label(path, stripe);
+
+      if (group.size() != code.num_nodes()) {
+        violations.push_back("placement: " + label + " group size " +
+                             std::to_string(group.size()) + " != code length " +
+                             std::to_string(code.num_nodes()));
+        continue;
+      }
+      const std::set<cluster::NodeId> distinct(group.begin(), group.end());
+      if (distinct.size() != group.size()) {
+        violations.push_back("placement: " + label +
+                             " places two code nodes on one cluster node");
+        continue;
+      }
+      bool in_range = true;
+      for (cluster::NodeId node : group) {
+        if (node < 0 || static_cast<std::size_t>(node) >= topology.num_nodes) {
+          in_range = false;
+        }
+      }
+      if (!in_range) {
+        violations.push_back("placement: " + label +
+                             " references a node outside the topology");
+        continue;
+      }
+      // Replicas of one symbol on distinct nodes -- the property that makes
+      // "inherent double replication" tolerate any single failure.
+      for (std::size_t symbol = 0; symbol < code.num_symbols(); ++symbol) {
+        const auto replicas = dfs.catalog().replica_nodes(stripe, symbol);
+        const std::set<cluster::NodeId> unique(replicas.begin(),
+                                               replicas.end());
+        if (unique.size() != replicas.size()) {
+          violations.push_back("placement: " + label + " symbol " +
+                               std::to_string(symbol) +
+                               " has two replicas on one node");
+        }
+      }
+
+      // Strict per-policy promises only hold for placements made against
+      // the full cluster; under failures the policies degrade gracefully.
+      if (!file.written_fully_live || topology.num_racks <= 1) continue;
+      const auto* local = dynamic_cast<const ec::LocalPolygonCode*>(&code);
+      if (policy == cluster::PlacementPolicy::kGroupPerRack &&
+          local != nullptr &&
+          group_per_rack_feasible(
+              topology, static_cast<std::size_t>(local->n()))) {
+        check_group_pinning(topology, *local, group, label, violations);
+      } else if (policy == cluster::PlacementPolicy::kRackAware ||
+                 policy == cluster::PlacementPolicy::kGroupPerRack) {
+        check_rack_spread(topology, group, label, violations);
+      }
+    }
+  }
+
+  // Catalog <-> datanode consistency: every block an *up* node stores must
+  // belong to a live stripe that maps that slot to this node. (An offline
+  // node may hold blocks of a since-deleted stripe until it rejoins and is
+  // garbage-collected -- that is the stale-replica window, not a bug.)
+  for (std::size_t n = 0; n < topology.num_nodes; ++n) {
+    const auto& dn = dfs.datanode(static_cast<cluster::NodeId>(n));
+    if (!dn.is_up()) continue;
+    for (const auto& address : dn.stored_addresses()) {
+      if (!dfs.catalog().is_registered(address.stripe)) {
+        violations.push_back(
+            "catalog: node " + std::to_string(n) + " stores stripe " +
+            std::to_string(address.stripe) + " slot " +
+            std::to_string(address.slot) + " of an unregistered stripe");
+        continue;
+      }
+      if (dfs.catalog().node_of(address) != static_cast<cluster::NodeId>(n)) {
+        violations.push_back("catalog: node " + std::to_string(n) +
+                             " stores stripe " +
+                             std::to_string(address.stripe) + " slot " +
+                             std::to_string(address.slot) +
+                             " that the catalog maps elsewhere");
+      }
+    }
+  }
+}
+
+void check_traffic_conservation(const hdfs::MiniDfs& dfs,
+                                std::vector<std::string>& violations) {
+  const auto& meter = dfs.traffic();
+  const double total = meter.total_bytes();
+  const double intra = meter.intra_rack_bytes();
+  const double cross = meter.cross_rack_bytes();
+  const double client = meter.client_bytes();
+
+  const auto report = [&](const std::string& what) {
+    std::ostringstream os;
+    os << "traffic: " << what << " (total=" << total << " intra=" << intra
+       << " cross=" << cross << " client=" << client << ")";
+    violations.push_back(os.str());
+  };
+
+  if (intra < 0 || cross < 0 || client < 0 || total < 0) {
+    report("negative bucket");
+    return;
+  }
+  // Whole byte counts well below 2^53: sums are exact, equality is exact.
+  if (intra + cross + client != total) {
+    report("buckets do not sum to total");
+  }
+  double sent = 0, received = 0;
+  for (std::size_t n = 0; n < dfs.topology().num_nodes; ++n) {
+    sent += meter.node_sent_bytes(static_cast<cluster::NodeId>(n));
+    received += meter.node_received_bytes(static_cast<cluster::NodeId>(n));
+  }
+  if (sent != total) {
+    std::ostringstream os;
+    os << "per-node sent sum " << sent << " != total " << total;
+    report(os.str());
+  }
+  if (received != intra + cross) {
+    std::ostringstream os;
+    os << "per-node received sum " << received
+       << " != node-to-node bytes " << intra + cross;
+    report(os.str());
+  }
+}
+
+void check_all(const hdfs::MiniDfs& dfs, const TruthMap& truth,
+               std::vector<std::string>& violations) {
+  check_durability(dfs, truth, violations);
+  check_placement(dfs, truth, violations);
+  check_traffic_conservation(dfs, violations);
+}
+
+}  // namespace dblrep::chaos

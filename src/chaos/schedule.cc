@@ -1,0 +1,206 @@
+#include "chaos/schedule.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace dblrep::chaos {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCrashNode:     return "crash_node";
+    case EventKind::kOfflineNode:   return "offline_node";
+    case EventKind::kRestartNode:   return "restart_node";
+    case EventKind::kRackOutage:    return "rack_outage";
+    case EventKind::kRackRestore:   return "rack_restore";
+    case EventKind::kCorruptBlock:  return "corrupt_block";
+    case EventKind::kTamperBlock:   return "tamper_block";
+    case EventKind::kClientRead:    return "client_read";
+    case EventKind::kClientWrite:   return "client_write";
+    case EventKind::kDeleteFile:    return "delete_file";
+    case EventKind::kWorkloadBurst: return "workload_burst";
+    case EventKind::kRepairNode:    return "repair_node";
+    case EventKind::kRepairAll:     return "repair_all";
+    case EventKind::kScrubRepair:   return "scrub_repair";
+  }
+  return "unknown";
+}
+
+std::string ChaosEvent::to_string() const {
+  std::ostringstream os;
+  os << "t=" << at << " " << chaos::to_string(kind) << " pick=" << pick;
+  return os.str();
+}
+
+FaultMix FaultMix::transient_storm() {
+  FaultMix mix;
+  mix.name = "transient_storm";
+  mix.transient_rate = 0.6;
+  mix.mean_outage_s = 2.0;
+  mix.repair_all_rate = 0.15;
+  mix.read_rate = 1.2;
+  mix.write_rate = 0.2;
+  return mix;
+}
+
+FaultMix FaultMix::crash_heavy() {
+  FaultMix mix;
+  mix.name = "crash_heavy";
+  mix.crash_rate = 0.35;
+  mix.restart_rate = 0.1;
+  mix.repair_node_rate = 0.25;
+  mix.repair_all_rate = 0.2;
+  mix.read_rate = 1.0;
+  mix.write_rate = 0.25;
+  return mix;
+}
+
+FaultMix FaultMix::rack_correlated() {
+  FaultMix mix;
+  mix.name = "rack_correlated";
+  mix.rack_outage_rate = 0.2;
+  mix.mean_rack_outage_s = 3.0;
+  mix.crash_rate = 0.08;
+  mix.repair_all_rate = 0.2;
+  mix.read_rate = 1.0;
+  mix.write_rate = 0.15;
+  return mix;
+}
+
+FaultMix FaultMix::bit_rot() {
+  FaultMix mix;
+  mix.name = "bit_rot";
+  mix.corrupt_rate = 0.6;
+  mix.scrub_rate = 0.25;
+  mix.read_rate = 1.0;
+  mix.write_rate = 0.2;
+  mix.repair_all_rate = 0.1;
+  return mix;
+}
+
+FaultMix FaultMix::mixed() {
+  FaultMix mix;
+  mix.name = "mixed";
+  mix.crash_rate = 0.12;
+  mix.transient_rate = 0.25;
+  mix.rack_outage_rate = 0.06;
+  mix.corrupt_rate = 0.2;
+  mix.restart_rate = 0.06;
+  mix.read_rate = 1.0;
+  mix.write_rate = 0.25;
+  mix.delete_rate = 0.04;
+  mix.burst_rate = 0.08;
+  mix.repair_node_rate = 0.12;
+  mix.repair_all_rate = 0.15;
+  mix.scrub_rate = 0.1;
+  return mix;
+}
+
+std::vector<FaultMix> FaultMix::presets() {
+  return {transient_storm(), crash_heavy(), rack_correlated(), bit_rot(),
+          mixed()};
+}
+
+Result<FaultMix> FaultMix::preset(const std::string& name) {
+  for (FaultMix& mix : presets()) {
+    if (mix.name == name) return std::move(mix);
+  }
+  return invalid_argument_error("unknown fault mix: " + name);
+}
+
+std::vector<ChaosEvent> generate_schedule(const ChaosConfig& config,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  sim::EventQueue queue;
+  std::vector<ChaosEvent> events;
+  const FaultMix& mix = config.mix;
+  const double horizon = config.horizon_s;
+  const auto num_nodes = static_cast<std::uint64_t>(config.topology.num_nodes);
+  const auto num_racks = static_cast<std::uint64_t>(config.topology.num_racks);
+
+  const auto emit = [&](sim::SimTime at, EventKind kind, std::uint64_t pick) {
+    events.push_back({at, kind, pick});
+  };
+
+  // One Poisson arrival process per enabled category, all drawing from the
+  // shared rng in queue order (deterministic: the queue breaks time ties
+  // FIFO by schedule sequence). Transient and rack outages pair each
+  // outage with its scheduled recovery; the paired restore lands wherever
+  // its duration says, interleaving naturally with every other arrival.
+  struct Process {
+    double rate;
+    std::function<void(sim::SimTime)> emit_arrival;
+  };
+  std::vector<Process> processes;
+  processes.push_back({mix.transient_rate, [&](sim::SimTime t) {
+    const std::uint64_t node = rng.next_below(num_nodes);
+    emit(t, EventKind::kOfflineNode, node);
+    emit(t + rng.exponential(1.0 / mix.mean_outage_s),
+         EventKind::kRestartNode, node);
+  }});
+  processes.push_back({mix.rack_outage_rate, [&](sim::SimTime t) {
+    const std::uint64_t rack = rng.next_below(num_racks);
+    emit(t, EventKind::kRackOutage, rack);
+    emit(t + rng.exponential(1.0 / mix.mean_rack_outage_s),
+         EventKind::kRackRestore, rack);
+  }});
+  processes.push_back({mix.crash_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kCrashNode, rng.next_below(num_nodes));
+  }});
+  processes.push_back({mix.restart_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kRestartNode, rng.next_below(num_nodes));
+  }});
+  processes.push_back({mix.corrupt_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kCorruptBlock, rng.next_u64());
+  }});
+  processes.push_back({mix.read_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kClientRead, rng.next_u64());
+  }});
+  processes.push_back({mix.write_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kClientWrite, rng.next_u64());
+  }});
+  processes.push_back({mix.delete_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kDeleteFile, rng.next_u64());
+  }});
+  processes.push_back({mix.burst_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kWorkloadBurst, rng.next_u64());
+  }});
+  processes.push_back({mix.repair_node_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kRepairNode, rng.next_below(num_nodes));
+  }});
+  processes.push_back({mix.repair_all_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kRepairAll, 0);
+  }});
+  processes.push_back({mix.scrub_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kScrubRepair, 0);
+  }});
+
+  // Everything below is synchronous inside this call, so the recursive
+  // rescheduler can live on this stack frame (same idiom as
+  // cluster/transient_sim.cc).
+  std::function<void(std::size_t)> fire = [&](std::size_t i) {
+    if (queue.now() > horizon) return;
+    processes[i].emit_arrival(queue.now());
+    queue.schedule_after(rng.exponential(processes[i].rate),
+                         [&fire, i] { fire(i); });
+  };
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    if (processes[i].rate <= 0.0) continue;
+    queue.schedule_after(rng.exponential(processes[i].rate),
+                         [&fire, i] { fire(i); });
+  }
+  queue.run(horizon);
+
+  // Paired restores can land past the horizon; keep them (an outage that
+  // never ends would distort every scenario) but order the whole schedule
+  // by time, stably so same-time events keep their generation order.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.at < b.at;
+                   });
+  return events;
+}
+
+}  // namespace dblrep::chaos

@@ -28,7 +28,11 @@ void TrafficMeter::record(NodeId from, NodeId to, double bytes) {
   DBLREP_CHECK_GE(bytes, 0.0);
   if (from == to) return;
   atomic_add(total_, bytes);
-  if (!topology_->same_rack(from, to)) atomic_add(cross_rack_, bytes);
+  if (topology_->same_rack(from, to)) {
+    atomic_add(intra_rack_, bytes);
+  } else {
+    atomic_add(cross_rack_, bytes);
+  }
   atomic_add(sent_[static_cast<std::size_t>(from)], bytes);
   atomic_add(received_[static_cast<std::size_t>(to)], bytes);
 }
@@ -55,6 +59,7 @@ double TrafficMeter::node_received_bytes(NodeId node) const {
 
 void TrafficMeter::reset() {
   total_.store(0.0, std::memory_order_relaxed);
+  intra_rack_.store(0.0, std::memory_order_relaxed);
   cross_rack_.store(0.0, std::memory_order_relaxed);
   client_.store(0.0, std::memory_order_relaxed);
   for (auto& v : sent_) v.store(0.0, std::memory_order_relaxed);

@@ -107,4 +107,14 @@ ThreadPool& inline_pool();
 Status parallel_for(ThreadPool& pool, std::size_t n,
                     const std::function<Status(std::size_t)>& fn);
 
+/// parallel_for without the early exit: every iteration runs even after a
+/// failure, and the returned Status is the error of the *lowest-index*
+/// failed iteration. Use when the post-failure state must be a
+/// deterministic function of the inputs rather than of pool scheduling --
+/// e.g. a repair pass that must heal every recoverable stripe even when an
+/// unrecoverable one errors partway through (the fault-injection harness
+/// replays such passes byte-for-byte across worker counts).
+Status parallel_for_all(ThreadPool& pool, std::size_t n,
+                        const std::function<Status(std::size_t)>& fn);
+
 }  // namespace dblrep::exec

@@ -63,6 +63,8 @@ void DataNode::fail() {
   blocks_.clear();
 }
 
+void DataNode::offline() { up_.store(false, std::memory_order_release); }
+
 void DataNode::restart() { up_.store(true, std::memory_order_release); }
 
 Status DataNode::corrupt(cluster::SlotAddress address, std::size_t byte_index) {
@@ -76,6 +78,15 @@ Status DataNode::corrupt(cluster::SlotAddress address, std::size_t byte_index) {
   }
   it->second.bytes[byte_index] ^= 0xff;  // CRC left stale on purpose
   return Status::ok();
+}
+
+Result<Buffer> DataNode::peek(cluster::SlotAddress address) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = blocks_.find(address);
+  if (it == blocks_.end()) {
+    return not_found_error("block not on this datanode");
+  }
+  return it->second.bytes;
 }
 
 std::vector<cluster::SlotAddress> DataNode::stored_addresses() const {

@@ -51,12 +51,21 @@ class DataNode {
 
   /// Crash: the node goes down and its disk contents are gone.
   void fail();
-  /// The node returns (empty); the repair engine refills it.
+  /// Transient outage (Ford et al.'s dominant failure class): the node is
+  /// unreachable but its disk survives. restart() ends the outage with
+  /// every block still present -- no repair needed, unlike fail().
+  void offline();
+  /// The node returns: empty after fail(), blocks intact after offline().
   void restart();
 
   /// Test hook: flips one byte of a stored block so CRC verification and
   /// the read fallback paths can be exercised.
   Status corrupt(cluster::SlotAddress address, std::size_t byte_index);
+
+  /// Diagnostic hook: raw stored bytes, ignoring liveness and skipping CRC
+  /// verification. The chaos fingerprints use it to cover offline disks and
+  /// corrupted blocks; data-plane reads must go through get().
+  Result<Buffer> peek(cluster::SlotAddress address) const;
 
   /// Addresses of every block currently stored.
   std::vector<cluster::SlotAddress> stored_addresses() const;

@@ -178,7 +178,10 @@ Status MiniDfs::write_file(const std::string& path, ByteSpan data,
   // Phase 2 -- encode + store, stripes fanned out across the pool. Each
   // worker checks out its own codec; systematic symbols are zero-copy
   // views into `data`, parities come out of the leased codec's arena.
-  const Status write_status = exec::parallel_for(
+  // parallel_for_all: on failure every stripe still runs (then rollback
+  // drops them all), so the returned status -- lowest failing stripe --
+  // does not depend on pool scheduling.
+  const Status write_status = exec::parallel_for_all(
       *pool_, num_stripes, [&](std::size_t s) -> Status {
         const std::size_t begin = s * stripe_bytes;
         const std::size_t len = std::min(stripe_bytes, data.size() - begin);
@@ -318,7 +321,7 @@ Result<Buffer> MiniDfs::read_file(const std::string& path) {
           ? 0
           : (info.length + info.block_size - 1) / info.block_size;
   Buffer out(info.length);
-  const Status read_status = exec::parallel_for(
+  const Status read_status = exec::parallel_for_all(
       *pool_, info.stripes.size(), [&](std::size_t si) -> Status {
         for (std::size_t symbol = 0; symbol < k; ++symbol) {
           const std::size_t b = si * k + symbol;
@@ -395,12 +398,28 @@ Status MiniDfs::fail_node(cluster::NodeId node) {
   return Status::ok();
 }
 
+Status MiniDfs::offline_node(cluster::NodeId node) {
+  if (node < 0 || static_cast<std::size_t>(node) >= datanodes_.size()) {
+    return invalid_argument_error("no such node");
+  }
+  datanodes_[static_cast<std::size_t>(node)].offline();
+  return Status::ok();
+}
+
 Status MiniDfs::restart_node(cluster::NodeId node) {
   if (node < 0 || static_cast<std::size_t>(node) >= datanodes_.size()) {
     return invalid_argument_error("no such node");
   }
-  datanodes_[static_cast<std::size_t>(node)].restart();
+  auto& dn = datanodes_[static_cast<std::size_t>(node)];
+  dn.restart();
+  gc_stale_replicas(dn);
   return Status::ok();
+}
+
+void MiniDfs::gc_stale_replicas(DataNode& dn) {
+  for (const auto& address : dn.stored_addresses()) {
+    if (!catalog_.is_registered(address.stripe)) (void)dn.drop(address);
+  }
 }
 
 std::set<cluster::NodeId> MiniDfs::down_nodes() const {
@@ -418,8 +437,13 @@ Status MiniDfs::repair_stripe(cluster::StripeId stripe) {
   const ec::CodeScheme& code = *info.code;
 
   // Which code-local nodes have missing/unreadable slots for this stripe?
-  // Different stripes touch disjoint (stripe, slot) addresses, so this
-  // probe never races with a concurrent repair of another stripe.
+  // The probe is CRC-aware (get(), not has()): a corrupted replica on a
+  // live node is as unusable to a plan as a missing one, and treating it
+  // as failed both keeps the executor from tripping over it and lets the
+  // repair rewrite it -- the chaos sweeps drive exactly this mix of
+  // crashes and bit rot. Different stripes touch disjoint (stripe, slot)
+  // addresses, so this probe never races with a concurrent repair of
+  // another stripe.
   std::set<ec::NodeIndex> failed;
   for (std::size_t i = 0; i < info.group.size(); ++i) {
     const auto& holder = datanodes_[static_cast<std::size_t>(info.group[i])];
@@ -429,7 +453,7 @@ Status MiniDfs::repair_stripe(cluster::StripeId stripe) {
     }
     for (std::size_t slot :
          code.layout().slots_on_node(static_cast<ec::NodeIndex>(i))) {
-      if (!holder.has({stripe, slot})) {
+      if (!holder.get({stripe, slot}).is_ok()) {
         failed.insert(static_cast<ec::NodeIndex>(i));
         break;
       }
@@ -455,20 +479,52 @@ Status MiniDfs::repair_stripe(cluster::StripeId stripe) {
   auto run = lease->executor.execute(*plan, store);
   if (!run.is_ok()) return run.status();
 
+  // Always-on guards (Status, not DCHECK): a malformed plan or a stripe
+  // mutated under the repair must surface as an error in Release builds --
+  // a chaos sweep that only runs Debug-checked paths proves nothing.
+  if (store.empty() && !plan->aggregates.empty()) {
+    return internal_error("repair plan executed over an empty slot store");
+  }
+  const std::size_t repair_block_size =
+      store.empty() ? 0 : store.begin()->second.size();
+
   // Persist only what landed on *live* nodes; still-down nodes get theirs
   // when they are repaired. Account traffic per aggregate send.
   for (const auto& send : plan->aggregates) {
+    if (static_cast<std::size_t>(send.from_node) >= info.group.size() ||
+        static_cast<std::size_t>(send.to_node) >= info.group.size()) {
+      return internal_error("repair plan send references a node outside the "
+                            "stripe's placement group");
+    }
     traffic_.record(info.group[static_cast<std::size_t>(send.from_node)],
                     info.group[static_cast<std::size_t>(send.to_node)],
-                    static_cast<double>(store.begin()->second.size()));
+                    static_cast<double>(repair_block_size));
+  }
+  // Re-check the seal before persisting: a write or delete overlapping this
+  // repair (the documented unsupported race) must fail loudly rather than
+  // let the repair resurrect dropped blocks.
+  if (!catalog_.is_sealed(stripe)) {
+    return failed_precondition_error(
+        "stripe " + std::to_string(stripe) +
+        " was unsealed or deleted while its repair was executing");
   }
   for (const auto& rec : plan->reconstructions) {
+    const auto rebuilt = store.find(rec.dest_slot);
+    if (rebuilt == store.end()) {
+      return internal_error("repair plan left dest slot " +
+                            std::to_string(rec.dest_slot) + " unbuilt");
+    }
+    if (rebuilt->second.size() != repair_block_size) {
+      return corruption_error("rebuilt block size mismatch on stripe " +
+                              std::to_string(stripe) + " slot " +
+                              std::to_string(rec.dest_slot));
+    }
     const cluster::NodeId dest = info.group[static_cast<std::size_t>(
         code.layout().node_of_slot(rec.dest_slot))];
     auto& dest_dn = datanodes_[static_cast<std::size_t>(dest)];
     if (dest_dn.is_up()) {
       DBLREP_RETURN_IF_ERROR(
-          dest_dn.put({stripe, rec.dest_slot}, store.at(rec.dest_slot)));
+          dest_dn.put({stripe, rec.dest_slot}, rebuilt->second));
     }
   }
   return Status::ok();
@@ -480,12 +536,16 @@ Status MiniDfs::repair_node(cluster::NodeId node) {
   }
   auto& dn = datanodes_[static_cast<std::size_t>(node)];
   if (!dn.is_up()) dn.restart();
+  gc_stale_replicas(dn);
 
   // One pass over the node's stripes, fanned out across the pool: each
   // stripe independently probes its holes, fetches the shared cached plan
   // for its failure pattern, and executes with a checked-out executor.
+  // parallel_for_all: an unrecoverable stripe must not stop the others
+  // from healing, and the set of healed stripes (plus the reported error)
+  // must be identical whether the pass runs serial or parallel.
   const auto stripes = catalog_.stripes_on_node(node);
-  return exec::parallel_for(*pool_, stripes.size(), [&](std::size_t i) {
+  return exec::parallel_for_all(*pool_, stripes.size(), [&](std::size_t i) {
     return repair_stripe(stripes[i]);
   });
 }
@@ -493,14 +553,21 @@ Status MiniDfs::repair_node(cluster::NodeId node) {
 Status MiniDfs::repair_all() {
   // Restart everyone first so repairs can land replicas on all nodes, then
   // rebuild node by node (plans see the remaining holes shrink); each
-  // node's stripes are repaired in parallel.
+  // node's stripes are repaired in parallel. A node whose repair fails
+  // (e.g. an unrecoverable stripe) does not stop the sweep: every
+  // recoverable stripe still heals, and the first error -- by node order,
+  // not completion order -- is reported.
   for (auto& dn : datanodes_) {
     if (!dn.is_up()) dn.restart();
   }
+  Status first_error;
   for (auto& dn : datanodes_) {
-    DBLREP_RETURN_IF_ERROR(repair_node(dn.id()));
+    Status status = repair_node(dn.id());
+    if (!status.is_ok() && first_error.is_ok()) {
+      first_error = std::move(status);
+    }
   }
-  return Status::ok();
+  return first_error;
 }
 
 Status MiniDfs::scrub() {
@@ -544,7 +611,7 @@ Result<std::size_t> MiniDfs::scrub_repair() {
     auto code_result = scheme(info.code_spec);
     if (!code_result.is_ok()) return code_result.status();
     const ec::CodeScheme& code = **code_result;
-    const Status file_status = exec::parallel_for(
+    const Status file_status = exec::parallel_for_all(
         *pool_, info.stripes.size(), [&](std::size_t si) -> Status {
           const cluster::StripeId stripe = info.stripes[si];
           // Gather the verifiably-good slots, then decode once and rewrite
@@ -585,6 +652,12 @@ Result<std::size_t> MiniDfs::scrub_repair() {
 }
 
 DataNode& MiniDfs::datanode(cluster::NodeId node) {
+  DBLREP_CHECK_GE(node, 0);
+  DBLREP_CHECK_LT(static_cast<std::size_t>(node), datanodes_.size());
+  return datanodes_[static_cast<std::size_t>(node)];
+}
+
+const DataNode& MiniDfs::datanode(cluster::NodeId node) const {
   DBLREP_CHECK_GE(node, 0);
   DBLREP_CHECK_LT(static_cast<std::size_t>(node), datanodes_.size());
   return datanodes_[static_cast<std::size_t>(node)];

@@ -124,7 +124,13 @@ class MiniDfs {
   /// Crash-fails a node (its stored bytes are gone).
   Status fail_node(cluster::NodeId node);
 
-  /// Brings a node back empty; call repair_node to refill it.
+  /// Transient outage: the node becomes unreachable but keeps its disk.
+  /// restart_node (or any repair) brings it back with all blocks intact --
+  /// the failure class HDFS's repair timeout exists to mask.
+  Status offline_node(cluster::NodeId node);
+
+  /// Brings a node back up: empty after fail_node, intact after
+  /// offline_node. Call repair_node to refill any holes.
   Status restart_node(cluster::NodeId node);
 
   /// Rebuilds everything the (restarted) node should host, using the
@@ -156,6 +162,8 @@ class MiniDfs {
   const MiniDfsOptions& options() const { return options_; }
   const cluster::BlockCatalog& catalog() const { return catalog_; }
   DataNode& datanode(cluster::NodeId node);
+  const DataNode& datanode(cluster::NodeId node) const;
+  const cluster::Topology& topology() const { return topology_; }
   const ec::CodeScheme& code_for(const std::string& path) const;
   exec::ThreadPool& pool() const { return *pool_; }
 
@@ -204,6 +212,11 @@ class MiniDfs {
 
   /// Repairs one stripe's holes as part of repair_node(node).
   Status repair_stripe(cluster::StripeId stripe);
+
+  /// Block-report semantics on rejoin: a node returning from a transient
+  /// outage may hold replicas of stripes deleted while it was away; drop
+  /// them so the catalog and the disks agree again.
+  void gc_stale_replicas(DataNode& dn);
 
   cluster::Topology topology_;
   MiniDfsOptions options_;

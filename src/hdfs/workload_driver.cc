@@ -46,7 +46,7 @@ Status WorkloadDriver::preload() {
                                  (*code)->data_blocks() * options_.block_size;
   payload_ = random_buffer(file_bytes, options_.seed ^ 0x9e3779b9u);
   for (std::size_t f = 0; f < options_.preload_files; ++f) {
-    const std::string path = "/wl/preload/" + std::to_string(f);
+    const std::string path = options_.path_prefix + "/preload/" + std::to_string(f);
     DBLREP_RETURN_IF_ERROR(dfs_->write_file(path, payload_,
                                             options_.code_spec,
                                             options_.block_size));
@@ -67,8 +67,9 @@ void WorkloadDriver::client_loop(std::size_t client_index, Rng rng,
   for (std::size_t op = 0; op < options_.ops_per_client; ++op) {
     const double pick = rng.next_double();
     if (pick >= read_cut && pick < write_cut) {
-      const std::string path = "/wl/client" + std::to_string(client_index) +
-                               "/f" + std::to_string(op);
+      const std::string path = options_.path_prefix + "/client" +
+                               std::to_string(client_index) + "/f" +
+                               std::to_string(op);
       const auto start = Clock::now();
       const Status status = dfs_->write_file(
           path, payload_, options_.code_spec, options_.block_size);

@@ -41,6 +41,11 @@ struct WorkloadOptions {
   std::size_t stripes_per_file = 2;
   std::size_t preload_files = 8;
 
+  /// Namespace root for every path the driver creates. Give each driver its
+  /// own prefix to run several against one DFS (the chaos harness fires
+  /// many bursts into a long-lived cluster).
+  std::string path_prefix = "/wl";
+
   /// Nodes crash-failed before the clients start (picked deterministically
   /// from the first stripe's placement so data is actually lost).
   std::size_t fail_nodes = 0;
@@ -103,6 +108,13 @@ class WorkloadDriver {
   /// Fails nodes, spawns the clients (and the background repair when
   /// configured), joins everything, and returns the merged report.
   Result<WorkloadReport> run();
+
+  /// The shared payload every write stores -- callers (the chaos harness)
+  /// use it as the ground-truth contents of driver-created files.
+  const Buffer& payload() const { return payload_; }
+  const std::vector<std::string>& preloaded_paths() const {
+    return preloaded_;
+  }
 
  private:
   struct ClientStats {

@@ -1,0 +1,250 @@
+// The chaos harness's own contract tests: schedules are pure functions of
+// (config, seed); replays reproduce traces and cluster state byte for
+// byte, across worker pools; the invariant checkers detect true
+// violations (seeded silent corruption) and the minimizer shrinks a
+// violating schedule to a core that still violates; layered repair stays
+// byte-equivalent under chaos; and the fault model pieces underneath
+// (transient offline, stale-replica GC, corruption-aware repair) behave.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chaos/harness.h"
+#include "chaos/invariants.h"
+#include "chaos/schedule.h"
+#include "exec/thread_pool.h"
+#include "hdfs/minidfs.h"
+
+namespace dblrep::chaos {
+namespace {
+
+/// Small, fast scenario: ~40 events on a 21-node/3-rack cluster.
+ChaosConfig small_config(const std::string& code_spec = "rs-10-4") {
+  ChaosConfig config;
+  config.code_spec = code_spec;
+  config.horizon_s = 12.0;
+  config.preload_files = 2;
+  config.stripes_per_file = 1;
+  return config;
+}
+
+// ----------------------------------------------------------- schedules
+
+TEST(ChaosSchedule, DeterministicPerSeed) {
+  const ChaosConfig config = small_config();
+  const auto a = generate_schedule(config, 7);
+  const auto b = generate_schedule(config, 7);
+  EXPECT_EQ(a, b);
+  const auto c = generate_schedule(config, 8);
+  EXPECT_NE(a, c);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(ChaosSchedule, TimeOrdered) {
+  const auto events = generate_schedule(small_config(), 3);
+  EXPECT_TRUE(std::is_sorted(
+      events.begin(), events.end(),
+      [](const ChaosEvent& a, const ChaosEvent& b) { return a.at < b.at; }));
+}
+
+TEST(ChaosSchedule, MixPresetsRoundTrip) {
+  for (const FaultMix& mix : FaultMix::presets()) {
+    const auto parsed = FaultMix::preset(mix.name);
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_EQ(parsed->name, mix.name);
+  }
+  EXPECT_FALSE(FaultMix::preset("antigravity").is_ok());
+}
+
+// -------------------------------------------------------------- replay
+
+TEST(ChaosHarness, ReplayReproducesTraceAndState) {
+  const ChaosHarness harness(small_config());
+  const ChaosReport a = harness.run_seed(21);
+  const ChaosReport b = harness.run_seed(21);
+  EXPECT_TRUE(a.ok()) << a.trace_to_string();
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.final_fingerprint, b.final_fingerprint);
+  EXPECT_EQ(a.final_storage_fingerprint, b.final_storage_fingerprint);
+}
+
+TEST(ChaosHarness, WorkerPoolReplaysInlineTraceByteForByte) {
+  // The DBLREP_THREADS regime: every event is a serial barrier, the DFS
+  // parallelizes inside events, and the result must be bit-identical to
+  // the fully serial run.
+  ChaosConfig inline_config = small_config();
+  const ChaosReport serial = ChaosHarness(inline_config).run_seed(33);
+
+  exec::ThreadPool pool(3);
+  ChaosConfig pooled_config = small_config();
+  pooled_config.pool = &pool;
+  const ChaosReport pooled = ChaosHarness(pooled_config).run_seed(33);
+
+  EXPECT_EQ(serial.trace, pooled.trace);
+  EXPECT_EQ(serial.final_fingerprint, pooled.final_fingerprint);
+  EXPECT_EQ(serial.traffic_total_bytes, pooled.traffic_total_bytes);
+  EXPECT_EQ(serial.traffic_cross_rack_bytes,
+            pooled.traffic_cross_rack_bytes);
+}
+
+TEST(ChaosHarness, EveryPresetMixHoldsInvariants) {
+  for (const FaultMix& mix : FaultMix::presets()) {
+    ChaosConfig config = small_config();
+    config.mix = mix;
+    const ChaosReport report = ChaosHarness(config).run_seed(5);
+    EXPECT_TRUE(report.ok()) << mix.name << ":\n" << report.trace_to_string();
+    EXPECT_FALSE(report.trace.empty()) << mix.name;
+  }
+}
+
+// ---------------------------------------------- checker true positives
+
+TEST(ChaosHarness, DurabilityCheckerCatchesSilentCorruption) {
+  // kTamperBlock rewrites a stored block with a fresh, CRC-valid payload:
+  // the one fault class checksums cannot see. The durability checker must
+  // flag it (decode succeeds, bytes differ from write-time contents).
+  const ChaosHarness harness(small_config());
+  const std::vector<ChaosEvent> events = {
+      {0.5, EventKind::kTamperBlock, 12345}};
+  const ChaosReport report = harness.run_schedule(99, events);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations.front().find("durability"), std::string::npos)
+      << report.violations.front();
+}
+
+TEST(ChaosHarness, MinimizerShrinksToViolatingCore) {
+  // Bury one tamper event inside a benign generated schedule; the
+  // minimizer must strip the noise and keep a schedule that still
+  // violates -- which must include the tamper (nothing else can violate).
+  const ChaosHarness harness(small_config());
+  std::vector<ChaosEvent> events = generate_schedule(small_config(), 11);
+  const std::size_t original = events.size();
+  ASSERT_GT(original, 5u);
+  events.insert(events.begin() + static_cast<std::ptrdiff_t>(original / 2),
+                {events[original / 2].at, EventKind::kTamperBlock, 777});
+
+  ASSERT_FALSE(harness.run_schedule(11, events).ok());
+  const auto minimized = harness.minimize(11, events);
+  EXPECT_LT(minimized.size(), events.size());
+  EXPECT_FALSE(harness.run_schedule(11, minimized).ok());
+  EXPECT_TRUE(std::any_of(minimized.begin(), minimized.end(),
+                          [](const ChaosEvent& event) {
+                            return event.kind == EventKind::kTamperBlock;
+                          }));
+}
+
+// ------------------------------------------------- layered equivalence
+
+TEST(ChaosHarness, LayeredRepairEquivalentUnderChaos) {
+  for (const char* spec : {"heptagon-local", "rs-10-4"}) {
+    ChaosConfig config = small_config(spec);
+    const auto violations = check_layering_equivalence(config, 13);
+    EXPECT_TRUE(violations.empty())
+        << spec << ": " << violations.front();
+  }
+}
+
+// ------------------------------------------------- fault-model pieces
+
+TEST(MiniDfsFaultModel, OfflineNodeKeepsItsDisk) {
+  cluster::Topology topology;
+  topology.num_nodes = 21;
+  topology.num_racks = 3;
+  hdfs::MiniDfs dfs(topology, 5);
+  const Buffer data = random_buffer(64 * 10, 2);
+  ASSERT_TRUE(dfs.write_file("/f", data, "rs-10-4", 64).is_ok());
+  const auto group = dfs.catalog().stripe(dfs.stat("/f")->stripes[0]).group;
+
+  const std::size_t blocks =
+      dfs.datanode(group[0]).block_count();
+  ASSERT_GT(blocks, 0u);
+  ASSERT_TRUE(dfs.offline_node(group[0]).is_ok());
+  EXPECT_FALSE(dfs.datanode(group[0]).is_up());
+  ASSERT_TRUE(dfs.restart_node(group[0]).is_ok());
+  // Unlike fail_node, the blocks survived: no repair needed.
+  EXPECT_EQ(dfs.datanode(group[0]).block_count(), blocks);
+  EXPECT_TRUE(dfs.scrub().is_ok());
+}
+
+TEST(MiniDfsFaultModel, RejoiningNodeDropsReplicasOfDeletedFiles) {
+  cluster::Topology topology;
+  topology.num_nodes = 21;
+  topology.num_racks = 3;
+  hdfs::MiniDfs dfs(topology, 5);
+  const Buffer data = random_buffer(64 * 10, 3);
+  ASSERT_TRUE(dfs.write_file("/f", data, "rs-10-4", 64).is_ok());
+  const auto group = dfs.catalog().stripe(dfs.stat("/f")->stripes[0]).group;
+
+  // Delete while one replica holder is away: the deletion cannot reach its
+  // disk, so the block-report GC on rejoin must drop the stale replicas.
+  ASSERT_TRUE(dfs.offline_node(group[0]).is_ok());
+  ASSERT_TRUE(dfs.delete_file("/f").is_ok());
+  ASSERT_TRUE(dfs.restart_node(group[0]).is_ok());
+  EXPECT_EQ(dfs.datanode(group[0]).block_count(), 0u);
+
+  std::vector<std::string> violations;
+  check_placement(dfs, {}, violations);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(MiniDfsFaultModel, RepairHealsCrcCorruptReplicas) {
+  cluster::Topology topology;
+  topology.num_nodes = 21;
+  topology.num_racks = 3;
+  hdfs::MiniDfs dfs(topology, 5);
+  const Buffer data = random_buffer(64 * 10, 4);
+  ASSERT_TRUE(dfs.write_file("/f", data, "rs-10-4", 64).is_ok());
+  const cluster::StripeId stripe = dfs.stat("/f")->stripes[0];
+  const auto group = dfs.catalog().stripe(stripe).group;
+
+  // Corrupt one replica (CRC catches it), then repair its node: the probe
+  // must treat the CRC-broken slot as failed and rewrite it.
+  auto& dn = dfs.datanode(group[1]);
+  const auto addresses = dn.stored_addresses();
+  ASSERT_FALSE(addresses.empty());
+  ASSERT_TRUE(dn.corrupt(addresses[0], 3).is_ok());
+  EXPECT_FALSE(dn.get(addresses[0]).is_ok());
+  ASSERT_TRUE(dfs.repair_node(group[1]).is_ok());
+  EXPECT_TRUE(dn.get(addresses[0]).is_ok());
+  EXPECT_TRUE(dfs.scrub().is_ok());
+}
+
+// ----------------------------------------------------------- checkers
+
+TEST(ChaosInvariants, CleanClusterPassesAllCheckers) {
+  cluster::Topology topology;
+  topology.num_nodes = 21;
+  topology.num_racks = 3;
+  hdfs::MiniDfs dfs(topology, 9);
+  const Buffer data = random_buffer(64 * 20, 6);
+  ASSERT_TRUE(dfs.write_file("/f", data, "rs-10-4", 64).is_ok());
+
+  TruthMap truth;
+  FileTruth file;
+  file.expected = data;
+  file.block_size = 64;
+  truth["/f"] = std::move(file);
+
+  std::vector<std::string> violations;
+  check_all(dfs, truth, violations);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(ChaosInvariants, FingerprintTracksByteChanges) {
+  cluster::Topology topology;
+  topology.num_nodes = 21;
+  topology.num_racks = 3;
+  hdfs::MiniDfs dfs(topology, 9);
+  const Buffer data = random_buffer(64 * 10, 7);
+  ASSERT_TRUE(dfs.write_file("/f", data, "rs-10-4", 64).is_ok());
+  const std::uint64_t before = storage_fingerprint(dfs);
+
+  const cluster::StripeId stripe = dfs.stat("/f")->stripes[0];
+  auto& dn = dfs.datanode(dfs.catalog().node_of({stripe, 0}));
+  ASSERT_TRUE(dn.corrupt({stripe, 0}, 0).is_ok());
+  EXPECT_NE(storage_fingerprint(dfs), before);
+}
+
+}  // namespace
+}  // namespace dblrep::chaos

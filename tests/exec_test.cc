@@ -115,6 +115,34 @@ TEST(ParallelFor, SerialModeRunsInOrderAndStopsAtError) {
   EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
 }
 
+TEST(ParallelForAll, RunsEveryIterationDespiteFailures) {
+  // The deterministic-fault variant: no early exit, so the set of executed
+  // iterations never depends on pool scheduling.
+  for (const std::size_t workers : {0u, 4u}) {
+    ThreadPool pool(workers);
+    std::atomic<std::size_t> executed{0};
+    const Status status = parallel_for_all(pool, 100, [&](std::size_t i) {
+      executed.fetch_add(1);
+      if (i % 7 == 3) return unavailable_error("down " + std::to_string(i));
+      return Status::ok();
+    });
+    EXPECT_EQ(executed.load(), 100u) << workers << " workers";
+    // Lowest-index error, not first-completed: always iteration 3.
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(status.message(), "down 3") << workers << " workers";
+  }
+}
+
+TEST(ParallelForAll, AllOkReturnsOk) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> executed{0};
+  EXPECT_TRUE(parallel_for_all(pool, 50, [&](std::size_t) {
+                executed.fetch_add(1);
+                return Status::ok();
+              }).is_ok());
+  EXPECT_EQ(executed.load(), 50u);
+}
+
 TEST(ParallelFor, NestedCallsDoNotDeadlock) {
   // Every outer iteration runs an inner parallel_for on the same small
   // pool; caller participation guarantees progress even with all workers
