@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
     const Buffer data = random_buffer(64 * 9, 3);
     (void)dfs.write_file("/f", data, "pentagon", 64);
     const auto info = *dfs.stat("/f");
-    const auto& code = dfs.code_for("/f");
+    const auto& code = *dfs.code_for("/f").value();
     for (std::size_t slot : code.layout().slots_of_symbol(0)) {
       (void)dfs.fail_node(dfs.catalog().node_of({info.stripes[0], slot}));
     }
@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
     const Buffer data = random_buffer(64 * 9, 4);
     (void)dfs.write_file("/f", data, "raidm-9", 64);
     const auto info = *dfs.stat("/f");
-    const auto& code = dfs.code_for("/f");
+    const auto& code = *dfs.code_for("/f").value();
     for (std::size_t slot : code.layout().slots_of_symbol(0)) {
       (void)dfs.fail_node(dfs.catalog().node_of({info.stripes[0], slot}));
     }

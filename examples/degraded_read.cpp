@@ -28,7 +28,7 @@ void demo(const std::string& code_spec) {
 
   // Kill both holders of data block 0.
   const auto info = *dfs.stat("/data");
-  const auto& code = dfs.code_for("/data");
+  const auto& code = *dfs.code_for("/data").value();
   std::cout << "== " << code.params().name << " ==\n";
   for (std::size_t slot : code.layout().slots_of_symbol(0)) {
     const auto node = dfs.catalog().node_of({info.stripes[0], slot});

@@ -5,8 +5,16 @@
 //
 // Commands:
 //   write <path> <code> <blocks>   write <blocks> random data blocks
+//   append <path> [<code>] [<blocks>]
+//                                  stream blocks through a FileWriter
+//                                  handle: the first append on a path
+//                                  opens it (<code> required, default
+//                                  blocks 1); repeat to grow the file,
+//                                  then `close` to seal it
+//   close <path>                   seal an open append handle
 //   read <path>                    read the whole file (reports bytes, crc)
-//   stat <path>                    show file info
+//   pread <path> <offset> <len>    read a byte range (reports bytes, crc)
+//   stat <path>                    show file info (sealed vs open)
 //   ls                             list files
 //   rm <path>                      delete a file
 //   raid <path> <code>             re-encode a file (HDFS-RAID style)
@@ -16,8 +24,14 @@
 //   traffic                        show network counters
 //   quit
 //
+// Exit code: 0 when every command succeeded, 1 if any command reported an
+// error (unknown commands count) -- so scripted sessions can gate on it.
+//
 // Example session:
-//   echo "write /a pentagon 9
+//   echo "append /a pentagon 3
+//   append /a 3
+//   close /a
+//   pread /a 4096 8192
 //   fail 0
 //   fail 1
 //   read /a
@@ -25,10 +39,12 @@
 //   traffic
 //   quit" | ./build/examples/dfsctl
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "common/bytes.h"
+#include "hdfs/client.h"
 #include "hdfs/minidfs.h"
 #include "hdfs/raidnode.h"
 
@@ -40,11 +56,18 @@ int main(int argc, char** argv) {
   if (argc > 1) topology.num_nodes = std::strtoul(argv[1], nullptr, 10);
   if (argc > 2) topology.num_racks = std::strtoul(argv[2], nullptr, 10);
   hdfs::MiniDfs dfs(topology, /*seed=*/2014);
+  hdfs::Client client(dfs);
   hdfs::RaidNode raid(dfs);
+  std::map<std::string, hdfs::FileWriter> writers;  // open append handles
 
   std::cout << "mini-DFS up: " << topology.num_nodes << " nodes, "
             << topology.num_racks << " rack(s), block size " << kBlock
             << " B. Type commands ('quit' to exit).\n";
+
+  bool any_error = false;
+  const auto note = [&any_error](bool ok) {
+    if (!ok) any_error = true;
+  };
 
   std::string line;
   std::uint64_t write_seed = 1;
@@ -59,17 +82,107 @@ int main(int argc, char** argv) {
       std::size_t blocks = 0;
       in >> path >> code >> blocks;
       const Buffer data = random_buffer(kBlock * blocks, write_seed++);
-      const auto status = dfs.write_file(path, data, code, kBlock);
+      const auto status = client.write(path, data, code, kBlock);
+      note(status.is_ok());
       std::cout << (status.is_ok()
                         ? "wrote " + std::to_string(data.size()) + " bytes"
                         : status.to_string())
                 << "\n";
+    } else if (cmd == "append") {
+      std::string path;
+      in >> path;
+      // Optional trailing block count; a non-numeric token must error (not
+      // silently default) so scripted sessions gate correctly, and the
+      // count is bounded so "-1" can't wrap into a huge allocation.
+      const auto parse_blocks = [&](std::size_t& blocks) {
+        std::string token;
+        if (!(in >> token)) return true;  // absent: keep the default
+        constexpr std::size_t kMaxBlocks = 1u << 20;
+        const bool digits =
+            !token.empty() &&
+            token.find_first_not_of("0123456789") == std::string::npos;
+        blocks = digits ? std::strtoul(token.c_str(), nullptr, 10) : 0;
+        if (blocks == 0 || blocks > kMaxBlocks) {
+          note(false);
+          std::cout << "append: expected a block count in [1, " << kMaxBlocks
+                    << "], got '" << token << "'\n";
+          return false;
+        }
+        return true;
+      };
+      std::size_t blocks = 1;
+      const auto it = writers.find(path);
+      if (it == writers.end()) {
+        std::string code;
+        if (!(in >> code)) {
+          note(false);
+          std::cout << "append: no open handle for " << path
+                    << " (usage: append <path> <code> [<blocks>])\n";
+          continue;
+        }
+        if (!parse_blocks(blocks)) continue;
+        auto writer = client.create(path, code, kBlock);
+        if (!writer.is_ok()) {
+          note(false);
+          std::cout << writer.status().to_string() << "\n";
+          continue;
+        }
+        writers.emplace(path, std::move(*writer));
+      } else {
+        // Handle already open: a repeated "append <path> <code> <n>" must
+        // error, not misparse the code as a count.
+        if (!parse_blocks(blocks)) continue;
+      }
+      auto& writer = writers.at(path);
+      const Buffer data = random_buffer(kBlock * blocks, write_seed++);
+      const Status status = writer.append(data);
+      note(status.is_ok());
+      if (status.is_ok()) {
+        std::cout << "appended " << data.size() << " bytes ("
+                  << writer.bytes_appended() << " total, open)\n";
+      } else {
+        std::cout << status.to_string() << "\n";
+        (void)writer.abort();
+        writers.erase(path);
+      }
+    } else if (cmd == "close") {
+      std::string path;
+      in >> path;
+      const auto it = writers.find(path);
+      if (it == writers.end()) {
+        note(false);
+        std::cout << "close: no open handle for " << path << "\n";
+        continue;
+      }
+      const Status status = it->second.close();
+      writers.erase(it);
+      note(status.is_ok());
+      std::cout << (status.is_ok() ? "sealed " + path : status.to_string())
+                << "\n";
     } else if (cmd == "read") {
       std::string path;
       in >> path;
-      const auto data = dfs.read_file(path);
+      const auto data = client.read(path);
+      note(data.is_ok());
       if (data.is_ok()) {
         std::cout << "read " << data->size() << " bytes, crc32c=" << std::hex
+                  << crc32c(*data) << std::dec << "\n";
+      } else {
+        std::cout << data.status().to_string() << "\n";
+      }
+    } else if (cmd == "pread") {
+      std::string path;
+      std::size_t offset = 0, len = 0;
+      if (!(in >> path >> offset >> len)) {
+        note(false);
+        std::cout << "usage: pread <path> <offset> <len>\n";
+        continue;
+      }
+      const auto data = client.pread(path, offset, len);
+      note(data.is_ok());
+      if (data.is_ok()) {
+        std::cout << "pread [" << offset << ", +" << len << ") -> "
+                  << data->size() << " bytes, crc32c=" << std::hex
                   << crc32c(*data) << std::dec << "\n";
       } else {
         std::cout << data.status().to_string() << "\n";
@@ -78,10 +191,13 @@ int main(int argc, char** argv) {
       std::string path;
       in >> path;
       const auto info = dfs.stat(path);
+      note(info.is_ok());
       if (info.is_ok()) {
         std::cout << path << ": " << info->length << " bytes, code "
                   << info->code_spec << ", " << info->stripes.size()
-                  << " stripe(s)\n";
+                  << " stripe(s), "
+                  << (info->sealed ? "sealed" : "open (write in flight)")
+                  << "\n";
       } else {
         std::cout << info.status().to_string() << "\n";
       }
@@ -90,11 +206,14 @@ int main(int argc, char** argv) {
     } else if (cmd == "rm") {
       std::string path;
       in >> path;
-      std::cout << dfs.delete_file(path).to_string() << "\n";
+      const Status status = dfs.delete_file(path);
+      note(status.is_ok());
+      std::cout << status.to_string() << "\n";
     } else if (cmd == "raid") {
       std::string path, code;
       in >> path >> code;
       const auto report = raid.raid_file(path, code);
+      note(report.is_ok());
       if (report.is_ok()) {
         std::cout << "raided: " << report->bytes_before << " -> "
                   << report->bytes_after << " stored bytes\n";
@@ -107,13 +226,19 @@ int main(int argc, char** argv) {
       const Status status = cmd == "fail"      ? dfs.fail_node(node)
                             : cmd == "restart" ? dfs.restart_node(node)
                                                : dfs.repair_node(node);
+      note(status.is_ok());
       std::cout << status.to_string() << "\n";
     } else if (cmd == "repair-all") {
-      std::cout << dfs.repair_all().to_string() << "\n";
+      const Status status = dfs.repair_all();
+      note(status.is_ok());
+      std::cout << status.to_string() << "\n";
     } else if (cmd == "scrub") {
-      std::cout << dfs.scrub().to_string() << "\n";
+      const Status status = dfs.scrub();
+      note(status.is_ok());
+      std::cout << status.to_string() << "\n";
     } else if (cmd == "heal") {
       const auto healed = dfs.scrub_repair();
+      note(healed.is_ok());
       if (healed.is_ok()) {
         std::cout << "healed " << *healed << " block(s)\n";
       } else {
@@ -122,10 +247,13 @@ int main(int argc, char** argv) {
     } else if (cmd == "traffic") {
       std::cout << "network total: " << format_bytes(dfs.traffic().total_bytes())
                 << ", cross-rack: "
-                << format_bytes(dfs.traffic().cross_rack_bytes()) << "\n";
+                << format_bytes(dfs.traffic().cross_rack_bytes())
+                << ", client: " << format_bytes(dfs.traffic().client_bytes())
+                << "\n";
     } else {
+      note(false);
       std::cout << "unknown command: " << cmd << "\n";
     }
   }
-  return 0;
+  return any_error ? 1 : 0;
 }

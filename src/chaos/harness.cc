@@ -8,6 +8,7 @@
 
 #include "ec/registry.h"
 #include "exec/thread_pool.h"
+#include "hdfs/client.h"
 #include "hdfs/workload_driver.h"
 
 namespace dblrep::chaos {
@@ -34,15 +35,31 @@ std::string code_name(const Status& status) {
   return status_code_name(status.code());
 }
 
+/// Payload length for a seeded client write/append: 1..stripes_per_file
+/// stripes, with a sub-block tail shaved off some picks to exercise
+/// padding. Shared so write and append events draw identical size
+/// distributions.
+std::size_t seeded_payload_len(const ec::CodeScheme& code,
+                               const ChaosConfig& config,
+                               std::uint64_t pick) {
+  const std::uint64_t sub = mix64(pick);
+  const std::size_t stripes =
+      1 + sub % std::max<std::size_t>(config.stripes_per_file, 1);
+  const std::size_t full = stripes * code.data_blocks() * config.block_size;
+  return full - mix64(sub) % config.block_size;
+}
+
 /// One in-flight scenario: the cluster under test plus the ground truth
 /// and counters the checkers and the report read.
 struct Run {
   const ChaosConfig& config;
   hdfs::MiniDfs dfs;
+  hdfs::Client client{dfs};  // one client for all streaming events
   TruthMap truth;
   ChaosReport report;
   std::set<std::string> seen_violations;  // dedup across checker passes
   std::size_t write_seq = 0;
+  std::size_t append_seq = 0;
   std::size_t burst_seq = 0;
 
   Run(const ChaosConfig& cfg, std::uint64_t seed)
@@ -222,11 +239,11 @@ std::string Run::apply(std::size_t step, const ChaosEvent& event) {
         ++report.read_errors;
         // A read is allowed to fail only beyond the scheme's tolerance.
         const auto info = dfs.stat(path);
-        if (info.is_ok()) {
-          const std::size_t k = dfs.code_for(path).data_blocks();
+        const auto code = dfs.code_for(path);
+        if (info.is_ok() && code.is_ok()) {
+          const std::size_t k = (*code)->data_blocks();
           const cluster::StripeId stripe = info->stripes[block / k];
-          if (dfs.code_for(path).is_recoverable(
-                  probe_failed_nodes(dfs, stripe))) {
+          if ((*code)->is_recoverable(probe_failed_nodes(dfs, stripe))) {
             add_violation(step, event,
                           "durability: read of " + path + " block " +
                               std::to_string(block) +
@@ -244,18 +261,113 @@ std::string Run::apply(std::size_t step, const ChaosEvent& event) {
         os << "write " << path << ": " << code_name(code.status());
         break;
       }
-      const std::uint64_t sub = mix64(event.pick);
-      const std::size_t stripes =
-          1 + sub % std::max<std::size_t>(config.stripes_per_file, 1);
-      const std::size_t full =
-          stripes * (*code)->data_blocks() * config.block_size;
-      // Shave a sub-block tail off some writes to exercise padding.
-      const std::size_t len = full - mix64(sub) % config.block_size;
+      const std::size_t len = seeded_payload_len(**code, config, event.pick);
       Buffer payload = random_buffer(len, event.pick);
       ++report.writes;
       const Status status =
           dfs.write_file(path, payload, config.code_spec, config.block_size);
       os << "write " << path << " (" << len << " B): " << code_name(status);
+      if (status.is_ok()) {
+        record_truth(path, std::move(payload));
+      } else {
+        ++report.write_errors;
+      }
+      break;
+    }
+    case EventKind::kClientPread: {
+      const auto paths = tracked_paths();
+      if (paths.empty()) {
+        os << "noop (no files)";
+        break;
+      }
+      const std::string& path = paths[event.pick % paths.size()];
+      const FileTruth& file = truth.at(path);
+      if (file.expected.empty()) {
+        os << "noop (empty file)";
+        break;
+      }
+      const std::uint64_t sub = mix64(event.pick);
+      const std::size_t offset = sub % file.expected.size();
+      const std::size_t len = 1 + mix64(sub) % (2 * file.block_size);
+      const std::size_t want = std::min(len, file.expected.size() - offset);
+      ++report.reads;
+      const auto start = Clock::now();
+      const auto result = client.pread(path, offset, len);
+      const double us = micros_since(start);
+      (down.empty() ? report.read_us : report.degraded_read_us).add(us);
+      os << "pread " << path << " [" << offset << ", +" << len
+         << "): " << code_name(result.status());
+      if (result.is_ok()) {
+        if (result->size() != want ||
+            std::memcmp(result->data(), file.expected.data() + offset,
+                        want) != 0) {
+          add_violation(step, event,
+                        "durability: pread of " + path + " [" +
+                            std::to_string(offset) + ", +" +
+                            std::to_string(len) +
+                            ") returned wrong bytes");
+        }
+      } else {
+        ++report.read_errors;
+        // A range read may fail only if some covered stripe is beyond the
+        // scheme's tolerance.
+        const auto info = dfs.stat(path);
+        const auto code = dfs.code_for(path);
+        if (info.is_ok() && code.is_ok() && want > 0) {
+          const std::size_t k = (*code)->data_blocks();
+          const std::size_t first_stripe = (offset / file.block_size) / k;
+          const std::size_t last_stripe =
+              ((offset + want - 1) / file.block_size) / k;
+          bool all_recoverable = true;
+          for (std::size_t si = first_stripe;
+               si <= last_stripe && si < info->stripes.size(); ++si) {
+            if (!(*code)->is_recoverable(
+                    probe_failed_nodes(dfs, info->stripes[si]))) {
+              all_recoverable = false;
+              break;
+            }
+          }
+          if (all_recoverable) {
+            add_violation(step, event,
+                          "durability: pread of " + path +
+                              " failed within tolerance: " +
+                              result.status().to_string());
+          }
+        }
+      }
+      break;
+    }
+    case EventKind::kClientAppend: {
+      const std::string path = "/chaos/a" + std::to_string(append_seq++);
+      const auto code = ec::make_code(config.code_spec);
+      if (!code.is_ok()) {
+        os << "append " << path << ": " << code_name(code.status());
+        break;
+      }
+      const std::size_t len = seeded_payload_len(**code, config, event.pick);
+      Buffer payload = random_buffer(len, event.pick);
+      ++report.writes;
+      Status status;
+      auto writer = client.create(path, config.code_spec, config.block_size);
+      if (!writer.is_ok()) {
+        status = writer.status();
+      } else {
+        // Stream in 1.5-block chunks so appends cross both block and
+        // stripe boundaries through the handle's sub-stripe buffer.
+        const std::size_t chunk =
+            std::max<std::size_t>(1, (config.block_size * 3) / 2);
+        for (std::size_t off = 0; off < len && status.is_ok();
+             off += chunk) {
+          status = writer->append(
+              ByteSpan(payload).subspan(off, std::min(chunk, len - off)));
+        }
+        if (status.is_ok()) {
+          status = writer->close();
+        } else {
+          (void)writer->abort();
+        }
+      }
+      os << "append " << path << " (" << len << " B): " << code_name(status);
       if (status.is_ok()) {
         record_truth(path, std::move(payload));
       } else {

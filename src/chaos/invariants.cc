@@ -105,7 +105,14 @@ void check_durability(const hdfs::MiniDfs& dfs, const TruthMap& truth,
                            info.status().to_string());
       continue;
     }
-    const ec::CodeScheme& code = dfs.code_for(path);
+    const auto code_result = dfs.code_for(path);
+    if (!code_result.is_ok()) {
+      violations.push_back("durability: code lookup for tracked file " +
+                           path + " failed: " +
+                           code_result.status().to_string());
+      continue;
+    }
+    const ec::CodeScheme& code = **code_result;
     const std::size_t k = code.data_blocks();
     const std::size_t stripe_bytes = k * info->block_size;
     for (std::size_t si = 0; si < info->stripes.size(); ++si) {
@@ -269,7 +276,9 @@ void check_placement(const hdfs::MiniDfs& dfs, const TruthMap& truth,
   for (const auto& [path, file] : truth) {
     const auto info = dfs.stat(path);
     if (!info.is_ok()) continue;  // durability checker reports this
-    const ec::CodeScheme& code = dfs.code_for(path);
+    const auto code_result = dfs.code_for(path);
+    if (!code_result.is_ok()) continue;  // durability checker reports this
+    const ec::CodeScheme& code = **code_result;
     for (cluster::StripeId stripe : info->stripes) {
       const auto& group = dfs.catalog().stripe(stripe).group;
       const std::string label = stripe_label(path, stripe);

@@ -19,6 +19,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kTamperBlock:   return "tamper_block";
     case EventKind::kClientRead:    return "client_read";
     case EventKind::kClientWrite:   return "client_write";
+    case EventKind::kClientPread:   return "client_pread";
+    case EventKind::kClientAppend:  return "client_append";
     case EventKind::kDeleteFile:    return "delete_file";
     case EventKind::kWorkloadBurst: return "workload_burst";
     case EventKind::kRepairNode:    return "repair_node";
@@ -160,6 +162,12 @@ std::vector<ChaosEvent> generate_schedule(const ChaosConfig& config,
   }});
   processes.push_back({mix.write_rate, [&](sim::SimTime t) {
     emit(t, EventKind::kClientWrite, rng.next_u64());
+  }});
+  processes.push_back({mix.pread_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kClientPread, rng.next_u64());
+  }});
+  processes.push_back({mix.append_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kClientAppend, rng.next_u64());
   }});
   processes.push_back({mix.delete_rate, [&](sim::SimTime t) {
     emit(t, EventKind::kDeleteFile, rng.next_u64());

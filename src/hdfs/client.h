@@ -1,0 +1,162 @@
+// hdfs::Client: the handle-based client half of the data plane.
+//
+// MiniDfs plays the NameNode + storage-core role (namespace, placement,
+// stripe transactions, range reads); this layer is what application code
+// holds -- the paper's Section 4 workloads (HDFS-RAID under MapReduce) are
+// driven by clients that append blocks incrementally and read byte ranges
+// at task granularity, not whole files:
+//
+//  * FileWriter -- open -> append(ByteSpan)* -> close(). Appends buffer
+//    sub-stripe data; every full stripe is placed on the caller's thread
+//    (placement draws stay deterministic in append order) and then encoded
+//    + stored asynchronously on the DFS pool, with a bounded number of
+//    stripes in flight -- so multi-call ingest pipelines and a file larger
+//    than memory streams through a fixed-size window. close() flushes the
+//    zero-padded tail, waits for the pipeline, and publishes the path
+//    (readers see nothing earlier); any failure rolls the whole file back.
+//  * pread(path, offset, len) -- byte-range reads resolving only the
+//    stripes covering the range, with per-block degraded-read fallback.
+//  * *_async variants -- the same operations returning exec::Future,
+//    composed on the DFS's ThreadPool so a single caller can keep hundreds
+//    of operations in flight without burning a thread per call.
+//
+// A Client is a cheap stateless facade over a MiniDfs and is safe to share
+// or recreate freely; a FileWriter handle is single-owner and not
+// thread-safe (one writer per path by construction -- begin_write reserves
+// the name). MiniDfs::write_file / read_file remain as thin wrappers over
+// the same primitives.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "exec/future.h"
+#include "hdfs/minidfs.h"
+
+namespace dblrep::hdfs {
+
+/// Client-side knobs (per handle; construction-time).
+struct ClientOptions {
+  /// Stripe stores a FileWriter keeps in flight before append blocks on
+  /// the oldest one. Bounds ingest memory to max_inflight_stripes stripe
+  /// buffers. 0 = auto: DBLREP_CLIENT_INFLIGHT when set, else
+  /// 2 * (pool workers + 1).
+  std::size_t max_inflight_stripes = 0;
+};
+
+/// Handle for one streaming write. Move-only, single-owner, not
+/// thread-safe. Destroying a still-open writer aborts the write (the path
+/// and every stored stripe roll back).
+class FileWriter {
+ public:
+  FileWriter(FileWriter&& other) noexcept;
+  FileWriter& operator=(FileWriter&&) = delete;
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+  ~FileWriter();
+
+  /// Appends logical bytes. Completed stripes are dispatched to the pool;
+  /// the call blocks only when max_inflight_stripes stores are already in
+  /// flight. After any failure the writer is poisoned: the first error
+  /// (in stripe order -- independent of pool scheduling) is returned from
+  /// every subsequent append/close.
+  Status append(ByteSpan data);
+
+  /// Flushes the partial tail stripe, waits for every in-flight store,
+  /// and publishes the file; on any recorded failure rolls back instead
+  /// and returns that first error. The writer is closed either way.
+  Status close();
+
+  /// Waits for in-flight stores, then rolls the whole write back.
+  Status abort();
+
+  bool is_open() const { return open_; }
+  const std::string& path() const { return path_; }
+
+  /// Logical bytes accepted so far (buffered + dispatched). The tail of
+  /// an append that failed partway is not counted.
+  std::size_t bytes_appended() const { return appended_; }
+
+ private:
+  friend class Client;
+  FileWriter(MiniDfs* dfs, std::string path, std::size_t stripe_bytes,
+             std::size_t max_inflight);
+
+  /// Allocates a stripe (serially, on this thread) and spawns its encode +
+  /// store on the pool, first draining to keep the pipeline bounded.
+  Status dispatch(Buffer stripe_data);
+
+  /// Waits for in-flight stores (front first, i.e. stripe order) until at
+  /// most `allow` remain; records the first failure in deferred_.
+  void drain(std::size_t allow);
+
+  /// Common close/abort tail: drains everything, then commits or aborts.
+  Status finish(bool commit);
+
+  MiniDfs* dfs_;
+  std::string path_;
+  std::size_t stripe_bytes_;
+  std::size_t max_inflight_;
+  Buffer buffer_;  // the partial stripe not yet dispatched
+  std::deque<exec::Future<Status>> inflight_;  // stores, in stripe order
+  Status deferred_;  // first failure; poisons the writer
+  std::size_t appended_ = 0;
+  bool open_ = false;
+};
+
+class Client {
+ public:
+  explicit Client(MiniDfs& dfs, ClientOptions options = {});
+
+  MiniDfs& dfs() const { return *dfs_; }
+
+  // --------------------------------------------------------------- write
+
+  /// Opens a streaming writer for a new file. The path is reserved
+  /// immediately (concurrent creators fail with ALREADY_EXISTS) and
+  /// published only by close().
+  Result<FileWriter> create(const std::string& path,
+                            const std::string& code_spec,
+                            std::size_t block_size);
+
+  /// Bulk write of an in-memory buffer: the same transaction a FileWriter
+  /// runs, but with all stripes allocated up front and encoded zero-copy
+  /// from `data` in parallel (MiniDfs::write_file is this same path).
+  Status write(const std::string& path, ByteSpan data,
+               const std::string& code_spec, std::size_t block_size);
+
+  // ---------------------------------------------------------------- read
+
+  Result<Buffer> read(const std::string& path);
+
+  /// Byte-range read; see MiniDfs::pread for the EOF/clamping contract.
+  Result<Buffer> pread(const std::string& path, std::size_t offset,
+                       std::size_t len);
+
+  Result<Buffer> read_block(const std::string& path, std::size_t block_index);
+
+  // --------------------------------------------------------------- async
+  //
+  // Futures resolve on the DFS pool; with a zero-worker (inline) pool the
+  // operation runs inside the call and the future returns ready, so async
+  // and sync paths execute identical byte and traffic sequences. Don't
+  // block on these futures from inside a task running on the same pool.
+
+  exec::Future<Status> write_async(std::string path, Buffer data,
+                                   std::string code_spec,
+                                   std::size_t block_size);
+  exec::Future<Result<Buffer>> read_async(std::string path);
+  exec::Future<Result<Buffer>> pread_async(std::string path,
+                                           std::size_t offset,
+                                           std::size_t len);
+
+ private:
+  MiniDfs* dfs_;
+  std::size_t max_inflight_;
+};
+
+}  // namespace dblrep::hdfs

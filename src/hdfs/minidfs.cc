@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <limits>
 
 #include "ec/layering.h"
 #include "ec/registry.h"
@@ -88,34 +89,58 @@ Result<const ec::RepairPlan*> MiniDfs::cached_repair_plan(
   return &plan_cache_.try_emplace(key, std::move(*plan)).first->second;
 }
 
-Status MiniDfs::write_file(const std::string& path, ByteSpan data,
-                           const std::string& code_spec,
-                           std::size_t block_size) {
+Status MiniDfs::begin_write(const std::string& path,
+                            const std::string& code_spec,
+                            std::size_t block_size) {
   if (block_size == 0) return invalid_argument_error("zero block size");
-  auto rt_result = runtime(code_spec);
+  auto rt_result = runtime(code_spec);  // validates the spec
   if (!rt_result.is_ok()) return rt_result.status();
-  SchemeRuntime& rt = **rt_result;
-  const ec::CodeScheme& code = *rt.code;
+  const ec::CodeScheme& code = *(*rt_result)->code;
 
-  // Reserve the path: concurrent writers of the same name fail fast, and
-  // readers see nothing until the final publish below.
-  {
-    std::unique_lock<std::shared_mutex> lock(ns_mu_);
-    if (files_.contains(path) || pending_writes_.contains(path)) {
-      return already_exists_error(path);
-    }
-    pending_writes_.insert(path);
+  // Enough live nodes to place a stripe? Checked here so an impossible
+  // transaction fails fast, and re-checked per allocation (membership can
+  // change while a streaming write is open).
+  std::size_t live = 0;
+  for (const auto& dn : datanodes_) {
+    if (dn.is_up()) ++live;
   }
-  struct PendingGuard {
-    MiniDfs* dfs;
-    const std::string& path;
-    ~PendingGuard() {
-      std::unique_lock<std::shared_mutex> lock(dfs->ns_mu_);
-      dfs->pending_writes_.erase(path);
-    }
-  } pending_guard{this, path};
+  if (live < code.num_nodes()) {
+    return resource_exhausted_error("not enough live nodes for " + code_spec);
+  }
 
-  // Enough live nodes to place a stripe?
+  // Reserve the path: concurrent creators of the same name fail fast, and
+  // readers see nothing until commit_write publishes.
+  std::unique_lock<std::shared_mutex> lock(ns_mu_);
+  if (files_.contains(path) || pending_writes_.contains(path)) {
+    return already_exists_error(path);
+  }
+  FileInfo info;
+  info.code_spec = code_spec;
+  info.block_size = block_size;
+  info.sealed = false;
+  pending_writes_.emplace(path, std::move(info));
+  return Status::ok();
+}
+
+Result<std::vector<cluster::StripeId>> MiniDfs::allocate_stripes(
+    const std::string& path, std::size_t count) {
+  std::string code_spec;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    const auto it = pending_writes_.find(path);
+    if (it == pending_writes_.end()) {
+      return failed_precondition_error("no write transaction open for " +
+                                       path);
+    }
+    code_spec = it->second.code_spec;
+  }
+  auto code_result = scheme(code_spec);
+  if (!code_result.is_ok()) return code_result.status();
+  const ec::CodeScheme& code = **code_result;
+
+  // One live-node scan per batch: the bulk write path allocates a whole
+  // file's stripes in one call, so this costs what the pre-transaction
+  // write_file paid, not once per stripe.
   std::vector<cluster::NodeId> live;
   for (const auto& dn : datanodes_) {
     if (dn.is_up()) live.push_back(dn.id());
@@ -124,90 +149,221 @@ Status MiniDfs::write_file(const std::string& path, ByteSpan data,
     return resource_exhausted_error("not enough live nodes for " + code_spec);
   }
 
-  FileInfo info;
-  info.code_spec = code_spec;
-  info.block_size = block_size;
-  info.length = data.size();
-
-  const std::size_t stripe_bytes = code.data_blocks() * block_size;
-  const std::size_t num_stripes =
-      data.empty() ? 0 : (data.size() + stripe_bytes - 1) / stripe_bytes;
-
-  // Failed writes must not leak: drop whatever blocks landed and
-  // unregister every stripe this call registered (all still possible --
-  // unsealed stripes are invisible to repair, and the unpublished path is
-  // invisible to readers).
-  const auto rollback = [&] {
-    for (const cluster::StripeId stripe : info.stripes) {
-      for (std::size_t slot = 0; slot < code.layout().num_slots(); ++slot) {
-        const cluster::NodeId node = catalog_.node_of({stripe, slot});
-        auto& dn = datanodes_[static_cast<std::size_t>(node)];
-        if (dn.has({stripe, slot})) (void)dn.drop({stripe, slot});
-      }
+  std::vector<cluster::StripeId> stripes;
+  stripes.reserve(count);
+  const auto unregister_batch = [&] {
+    for (const cluster::StripeId stripe : stripes) {
       (void)catalog_.unregister_stripe(stripe);
     }
   };
-
-  // Phase 1 -- placement, serial: one rng draw sequence per stripe in
-  // order, so the layout is a deterministic function of the seed and
-  // byte-identical between serial and parallel executions.
   {
+    // Placement is serial: one rng draw sequence per stripe in allocation
+    // order, so the layout is a deterministic function of the seed and
+    // byte-identical between serial and parallel executions. The
+    // construction-time policy decides the rack structure: flat
+    // (rack-blind uniform), rack_aware spreading, or group_per_rack,
+    // which pins each local code group to its own rack.
     std::lock_guard<std::mutex> lock(place_mu_);
-    for (std::size_t s = 0; s < num_stripes; ++s) {
-      // The construction-time policy decides the rack structure: flat
-      // (rack-blind uniform), rack_aware spreading, or group_per_rack,
-      // which pins each local code group to its own rack.
-      auto group_result = cluster::place_stripe_group(
-          options_.placement, topology_, code, live, rng_);
+    for (std::size_t s = 0; s < count; ++s) {
+      auto group_result = cluster::place_stripe_group(options_.placement,
+                                                      topology_, code, live,
+                                                      rng_);
       if (!group_result.is_ok()) {
-        rollback();
+        unregister_batch();
         return group_result.status();
       }
-      std::vector<cluster::NodeId> group = std::move(*group_result);
-      // Unsealed until the stripe's bytes land in phase 2: a concurrent
-      // repair pass must not mistake a write in flight for mass failure.
-      auto stripe_id = catalog_.register_stripe(code, group, /*sealed=*/false);
+      // Unsealed until commit_write publishes the file: a concurrent
+      // repair pass must not mistake a write in flight for mass failure
+      // (nor race an abort of one).
+      auto stripe_id =
+          catalog_.register_stripe(code, std::move(*group_result),
+                                   /*sealed=*/false);
       if (!stripe_id.is_ok()) {
-        rollback();
+        unregister_batch();
         return stripe_id.status();
       }
-      info.stripes.push_back(*stripe_id);
+      stripes.push_back(*stripe_id);
     }
   }
+  std::unique_lock<std::shared_mutex> lock(ns_mu_);
+  const auto it = pending_writes_.find(path);
+  if (it == pending_writes_.end()) {
+    // The transaction was aborted under us; don't leak the stripes.
+    unregister_batch();
+    return failed_precondition_error("write transaction for " + path +
+                                     " closed during allocation");
+  }
+  it->second.stripes.insert(it->second.stripes.end(), stripes.begin(),
+                            stripes.end());
+  return stripes;
+}
 
-  // Phase 2 -- encode + store, stripes fanned out across the pool. Each
-  // worker checks out its own codec; systematic symbols are zero-copy
-  // views into `data`, parities come out of the leased codec's arena.
-  // parallel_for_all: on failure every stripe still runs (then rollback
-  // drops them all), so the returned status -- lowest failing stripe --
-  // does not depend on pool scheduling.
+Result<cluster::StripeId> MiniDfs::allocate_stripe(const std::string& path) {
+  auto stripes = allocate_stripes(path, 1);
+  if (!stripes.is_ok()) return stripes.status();
+  return stripes->front();
+}
+
+Status MiniDfs::store_stripe_bytes(SchemeRuntime& rt, std::size_t block_size,
+                                   cluster::StripeId stripe,
+                                   ByteSpan stripe_data) {
+  const ec::CodeScheme& code = *rt.code;
+  if (stripe_data.empty() ||
+      stripe_data.size() > code.data_blocks() * block_size) {
+    return invalid_argument_error("stripe data must cover (0, stripe] bytes");
+  }
+  // Encode + store: the caller's worker checks out its own codec;
+  // systematic symbols are zero-copy views into `stripe_data`, parities
+  // come out of the leased codec's arena. The stripe stays *unsealed*
+  // until commit_write: sealing per stripe here would expose it to
+  // concurrent repair/scrub passes while the transaction can still abort,
+  // and abort_write unregistering a stripe a repair is persisting is
+  // exactly the dangling-reference race the seal flag exists to prevent.
+  auto lease = rt.runtimes->acquire();
+  const auto symbols = lease->codec.encode_stripe(stripe_data, block_size);
+  const auto& layout = code.layout();
+  for (std::size_t slot = 0; slot < layout.num_slots(); ++slot) {
+    const cluster::NodeId node = catalog_.node_of({stripe, slot});
+    DBLREP_RETURN_IF_ERROR(datanodes_[static_cast<std::size_t>(node)].put(
+        {stripe, slot}, symbols[layout.symbol_of_slot(slot)]));
+    // Client -> datanode transfer (the client is off-cluster).
+    traffic_.record_to_client(node, static_cast<double>(block_size));
+  }
+  return Status::ok();
+}
+
+Status MiniDfs::store_stripe(const std::string& path,
+                             cluster::StripeId stripe, ByteSpan stripe_data) {
+  std::string code_spec;
+  std::size_t block_size = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    const auto it = pending_writes_.find(path);
+    if (it == pending_writes_.end()) {
+      return failed_precondition_error("no write transaction open for " +
+                                       path);
+    }
+    code_spec = it->second.code_spec;
+    block_size = it->second.block_size;
+  }
+  auto rt_result = runtime(code_spec);
+  if (!rt_result.is_ok()) return rt_result.status();
+  DBLREP_RETURN_IF_ERROR(
+      store_stripe_bytes(**rt_result, block_size, stripe, stripe_data));
+
+  // Progress accounting for stat() of the open write.
+  std::unique_lock<std::shared_mutex> lock(ns_mu_);
+  const auto it = pending_writes_.find(path);
+  if (it == pending_writes_.end()) {
+    return failed_precondition_error("write transaction for " + path +
+                                     " closed during store");
+  }
+  it->second.length += stripe_data.size();
+  return Status::ok();
+}
+
+Status MiniDfs::commit_write(const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(ns_mu_);
+  const auto it = pending_writes_.find(path);
+  if (it == pending_writes_.end()) {
+    return failed_precondition_error("no write transaction open for " + path);
+  }
+  // Seal-at-commit: the stripes become visible to repair and scrub in the
+  // same step that publishes the path, so no stripe is ever both sealed
+  // and abortable. seal_stripe only fails on a tombstone, which nothing
+  // can produce for a pending stripe -- treat it as corruption.
+  for (const cluster::StripeId stripe : it->second.stripes) {
+    DBLREP_RETURN_IF_ERROR(catalog_.seal_stripe(stripe));
+  }
+  FileInfo info = std::move(it->second);
+  pending_writes_.erase(it);
+  info.sealed = true;
+  files_.emplace(path, std::move(info));
+  return Status::ok();
+}
+
+Status MiniDfs::abort_write(const std::string& path) {
+  FileInfo info;
+  {
+    std::unique_lock<std::shared_mutex> lock(ns_mu_);
+    const auto it = pending_writes_.find(path);
+    if (it == pending_writes_.end()) {
+      return failed_precondition_error("no write transaction open for " +
+                                       path);
+    }
+    info = std::move(it->second);
+    pending_writes_.erase(it);
+  }
+  // Failed writes must not leak: drop whatever blocks landed and
+  // unregister every stripe this transaction allocated (all still possible
+  // -- unsealed stripes are invisible to repair, and the unpublished path
+  // is invisible to readers).
+  auto code_result = scheme(info.code_spec);
+  if (!code_result.is_ok()) return code_result.status();
+  const auto& layout = (*code_result)->layout();
+  for (const cluster::StripeId stripe : info.stripes) {
+    for (std::size_t slot = 0; slot < layout.num_slots(); ++slot) {
+      const cluster::NodeId node = catalog_.node_of({stripe, slot});
+      auto& dn = datanodes_[static_cast<std::size_t>(node)];
+      if (dn.has({stripe, slot})) (void)dn.drop({stripe, slot});
+    }
+    (void)catalog_.unregister_stripe(stripe);
+  }
+  return Status::ok();
+}
+
+Status MiniDfs::write_file(const std::string& path, ByteSpan data,
+                           const std::string& code_spec,
+                           std::size_t block_size) {
+  // Thin wrapper over the write transaction: allocate every stripe up
+  // front (serial draws), then encode + store them fanned out across the
+  // pool, zero-copy from `data`. parallel_for_all: on failure every stripe
+  // still runs (then abort_write drops them all), so the returned status
+  // -- lowest failing stripe -- does not depend on pool scheduling.
+  DBLREP_RETURN_IF_ERROR(begin_write(path, code_spec, block_size));
+  // RAII rollback: every exit below -- error returns and stack unwinding
+  // alike -- releases the path reservation and drops landed stripes,
+  // unless the commit disarms it. (A leaked pending entry would poison
+  // the path with ALREADY_EXISTS for the process lifetime.)
+  struct AbortGuard {
+    MiniDfs* dfs;
+    const std::string& path;
+    bool armed = true;
+    ~AbortGuard() {
+      if (armed) (void)dfs->abort_write(path);
+    }
+  } guard{this, path};
+
+  auto rt_result = runtime(code_spec);
+  if (!rt_result.is_ok()) return rt_result.status();
+  SchemeRuntime& rt = **rt_result;
+  const std::size_t stripe_bytes = rt.code->data_blocks() * block_size;
+  const std::size_t num_stripes =
+      data.empty() ? 0 : (data.size() + stripe_bytes - 1) / stripe_bytes;
+
+  auto stripes = allocate_stripes(path, num_stripes);
+  if (!stripes.is_ok()) return stripes.status();
+
+  // The runtime and block size are resolved once for the whole file, and
+  // the length is published once below -- the workers touch no namespace
+  // state, unlike a FileWriter's store_stripe calls (which pay per-stripe
+  // lookups to keep stat() progress live).
   const Status write_status = exec::parallel_for_all(
       *pool_, num_stripes, [&](std::size_t s) -> Status {
         const std::size_t begin = s * stripe_bytes;
         const std::size_t len = std::min(stripe_bytes, data.size() - begin);
-        auto lease = rt.runtimes->acquire();
-        const auto symbols =
-            lease->codec.encode_stripe(data.subspan(begin, len), block_size);
-        const cluster::StripeId stripe_id = info.stripes[s];
-        const auto& layout = code.layout();
-        for (std::size_t slot = 0; slot < layout.num_slots(); ++slot) {
-          const cluster::NodeId node = catalog_.node_of({stripe_id, slot});
-          DBLREP_RETURN_IF_ERROR(
-              datanodes_[static_cast<std::size_t>(node)].put(
-                  {stripe_id, slot}, symbols[layout.symbol_of_slot(slot)]));
-          // Client -> datanode transfer (the client is off-cluster).
-          traffic_.record_to_client(node, static_cast<double>(block_size));
-        }
-        return catalog_.seal_stripe(stripe_id);
+        return store_stripe_bytes(rt, block_size, (*stripes)[s],
+                                  data.subspan(begin, len));
       });
-  if (!write_status.is_ok()) {
-    rollback();
-    return write_status;
+  if (!write_status.is_ok()) return write_status;
+  {
+    std::unique_lock<std::shared_mutex> lock(ns_mu_);
+    const auto it = pending_writes_.find(path);
+    if (it != pending_writes_.end()) it->second.length = data.size();
   }
-
-  std::unique_lock<std::shared_mutex> lock(ns_mu_);
-  files_.emplace(path, std::move(info));
-  return Status::ok();
+  const Status committed = commit_write(path);
+  if (committed.is_ok()) guard.armed = false;
+  return committed;
 }
 
 Result<FileInfo> MiniDfs::lookup_copy(const std::string& path) const {
@@ -297,46 +453,75 @@ Result<Buffer> MiniDfs::read_block(const std::string& path,
   auto code_result = scheme(info.code_spec);
   if (!code_result.is_ok()) return code_result.status();
   const ec::CodeScheme& code = **code_result;
-  const std::size_t stripe_index = block_index / code.data_blocks();
-  const std::size_t symbol = block_index % code.data_blocks();
-  if (stripe_index >= info.stripes.size()) {
+  const std::size_t total_blocks =
+      (info.length + info.block_size - 1) / info.block_size;
+  if (block_index >= total_blocks) {
     return invalid_argument_error("block index beyond end of file");
   }
+  const std::size_t stripe_index = block_index / code.data_blocks();
+  const std::size_t symbol = block_index % code.data_blocks();
   return read_symbol(info, info.stripes[stripe_index], symbol);
 }
 
-Result<Buffer> MiniDfs::read_file(const std::string& path) {
-  std::shared_lock<std::shared_mutex> path_lock(path_mu_.of(path));
-  // Resolve once: one namespace lookup and one scheme resolution for the
-  // whole file, then the stripes stream in parallel straight into the
-  // result buffer (each block writes a disjoint byte range).
-  DBLREP_ASSIGN_OR_RETURN(const FileInfo info, lookup_copy(path));
-  auto code_result = scheme(info.code_spec);
-  if (!code_result.is_ok()) return code_result.status();
-  const ec::CodeScheme& code = **code_result;
+Result<Buffer> MiniDfs::pread_span(const FileInfo& info,
+                                   const ec::CodeScheme& code,
+                                   std::size_t offset, std::size_t len) {
+  // Reads past EOF are clamped; a zero-length window is an empty buffer
+  // that touches no datanode (and therefore moves no bytes).
+  const std::size_t want = std::min(len, info.length - offset);
+  Buffer out(want);
+  if (want == 0) return out;
 
   const std::size_t k = code.data_blocks();
-  const std::size_t total_blocks =
-      info.block_size == 0
-          ? 0
-          : (info.length + info.block_size - 1) / info.block_size;
-  Buffer out(info.length);
+  const std::size_t block_size = info.block_size;
+  const std::size_t first_block = offset / block_size;
+  const std::size_t last_block = (offset + want - 1) / block_size;
+  const std::size_t first_stripe = first_block / k;
+  const std::size_t last_stripe = last_block / k;
+
+  // Only the covering stripes resolve; they stream in parallel straight
+  // into the result buffer (each block writes a disjoint byte range), with
+  // the first and last block trimmed to the requested window.
   const Status read_status = exec::parallel_for_all(
-      *pool_, info.stripes.size(), [&](std::size_t si) -> Status {
-        for (std::size_t symbol = 0; symbol < k; ++symbol) {
-          const std::size_t b = si * k + symbol;
-          if (b >= total_blocks) break;
+      *pool_, last_stripe - first_stripe + 1, [&](std::size_t i) -> Status {
+        const std::size_t si = first_stripe + i;
+        const std::size_t sym_lo = si == first_stripe ? first_block % k : 0;
+        const std::size_t sym_hi = si == last_stripe ? last_block % k : k - 1;
+        for (std::size_t symbol = sym_lo; symbol <= sym_hi; ++symbol) {
           auto block = read_symbol(info, info.stripes[si], symbol);
           if (!block.is_ok()) return block.status();
-          const std::size_t offset = b * info.block_size;
-          const std::size_t want =
-              std::min(info.block_size, info.length - offset);
-          std::memcpy(out.data() + offset, block->data(), want);
+          const std::size_t block_begin = (si * k + symbol) * block_size;
+          const std::size_t copy_begin = std::max(block_begin, offset);
+          const std::size_t copy_end =
+              std::min(block_begin + block_size, offset + want);
+          std::memcpy(out.data() + (copy_begin - offset),
+                      block->data() + (copy_begin - block_begin),
+                      copy_end - copy_begin);
         }
         return Status::ok();
       });
   if (!read_status.is_ok()) return read_status;
   return out;
+}
+
+Result<Buffer> MiniDfs::pread(const std::string& path, std::size_t offset,
+                              std::size_t len) {
+  std::shared_lock<std::shared_mutex> path_lock(path_mu_.of(path));
+  // Resolve once: one namespace lookup and one scheme resolution for the
+  // whole range, then pread_span moves the bytes.
+  DBLREP_ASSIGN_OR_RETURN(const FileInfo info, lookup_copy(path));
+  auto code_result = scheme(info.code_spec);
+  if (!code_result.is_ok()) return code_result.status();
+  if (offset > info.length) {
+    return invalid_argument_error(
+        "pread offset " + std::to_string(offset) + " beyond EOF of " + path +
+        " (" + std::to_string(info.length) + " bytes)");
+  }
+  return pread_span(info, **code_result, offset, len);
+}
+
+Result<Buffer> MiniDfs::read_file(const std::string& path) {
+  return pread(path, 0, std::numeric_limits<std::size_t>::max());
 }
 
 Status MiniDfs::delete_file(const std::string& path) {
@@ -376,7 +561,17 @@ Status MiniDfs::rename(const std::string& from, const std::string& to) {
 }
 
 Result<FileInfo> MiniDfs::stat(const std::string& path) const {
-  return lookup_copy(path);
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
+  if (const auto it = files_.find(path); it != files_.end()) {
+    return it->second;
+  }
+  // A write in flight: visible to stat (sealed == false, length == bytes
+  // stored so far) but not to readers.
+  if (const auto it = pending_writes_.find(path);
+      it != pending_writes_.end()) {
+    return it->second;
+  }
+  return not_found_error(path);
 }
 
 std::vector<std::string> MiniDfs::list_files() const {
@@ -663,13 +858,18 @@ const DataNode& MiniDfs::datanode(cluster::NodeId node) const {
   return datanodes_[static_cast<std::size_t>(node)];
 }
 
-const ec::CodeScheme& MiniDfs::code_for(const std::string& path) const {
+Result<const ec::CodeScheme*> MiniDfs::code_for(
+    const std::string& path) const {
   const auto file = lookup_copy(path);
-  DBLREP_CHECK_MSG(file.is_ok(), "unknown path " << path);
+  if (!file.is_ok()) return file.status();
   std::shared_lock<std::shared_mutex> lock(scheme_mu_);
   const auto it = schemes_.find(file->code_spec);
-  DBLREP_CHECK(it != schemes_.end());
-  return *it->second.code;
+  if (it == schemes_.end()) {
+    // Every published file's scheme was created through runtime(); a miss
+    // means the namespace and scheme table disagree.
+    return internal_error("no scheme runtime for " + file->code_spec);
+  }
+  return it->second.code.get();
 }
 
 std::size_t MiniDfs::stored_bytes() const {

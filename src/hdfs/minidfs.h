@@ -9,9 +9,14 @@
 //    rack_aware replica spreading, or group_per_rack, which pins each
 //    heptagon-local group to its own rack (Section 2.2).
 //  * DataNodes: per-node CRC-checked block stores, each its own lock shard.
-//  * Client operations: write_file (stripe + encode + place), read_file /
-//    read_block (replica read, with corruption fallback and on-the-fly
-//    degraded reads through ec::RepairPlan when every replica is lost).
+//  * Client operations: a streaming write transaction (begin_write /
+//    allocate_stripe / store_stripe / commit_write / abort_write) that the
+//    handle-based hdfs::Client::FileWriter drives incrementally --
+//    write_file is the bulk wrapper over the same primitives -- plus
+//    pread (byte-range reads resolving only the covering stripes),
+//    read_file / read_block (replica read, with corruption fallback and
+//    on-the-fly degraded reads through ec::RepairPlan when every replica
+//    is lost).
 //  * Repair engine: node repair driven by the same RepairPlan objects,
 //    including multi-failure partial-parity recovery; with layered_repair
 //    enabled, every plan is rewritten through ec::layer_plan so each rack
@@ -22,11 +27,12 @@
 //
 // Concurrency model (the paper's real deployment regime: many clients
 // reading and writing while repairs run in the background):
-//  * Byte-heavy operations -- write_file, read_file, repair_node,
+//  * Byte-heavy operations -- write_file, read_file, pread, repair_node,
 //    repair_all, scrub_repair -- fan their stripes out across an
-//    exec::ThreadPool; placement stays serial so the stripe layout (and
-//    therefore every byte and traffic total) is identical to the
-//    zero-worker serial execution.
+//    exec::ThreadPool, and FileWriter handles dispatch store_stripe calls
+//    onto the same pool; placement stays serial (allocate_stripe draws in
+//    allocation order) so the stripe layout (and therefore every byte and
+//    traffic total) is identical to the zero-worker serial execution.
 //  * DataNode stores are per-node lock shards; the namespace is guarded by
 //    a striped per-path shared mutex (concurrent readers, exclusive
 //    delete/rename) plus a map-structure mutex.
@@ -65,6 +71,10 @@ struct FileInfo {
   std::size_t block_size = 0;
   std::size_t length = 0;  // logical bytes
   std::vector<cluster::StripeId> stripes;
+  /// False while an open write transaction (a live FileWriter) still owns
+  /// the path: stat() reports such files with their bytes-so-far, but they
+  /// are invisible to readers until commit_write publishes them.
+  bool sealed = true;
 };
 
 /// Data-plane knobs fixed at construction.
@@ -98,24 +108,86 @@ class MiniDfs {
   MiniDfs(const MiniDfs&) = delete;
   MiniDfs& operator=(const MiniDfs&) = delete;
 
+  // ----------------------------------------- streaming write transaction
+  //
+  // The storage-core half of the handle-based client API (hdfs::Client /
+  // FileWriter compose these; write_file is the bulk wrapper):
+  //
+  //   begin_write -> { allocate_stripe -> store_stripe }* -> commit_write
+  //
+  // with abort_write rolling every landed block and registered stripe back
+  // on any failure. The transaction is single-owner: allocate_stripe must
+  // be called from one thread per transaction, in stripe order --
+  // placement draws stay a deterministic function of allocation order --
+  // while store_stripe is safe to run from many threads concurrently for
+  // distinct stripes of the same transaction. commit_write / abort_write
+  // must not overlap in-flight allocate/store calls of the same
+  // transaction: the owner drains its stores first (FileWriter does), the
+  // same discipline the delete-during-repair restriction below demands --
+  // the primitives do not guard against it. Until commit, the path is
+  // visible only to stat() (with FileInfo::sealed == false); readers get
+  // NOT_FOUND.
+
+  /// Opens a write transaction: reserves `path` (concurrent creators fail
+  /// fast with ALREADY_EXISTS) and validates the code spec and block size.
+  Status begin_write(const std::string& path, const std::string& code_spec,
+                     std::size_t block_size);
+
+  /// Places and registers (unsealed) the transaction's next stripe.
+  Result<cluster::StripeId> allocate_stripe(const std::string& path);
+
+  /// Batch form: `count` stripes placed under one lock hold and one
+  /// live-node scan -- what the bulk write_file wrapper uses. Draw order
+  /// is identical to `count` single allocations.
+  Result<std::vector<cluster::StripeId>> allocate_stripes(
+      const std::string& path, std::size_t count);
+
+  /// Encodes up to one stripe of logical bytes (shorter spans are
+  /// zero-padded), stores every slot on its placed node, and charges the
+  /// client-upload traffic. The stripe stays unsealed -- invisible to
+  /// repair and scrub -- until commit_write.
+  Status store_stripe(const std::string& path, cluster::StripeId stripe,
+                      ByteSpan stripe_data);
+
+  /// Seals every stored stripe and publishes the path: repair, scrub, and
+  /// readers all see the file from here on. Sealing and publishing happen
+  /// in one step so no stripe is ever both sealed and abortable.
+  Status commit_write(const std::string& path);
+
+  /// Rolls the transaction back: drops every landed block, unregisters
+  /// every allocated stripe, and releases the path.
+  Status abort_write(const std::string& path);
+
   // ------------------------------------------------------------ client
 
   /// Writes `data` as a new file encoded with `code_spec`, striping into
-  /// blocks of `block_size` bytes. Stripes are placed serially (so layout
-  /// is deterministic per seed) and encoded/stored in parallel.
+  /// blocks of `block_size` bytes. Thin wrapper over the write transaction
+  /// above: stripes are placed serially (so layout is deterministic per
+  /// seed) and encoded/stored in parallel, zero-copy from `data`.
   Status write_file(const std::string& path, ByteSpan data,
                     const std::string& code_spec, std::size_t block_size);
 
-  /// Whole-file read: resolves the file once, then streams its stripes in
-  /// parallel straight into the result buffer; degraded reads kick in
-  /// automatically for blocks with no healthy replica.
+  /// Whole-file read: pread of [0, length).
   Result<Buffer> read_file(const std::string& path);
 
-  /// Reads one data block (index within the file).
+  /// Byte-range read: resolves only the stripes covering
+  /// [offset, offset + len) and streams them in parallel, with the same
+  /// per-block replica fallbacks and on-the-fly degraded reads as
+  /// read_file. Reads are clamped at EOF (the result carries
+  /// min(len, length - offset) bytes; len may overshoot); an offset beyond
+  /// EOF is INVALID_ARGUMENT, and a zero-length range is an empty buffer.
+  Result<Buffer> pread(const std::string& path, std::size_t offset,
+                       std::size_t len);
+
+  /// Reads one data block (index within the file). Indices at or past the
+  /// file's last logical block are INVALID_ARGUMENT.
   Result<Buffer> read_block(const std::string& path, std::size_t block_index);
 
   Status delete_file(const std::string& path);
   Status rename(const std::string& from, const std::string& to);
+
+  /// Metadata of a published file, or of a write in flight (then with
+  /// sealed == false and length == bytes stored so far).
   Result<FileInfo> stat(const std::string& path) const;
   std::vector<std::string> list_files() const;
 
@@ -164,13 +236,21 @@ class MiniDfs {
   DataNode& datanode(cluster::NodeId node);
   const DataNode& datanode(cluster::NodeId node) const;
   const cluster::Topology& topology() const { return topology_; }
-  const ec::CodeScheme& code_for(const std::string& path) const;
+
+  /// Scheme of a published file. NOT_FOUND for unknown paths -- a legal
+  /// race when concurrent clients look up files being created or deleted,
+  /// not a programming error.
+  Result<const ec::CodeScheme*> code_for(const std::string& path) const;
   exec::ThreadPool& pool() const { return *pool_; }
 
   /// Total stored bytes across all datanodes (for overhead assertions).
   std::size_t stored_bytes() const;
 
  private:
+  /// The client half of the API (handle-based writers, async wrappers)
+  /// composes the transaction primitives and scheme lookups directly.
+  friend class Client;
+
   /// Everything the data plane keeps warm per code spec: the immutable
   /// scheme plus a RuntimePool of per-worker StripeCodec/PlanExecutor
   /// instances (mutable scratch is never shared between threads).
@@ -192,6 +272,12 @@ class MiniDfs {
   Result<const ec::CodeScheme*> scheme(const std::string& code_spec);
   exec::RuntimePool& runtime_pool_for(const ec::CodeScheme& code) const;
 
+  /// Encode + store core of store_stripe, with the runtime and block size
+  /// already resolved: the bulk write_file path calls this straight from
+  /// its workers so they touch no namespace state.
+  Status store_stripe_bytes(SchemeRuntime& rt, std::size_t block_size,
+                            cluster::StripeId stripe, ByteSpan stripe_data);
+
   /// Plan for `failed` under `code`, computed once per distinct pattern and
   /// served under a shared-read lock afterwards. The returned pointer stays
   /// valid for the lifetime of the DFS (entries are never evicted).
@@ -209,6 +295,12 @@ class MiniDfs {
   /// Reads one symbol of one stripe with all fallbacks; records traffic.
   Result<Buffer> read_symbol(const FileInfo& file, cluster::StripeId stripe,
                              std::size_t symbol);
+
+  /// Range-read core shared by pread and read_file: fans the covering
+  /// stripes out across the pool, trimming the first and last block to the
+  /// requested window. `offset` must be <= info.length.
+  Result<Buffer> pread_span(const FileInfo& info, const ec::CodeScheme& code,
+                            std::size_t offset, std::size_t len);
 
   /// Repairs one stripe's holes as part of repair_node(node).
   Status repair_stripe(cluster::StripeId stripe);
@@ -230,7 +322,9 @@ class MiniDfs {
 
   mutable std::shared_mutex ns_mu_;  // guards files_ + pending_writes_
   std::map<std::string, FileInfo> files_;
-  std::set<std::string> pending_writes_;  // paths being written right now
+  /// Write transactions in flight: path -> metadata accumulated so far
+  /// (sealed == false). Invisible to readers until commit_write.
+  std::map<std::string, FileInfo> pending_writes_;
   mutable exec::StripedSharedMutex path_mu_;  // per-path op exclusion
 
   mutable std::shared_mutex scheme_mu_;  // guards schemes_ + pools_by_code_

@@ -1,5 +1,9 @@
 #include "hdfs/raidnode.h"
 
+#include <algorithm>
+
+#include "hdfs/client.h"
+
 namespace dblrep::hdfs {
 
 Result<RaidReport> RaidNode::raid_file(const std::string& path,
@@ -14,16 +18,33 @@ Result<RaidReport> RaidNode::raid_file(const std::string& path,
   RaidReport report;
   report.bytes_before = dfs_->stored_bytes();
 
-  // Read through the client path (handles degraded stripes), then rewrite
-  // under a temporary name and swap.
-  auto data = dfs_->read_file(path);
-  if (!data.is_ok()) return data.status();
-
-  // Write the new layout under a temporary name first, then swap -- the
-  // original survives any failure during re-encode.
+  // Stream through the client path: pread stripe-sized chunks of the old
+  // layout (degraded stripes decode on the fly) into a FileWriter on the
+  // new layout, so the re-encode never holds more than the in-flight
+  // window in memory -- files larger than memory RAID fine.
+  Client client(*dfs_);
   const std::string temp_path = path + ".raid-tmp";
-  DBLREP_RETURN_IF_ERROR(dfs_->write_file(temp_path, *data, target_code_spec,
-                                          info->block_size));
+  auto writer = client.create(temp_path, target_code_spec, info->block_size);
+  if (!writer.is_ok()) return writer.status();
+  const std::size_t chunk =
+      std::max<std::size_t>(info->block_size, 1) * 16;
+  std::size_t offset = 0;
+  while (offset < info->length) {
+    auto piece = client.pread(path, offset, chunk);
+    if (!piece.is_ok()) {
+      (void)writer->abort();
+      return piece.status();
+    }
+    const Status appended = writer->append(*piece);
+    if (!appended.is_ok()) {
+      (void)writer->abort();
+      return appended;
+    }
+    offset += piece->size();
+  }
+  // The new layout lands under a temporary name first, then swaps -- the
+  // original survives any failure during re-encode.
+  DBLREP_RETURN_IF_ERROR(writer->close());
   DBLREP_RETURN_IF_ERROR(dfs_->delete_file(path));
   DBLREP_RETURN_IF_ERROR(dfs_->rename(temp_path, path));
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "ec/registry.h"
@@ -57,12 +58,32 @@ Status WorkloadDriver::preload() {
 
 void WorkloadDriver::client_loop(std::size_t client_index, Rng rng,
                                  ClientStats& stats) {
+  Client client(*dfs_);
   const double mix_total = options_.read_fraction + options_.write_fraction +
-                           options_.degraded_fraction;
+                           options_.degraded_fraction +
+                           options_.pread_fraction + options_.append_fraction;
+  // Category regions in [0, 1): read | write | degraded | pread | append.
+  // With the pread/append fractions at zero the cuts reduce to the
+  // original three-way split, so legacy drivers draw identical op
+  // sequences per seed.
   const double read_cut = options_.read_fraction / mix_total;
   const double write_cut = read_cut + options_.write_fraction / mix_total;
+  const double degraded_cut =
+      write_cut + options_.degraded_fraction / mix_total;
+  const double pread_cut = degraded_cut + options_.pread_fraction / mix_total;
+  const double append_cut = pread_cut + options_.append_fraction / mix_total;
   const std::size_t blocks_per_file =
       payload_.size() / options_.block_size;
+  // Streaming-append state: one open handle at a time per client, fed one
+  // chunk per append op. The chunks partition payload_, so a sealed append
+  // file is byte-identical to a written one.
+  const std::size_t appends_per_file =
+      std::max<std::size_t>(options_.appends_per_file, 1);
+  const std::size_t append_chunk =
+      (payload_.size() + appends_per_file - 1) / appends_per_file;
+  std::optional<FileWriter> writer;
+  std::size_t append_files = 0;
+  std::size_t append_offset = 0;
 
   for (std::size_t op = 0; op < options_.ops_per_client; ++op) {
     const double pick = rng.next_double();
@@ -71,9 +92,62 @@ void WorkloadDriver::client_loop(std::size_t client_index, Rng rng,
                                std::to_string(client_index) + "/f" +
                                std::to_string(op);
       const auto start = Clock::now();
-      const Status status = dfs_->write_file(
-          path, payload_, options_.code_spec, options_.block_size);
+      const Status status = client.write(path, payload_, options_.code_spec,
+                                         options_.block_size);
       stats.write.record(micros_since(start), status.is_ok());
+      continue;
+    }
+    if (pick >= degraded_cut && pick < pread_cut) {
+      // Byte-range read: a random window of a random preloaded file, sized
+      // around a couple of blocks -- the split-granularity access pattern
+      // MapReduce tasks issue.
+      const auto& path = preloaded_[static_cast<std::size_t>(
+          rng.next_below(preloaded_.size()))];
+      const std::size_t offset =
+          static_cast<std::size_t>(rng.next_below(payload_.size()));
+      const std::size_t len = 1 + static_cast<std::size_t>(rng.next_below(
+                                      2 * options_.block_size));
+      const auto start = Clock::now();
+      const auto result = client.pread(path, offset, len);
+      stats.pread.record(micros_since(start), result.is_ok());
+      continue;
+    }
+    // Append gets an explicit region (not the catch-all): under fp
+    // rounding append_cut can sit a few ulps below 1.0, and those stray
+    // picks must fall through to the legacy read/degraded catch-all so a
+    // driver with the new fractions at zero draws the exact pre-handle-API
+    // op sequence per seed.
+    if (pick >= pread_cut && pick < append_cut) {
+      const auto start = Clock::now();
+      Status status;
+      if (!writer.has_value()) {
+        const std::string path = options_.path_prefix + "/client" +
+                                 std::to_string(client_index) + "/a" +
+                                 std::to_string(append_files++);
+        auto created = client.create(path, options_.code_spec,
+                                     options_.block_size);
+        if (created.is_ok()) {
+          writer.emplace(std::move(*created));
+          append_offset = 0;
+        } else {
+          status = created.status();
+        }
+      }
+      if (writer.has_value()) {
+        const std::size_t len =
+            std::min(append_chunk, payload_.size() - append_offset);
+        status = writer->append(
+            ByteSpan(payload_).subspan(append_offset, len));
+        append_offset += len;
+        if (status.is_ok() && append_offset >= payload_.size()) {
+          status = writer->close();
+          writer.reset();
+        } else if (!status.is_ok()) {
+          (void)writer->abort();
+          writer.reset();
+        }
+      }
+      stats.append.record(micros_since(start), status.is_ok());
       continue;
     }
     const bool want_degraded = pick >= write_cut;
@@ -81,7 +155,7 @@ void WorkloadDriver::client_loop(std::size_t client_index, Rng rng,
       const auto& [path, block] = degraded_blocks_[static_cast<std::size_t>(
           rng.next_below(degraded_blocks_.size()))];
       const auto start = Clock::now();
-      const auto result = dfs_->read_block(path, block);
+      const auto result = client.read_block(path, block);
       stats.degraded.record(micros_since(start), result.is_ok());
       continue;
     }
@@ -93,9 +167,17 @@ void WorkloadDriver::client_loop(std::size_t client_index, Rng rng,
     const std::size_t block =
         static_cast<std::size_t>(rng.next_below(blocks_per_file));
     const auto start = Clock::now();
-    const auto result = dfs_->read_block(path, block);
+    const auto result = client.read_block(path, block);
     (want_degraded ? stats.degraded : stats.read)
         .record(micros_since(start), result.is_ok());
+  }
+  // A handle still open at loop end seals its partial file (legal: append
+  // files are published with however many chunks landed).
+  if (writer.has_value()) {
+    const auto start = Clock::now();
+    const Status status = writer->close();
+    writer.reset();
+    stats.append.record(micros_since(start), status.is_ok());
   }
 }
 
@@ -186,6 +268,8 @@ Result<WorkloadReport> WorkloadDriver::run() {
     report.read.merge(stats.read);
     report.write.merge(stats.write);
     report.degraded.merge(stats.degraded);
+    report.pread.merge(stats.pread);
+    report.append.merge(stats.append);
   }
   report.ops_per_s =
       report.wall_s > 0

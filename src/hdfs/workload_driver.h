@@ -5,15 +5,22 @@
 // -- is an HDFS-RAID cluster serving foreground read/write traffic while
 // node repairs run in the background. The driver reproduces that: N client
 // threads each issue a closed loop of operations (read / write / degraded
-// read, mixed by configurable fractions) against the shared DFS,
-// optionally while repair_all() executes on a background thread. Each
-// client collects per-op latency into private RunningStat/Histogram
-// instances that are merged lock-free at join time.
+// read / byte-range pread / streaming append, mixed by configurable
+// fractions) through an hdfs::Client against the shared DFS, optionally
+// while repair_all() executes on a background thread. Each client collects
+// per-op latency into private RunningStat/Histogram instances that are
+// merged lock-free at join time.
 //
 // Degraded reads are real ones: before the run the driver crash-fails
 // `fail_nodes` nodes and indexes every block whose replicas were all lost;
 // the degraded mix then reads exactly those blocks, exercising the
-// on-the-fly ec::RepairPlan path under concurrency.
+// on-the-fly ec::RepairPlan path under concurrency. The pread mix reads
+// random sub-file byte ranges (the MapReduce-task access pattern); the
+// append mix streams each new file through a FileWriter handle across
+// several append ops before sealing it -- the chunks partition the shared
+// payload, so a file that received its full complement of appends holds
+// exactly the payload bytes (a handle still open when the loop ends seals
+// as a prefix of it).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,7 @@
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "hdfs/client.h"
 #include "hdfs/minidfs.h"
 
 namespace dblrep::hdfs {
@@ -32,9 +40,20 @@ struct WorkloadOptions {
 
   /// Op mix; fractions are normalized by their sum. "degraded" falls back
   /// to a plain read when no block is actually degraded (healthy cluster).
+  /// pread reads a random byte range of a preloaded file; append streams a
+  /// new file through a FileWriter handle, one append op at a time, and
+  /// seals it after `appends_per_file` ops. The new mixes default to zero
+  /// so existing drivers (and chaos replays) are unchanged.
   double read_fraction = 0.6;
   double write_fraction = 0.2;
   double degraded_fraction = 0.2;
+  double pread_fraction = 0.0;
+  double append_fraction = 0.0;
+
+  /// Append ops a streaming file spreads over before close(); the chunks
+  /// partition the shared payload, so a sealed append file holds exactly
+  /// the same bytes as a written one.
+  std::size_t appends_per_file = 4;
 
   std::string code_spec = "rs-10-4";
   std::size_t block_size = 4096;
@@ -71,6 +90,8 @@ struct WorkloadReport {
   OpStats read;
   OpStats write;
   OpStats degraded;
+  OpStats pread;
+  OpStats append;
 
   double wall_s = 0;
   double ops_per_s = 0;
@@ -90,10 +111,12 @@ struct WorkloadReport {
 
   std::size_t total_ops() const {
     return read.latency_us.count() + write.latency_us.count() +
-           degraded.latency_us.count();
+           degraded.latency_us.count() + pread.latency_us.count() +
+           append.latency_us.count();
   }
   std::size_t total_errors() const {
-    return read.errors + write.errors + degraded.errors;
+    return read.errors + write.errors + degraded.errors + pread.errors +
+           append.errors;
   }
 };
 
@@ -118,7 +141,7 @@ class WorkloadDriver {
 
  private:
   struct ClientStats {
-    OpStats read, write, degraded;
+    OpStats read, write, degraded, pread, append;
   };
 
   void client_loop(std::size_t client_index, Rng rng, ClientStats& stats);

@@ -11,6 +11,7 @@
 
 #include "common/bytes.h"
 #include "ec/registry.h"
+#include "exec/future.h"
 #include "exec/runtime_pool.h"
 #include "exec/striped_mutex.h"
 #include "exec/thread_pool.h"
@@ -61,6 +62,49 @@ TEST(ThreadPool, ParseWorkerCount) {
   EXPECT_EQ(ThreadPool::parse_worker_count("x"), std::nullopt);
   EXPECT_EQ(ThreadPool::parse_worker_count("4x"), std::nullopt);
   EXPECT_EQ(ThreadPool::parse_worker_count("-2"), std::nullopt);
+}
+
+// ---------------------------------------------------------- exec::Future
+
+TEST(Future, PromiseDeliversOnce) {
+  Promise<int> promise;
+  Future<int> future = promise.future();
+  EXPECT_TRUE(future.valid());
+  EXPECT_FALSE(future.ready());
+  promise.set_value(42);
+  EXPECT_TRUE(future.ready());
+  EXPECT_EQ(future.get(), 42);
+  EXPECT_FALSE(future.valid());  // one-shot consume
+}
+
+TEST(Future, SpawnResolvesOnWorkers) {
+  ThreadPool pool(3);
+  std::vector<Future<std::size_t>> futures;
+  for (std::size_t i = 0; i < 64; ++i) {
+    futures.push_back(spawn(pool, [i] { return i * i; }));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(Future, SpawnOnInlinePoolIsReadyBeforeReturn) {
+  ThreadPool pool(0);
+  auto future = spawn(pool, [] { return std::string("serial"); });
+  // Zero workers: the task ran inside spawn(), so the future never blocks
+  // -- that is the serial reference execution of the async client API.
+  EXPECT_TRUE(future.ready());
+  EXPECT_EQ(future.get(), "serial");
+}
+
+TEST(Future, WaitBlocksUntilDelivery) {
+  Promise<int> promise;
+  Future<int> future = promise.future();
+  std::thread producer([&promise] { promise.set_value(9); });
+  future.wait();
+  EXPECT_TRUE(future.ready());
+  EXPECT_EQ(future.get(), 9);
+  producer.join();
 }
 
 // ---------------------------------------------------------- parallel_for

@@ -150,7 +150,7 @@ TEST(MiniDfs, CorruptReplicaFallsBackToHealthyCopy) {
   // Corrupt the first replica of data block 0.
   const auto info = *dfs.stat("/f");
   const auto stripe = info.stripes[0];
-  const auto& code = dfs.code_for("/f");
+  const auto& code = *dfs.code_for("/f").value();
   const std::size_t slot0 = code.layout().slots_of_symbol(0)[0];
   const cluster::NodeId holder = dfs.catalog().node_of({stripe, slot0});
   ASSERT_TRUE(dfs.datanode(holder).corrupt({stripe, slot0}, 3).is_ok());
@@ -167,7 +167,7 @@ TEST(MiniDfs, BothReplicasCorruptTriggersDegradedRead) {
   ASSERT_TRUE(dfs.write_file("/f", data, "pentagon", kBlockSize).is_ok());
   const auto info = *dfs.stat("/f");
   const auto stripe = info.stripes[0];
-  const auto& code = dfs.code_for("/f");
+  const auto& code = *dfs.code_for("/f").value();
   for (std::size_t slot : code.layout().slots_of_symbol(0)) {
     const cluster::NodeId holder = dfs.catalog().node_of({stripe, slot});
     ASSERT_TRUE(dfs.datanode(holder).corrupt({stripe, slot}, 0).is_ok());
@@ -187,7 +187,7 @@ TEST(MiniDfs, ScrubRepairHealsCorruptReplicas) {
   ASSERT_TRUE(dfs.write_file("/f", data, "pentagon", kBlockSize).is_ok());
   const auto info = *dfs.stat("/f");
   const auto stripe = info.stripes[0];
-  const auto& code = dfs.code_for("/f");
+  const auto& code = *dfs.code_for("/f").value();
   // Corrupt one replica of block 0 and one replica of the parity.
   const std::size_t data_slot = code.layout().slots_of_symbol(0)[0];
   const std::size_t parity_slot = code.layout().slots_of_symbol(9)[1];
@@ -213,7 +213,7 @@ TEST(MiniDfs, ScrubRepairHealsEvenWithBothReplicasOfABlockCorrupt) {
   ASSERT_TRUE(dfs.write_file("/f", data, "pentagon", kBlockSize).is_ok());
   const auto info = *dfs.stat("/f");
   const auto stripe = info.stripes[0];
-  const auto& code = dfs.code_for("/f");
+  const auto& code = *dfs.code_for("/f").value();
   for (std::size_t slot : code.layout().slots_of_symbol(4)) {
     const cluster::NodeId holder = dfs.catalog().node_of({stripe, slot});
     ASSERT_TRUE(dfs.datanode(holder).corrupt({stripe, slot}, 2).is_ok());
@@ -247,7 +247,7 @@ TEST(MiniDfs, PentagonDegradedReadMovesExactlyThreeBlocks) {
   ASSERT_TRUE(dfs.write_file("/f", data, "pentagon", kBlockSize).is_ok());
   const auto info = *dfs.stat("/f");
   const auto stripe = info.stripes[0];
-  const auto& code = dfs.code_for("/f");
+  const auto& code = *dfs.code_for("/f").value();
   // Down both holders of block 0.
   for (std::size_t slot : code.layout().slots_of_symbol(0)) {
     ASSERT_TRUE(dfs.fail_node(dfs.catalog().node_of({stripe, slot})).is_ok());
@@ -265,7 +265,7 @@ TEST(MiniDfs, RaidMirrorDegradedReadMovesNineBlocks) {
   ASSERT_TRUE(dfs.write_file("/f", data, "raidm-9", kBlockSize).is_ok());
   const auto info = *dfs.stat("/f");
   const auto stripe = info.stripes[0];
-  const auto& code = dfs.code_for("/f");
+  const auto& code = *dfs.code_for("/f").value();
   for (std::size_t slot : code.layout().slots_of_symbol(0)) {
     ASSERT_TRUE(dfs.fail_node(dfs.catalog().node_of({stripe, slot})).is_ok());
   }

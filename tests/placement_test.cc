@@ -171,7 +171,7 @@ TEST(MiniDfsPlacement, NoNodeHoldsTwoReplicasOfOneBlock) {
     const Buffer data = random_buffer(256 * 18, 5);
     ASSERT_TRUE(dfs.write_file("/f", data, "pentagon", 256).is_ok());
     const auto info = *dfs.stat("/f");
-    const auto& code = dfs.code_for("/f");
+    const auto& code = *dfs.code_for("/f").value();
     for (const StripeId stripe : info.stripes) {
       for (std::size_t sym = 0; sym < code.num_symbols(); ++sym) {
         const auto replicas = dfs.catalog().replica_nodes(stripe, sym);
@@ -274,7 +274,7 @@ TEST(MiniDfsPlacement, LayeredDegradedReadDeliversSameBytes) {
                       make_options(PlacementPolicy::kFlat, layered));
     ASSERT_TRUE(dfs.write_file("/f", data, "pentagon", 256).is_ok());
     const auto info = *dfs.stat("/f");
-    const auto& code = dfs.code_for("/f");
+    const auto& code = *dfs.code_for("/f").value();
     for (std::size_t slot : code.layout().slots_of_symbol(0)) {
       ASSERT_TRUE(
           dfs.fail_node(dfs.catalog().node_of({info.stripes[0], slot}))
