@@ -11,9 +11,27 @@
 // Reported as bytes/second of *data* processed (not stored bytes), so the
 // schemes are directly comparable at equal logical input.
 //
+// Two gates make the numbers falsifiable instead of merely logged:
+//
+//  * Roofline: the harness measures this host's memcpy bandwidth (and the
+//    streaming-store copy rate) on an LLC-busting buffer, records every
+//    scheme's encode rate as a fraction of that roof, and fails unless
+//    each scheme's best kernel clears a stated minimum fraction. The
+//    default fraction is deliberately conservative (shared CI runners),
+//    tightened via --roof-gate=F.
+//  * Non-temporal win: for coefficient-1-only schemes (parity is pure
+//    XOR), the modeled memory traffic (gf::slice_op_stats -- a regular
+//    store costs a read-for-ownership, a streaming store does not) must
+//    strictly shrink with the NT path enabled on at least one kernel that
+//    implements it. The model is deterministic, so this gate cannot flake
+//    on a noisy runner, yet it fails immediately if the fold path stops
+//    routing large slices through streaming stores.
+//
 // Usage: bench_encode_throughput [--block-size=BYTES] [--min-time=SECONDS]
-//                                [--json=PATH]
+//                                [--json=PATH] [--roof-gate=FRACTION]
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +45,7 @@
 #include "common/check.h"
 #include "ec/registry.h"
 #include "ec/stripe_codec.h"
+#include "gf/gf256.h"
 #include "gf/kernel.h"
 
 namespace {
@@ -45,6 +64,25 @@ struct Sample {
   double decode_mb_s = 0;         // worst-case: max tolerated failures down
   double degraded_read_mb_s = 0;  // on-the-fly repair of a doubly-lost block
   double speedup_vs_scalar = 0;   // encode, filled once scalar is known
+  double roof_fraction = 0;       // encode_mb_s / memcpy roof
+  bool xor_only = false;          // every parity coefficient is 0 or 1
+  bool nt_capable = false;        // kernel implements streaming stores
+  // Modeled memory traffic of one stripe encode (see gf::SliceOpStats),
+  // with the non-temporal path off and on. Only for xor_only schemes on
+  // nt_capable kernels with block_size >= gf::kNonTemporalMinBytes.
+  std::uint64_t bytes_moved_regular = 0;
+  std::uint64_t bytes_moved_nt = 0;
+};
+
+/// Kernels whose xor_fold_slice honors the non-temporal hint (scalar and
+/// ssse3 document it as ignored).
+bool kernel_streams(std::string_view name) {
+  return name == "avx2" || name == "avx512" || name == "gfni";
+}
+
+struct Roofline {
+  double memcpy_mb_s = 0;  // std::memcpy, LLC-busting buffer
+  double stream_mb_s = 0;  // single-source xor fold, NT stores (best kernel)
 };
 
 /// Runs `fn` repeatedly for at least `min_time` seconds (after one warmup
@@ -64,11 +102,42 @@ double measure_mb_s(double min_time, std::size_t bytes, Fn&& fn) {
          (elapsed * 1e6);
 }
 
+/// Measures the host's copy bandwidth on a buffer large enough to defeat
+/// the LLC, so the encode fractions below are against a memory roof, not a
+/// cache roof. The stream rate uses the best kernel's single-source xor
+/// fold with streaming stores forced on -- the rate the NT parity path is
+/// ultimately bounded by.
+Roofline measure_roofline(double min_time) {
+  constexpr std::size_t kRoofBytes = 64 << 20;
+  const Buffer src = random_buffer(kRoofBytes, 3);
+  Buffer dst(kRoofBytes);
+  Roofline roof;
+  roof.memcpy_mb_s = measure_mb_s(min_time, kRoofBytes, [&] {
+    std::memcpy(dst.data(), src.data(), kRoofBytes);
+    volatile std::uint8_t sink = dst.back();
+    (void)sink;
+  });
+
+  const gf::GfKernel* best = gf::supported_kernels().back();
+  DBLREP_CHECK(gf::set_active_kernel(best->name));
+  const bool nt_was_enabled = gf::non_temporal_enabled();
+  gf::set_non_temporal(true);
+  const std::vector<ByteSpan> one_source = {ByteSpan(src)};
+  roof.stream_mb_s = measure_mb_s(min_time, kRoofBytes, [&] {
+    gf::xor_fold_slice(dst, one_source, /*non_temporal=*/true);
+    volatile std::uint8_t sink = dst.back();
+    (void)sink;
+  });
+  gf::set_non_temporal(nt_was_enabled);
+  return roof;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t block_size = 1 << 20;
   double min_time = 0.2;
+  double roof_gate = -1;  // <0: resolved from the supported kernel set
   std::string json_path = "BENCH_encode_throughput.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -77,6 +146,8 @@ int main(int argc, char** argv) {
         block_size = std::stoull(arg.substr(13));
       } else if (arg.rfind("--min-time=", 0) == 0) {
         min_time = std::stod(arg.substr(11));
+      } else if (arg.rfind("--roof-gate=", 0) == 0) {
+        roof_gate = std::stod(arg.substr(12));
       } else if (arg.rfind("--json=", 0) == 0) {
         json_path = arg.substr(7);
       } else {
@@ -96,6 +167,18 @@ int main(int argc, char** argv) {
   const std::vector<std::string> specs = {"pentagon",       "heptagon",
                                           "heptagon-local", "raidm-9",
                                           "rs-10-4",        "3-rep"};
+
+  // Resolve the roof gate: a scalar-only host encodes an order of
+  // magnitude slower relative to its copy bandwidth than a SIMD one, so
+  // the default stated fraction depends on the best supported kernel.
+  const bool simd_available = gf::supported_kernels().size() > 1;
+  if (roof_gate < 0) roof_gate = simd_available ? 0.02 : 0.002;
+
+  const Roofline roof = measure_roofline(min_time);
+  std::fprintf(stderr,
+               "roofline: memcpy %.1f MB/s  nt-stream copy %.1f MB/s  "
+               "(encode gate: best kernel >= %.3f of memcpy roof)\n",
+               roof.memcpy_mb_s, roof.stream_mb_s, roof_gate);
 
   std::vector<Sample> samples;
   std::map<std::string, double> scalar_mb_s;  // scheme -> scalar baseline
@@ -135,6 +218,33 @@ int main(int argc, char** argv) {
                                            : symbols.back().back();
           (void)sink;
         });
+      }
+
+      sample.roof_fraction =
+          roof.memcpy_mb_s > 0 ? sample.encode_mb_s / roof.memcpy_mb_s : 0;
+      sample.nt_capable = kernel_streams(kernel->name);
+      {
+        const auto coeffs = code->parity_coeffs();
+        sample.xor_only = !coeffs.empty() &&
+                          std::all_of(coeffs.begin(), coeffs.end(),
+                                      [](gf::Elem c) { return c <= 1; });
+      }
+      if (sample.xor_only && sample.nt_capable &&
+          block_size >= gf::kNonTemporalMinBytes) {
+        // Deterministic A/B of the modeled memory traffic: one encode with
+        // regular stores (each parity write pays a read-for-ownership) and
+        // one with streaming stores (it does not). Not a timing -- the
+        // gate below wants a strict, noise-free bytes-moved win.
+        const bool nt_was_enabled = gf::non_temporal_enabled();
+        const auto bytes_moved_once = [&](bool nt) {
+          gf::set_non_temporal(nt);
+          gf::reset_slice_op_stats();
+          (void)codec.encode_stripe(data, block_size);
+          return gf::slice_op_stats().total_bytes_moved();
+        };
+        sample.bytes_moved_regular = bytes_moved_once(false);
+        sample.bytes_moved_nt = bytes_moved_once(true);
+        gf::set_non_temporal(nt_was_enabled);
       }
 
       // Worst-case decode: the maximum tolerated failures down (Gaussian
@@ -203,6 +313,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- gates ----------------------------------------------------------
+  // Roofline: every scheme's best kernel must clear the stated fraction of
+  // this host's memcpy bandwidth.
+  bool roof_gate_ok = true;
+  std::map<std::string, double> best_fraction;
+  for (const auto& s : samples) {
+    best_fraction[s.scheme] = std::max(best_fraction[s.scheme],
+                                       s.roof_fraction);
+  }
+  for (const auto& [scheme, fraction] : best_fraction) {
+    if (fraction < roof_gate) {
+      roof_gate_ok = false;
+      std::fprintf(stderr,
+                   "ROOF GATE FAIL: %s best encode is %.4f of memcpy roof "
+                   "(< %.4f)\n",
+                   scheme.c_str(), fraction, roof_gate);
+    }
+  }
+
+  // Non-temporal win: some xor-only scheme on some streaming-capable
+  // kernel must model strictly fewer bytes moved with NT on. Skipped (not
+  // failed) when the sweep produced no eligible sample -- a scalar-only
+  // host or a sub-threshold block size cannot exercise the NT path.
+  bool nt_gate_applicable = false;
+  bool nt_gate_ok = false;
+  for (const auto& s : samples) {
+    if (s.bytes_moved_regular == 0) continue;
+    nt_gate_applicable = true;
+    if (s.bytes_moved_nt < s.bytes_moved_regular) nt_gate_ok = true;
+  }
+  if (nt_gate_applicable && !nt_gate_ok) {
+    std::fprintf(stderr,
+                 "NT GATE FAIL: no xor-only scheme moved strictly fewer "
+                 "modeled bytes with streaming stores enabled\n");
+  }
+
   std::ofstream json(json_path);
   if (!json) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -210,17 +356,34 @@ int main(int argc, char** argv) {
   }
   json << "{\n  \"bench\": \"encode_throughput\",\n"
        << "  \"block_size\": " << block_size << ",\n"
-       << "  \"min_time_s\": " << min_time << ",\n  \"results\": [\n";
+       << "  \"min_time_s\": " << min_time << ",\n"
+       << "  \"roofline\": {\"memcpy_mb_per_s\": " << roof.memcpy_mb_s
+       << ", \"stream_copy_mb_per_s\": " << roof.stream_mb_s
+       << ", \"encode_gate_fraction\": " << roof_gate
+       << ", \"gate_ok\": " << (roof_gate_ok ? "true" : "false") << "},\n"
+       << "  \"nt_bytes_moved_gate\": {\"applicable\": "
+       << (nt_gate_applicable ? "true" : "false")
+       << ", \"gate_ok\": "
+       << (!nt_gate_applicable || nt_gate_ok ? "true" : "false") << "},\n"
+       << "  \"results\": [\n";
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const auto& s = samples[i];
     json << "    {\"scheme\": \"" << s.scheme << "\", \"kernel\": \""
          << s.kernel << "\", \"encode_mb_per_s\": " << s.encode_mb_s
          << ", \"decode_mb_per_s\": " << s.decode_mb_s
          << ", \"degraded_read_mb_per_s\": " << s.degraded_read_mb_s
-         << ", \"speedup_vs_scalar\": " << s.speedup_vs_scalar << "}"
-         << (i + 1 == samples.size() ? "\n" : ",\n");
+         << ", \"speedup_vs_scalar\": " << s.speedup_vs_scalar
+         << ", \"roof_fraction\": " << s.roof_fraction
+         << ", \"xor_only\": " << (s.xor_only ? "true" : "false");
+    if (s.bytes_moved_regular > 0) {
+      json << ", \"bytes_moved_regular\": " << s.bytes_moved_regular
+           << ", \"bytes_moved_nt\": " << s.bytes_moved_nt;
+    }
+    json << "}" << (i + 1 == samples.size() ? "\n" : ",\n");
   }
   json << "  ]\n}\n";
   std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+
+  if (!roof_gate_ok || (nt_gate_applicable && !nt_gate_ok)) return 1;
   return 0;
 }

@@ -1,54 +1,210 @@
-// Microbenchmarks for the GF(2^8) kernels underlying every encoder: XOR,
-// addmul (table lookup), and matrix inversion.
-#include <benchmark/benchmark.h>
+// Microbenchmark sweep of the raw GF(2^8) slice kernels: every supported
+// backend (scalar/ssse3/avx2/avx512/gfni) x every hot operation x a
+// cache-tiered set of slice lengths, emitted as BENCH_gf_ops.json.
+//
+// Self-contained harness (no google-benchmark) for the same reason as
+// bench_encode_throughput: it must force each kernel in turn through
+// gf::set_active_kernel, and CI parses the JSON artifact. The ops are the
+// primitives every encoder/repair path decomposes into:
+//
+//   mul        dst = c * src            (split-table / affine multiply)
+//   addmul     dst ^= c * src           (the matrix_apply inner loop)
+//   xor        dst ^= src               (coefficient-1 fast path)
+//   fold4      dst = s0^s1^s2^s3        (multi-source parity fold)
+//   fold4_nt   fold4 with streaming stores forced on (honored by
+//              avx2/avx512/gfni; a hint elsewhere)
+//   apply      4x10 coefficient block, one stripe     (rs-10-4 shape)
+//   apply_b8   the same block fused across 8 stripes  (batched path)
+//
+// MB/s counts *source* bytes processed per op (mul/addmul/xor: the one
+// source; fold4: all four; apply: the 10 data blocks), so kernels and ops
+// are comparable at equal input.
+//
+// --list-kernels prints the supported kernel names (one per line) and
+// exits; CI's kernel matrix uses it to skip unsupported backends on the
+// runner instead of silently falling back.
+//
+// Usage: bench_gf_ops [--min-time=SECONDS] [--json=PATH] [--list-kernels]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/bytes.h"
+#include "common/check.h"
 #include "gf/gf256.h"
-#include "gf/matrix.h"
+#include "gf/kernel.h"
 
 namespace {
 
 using namespace dblrep;
+using Clock = std::chrono::steady_clock;
 
-void bench_xor(benchmark::State& state) {
-  const auto size = static_cast<std::size_t>(state.range(0));
-  Buffer dst = random_buffer(size, 1);
-  const Buffer src = random_buffer(size, 2);
-  for (auto _ : state) {
-    xor_into(dst, src);
-    benchmark::DoNotOptimize(dst.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(size));
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-void bench_addmul(benchmark::State& state) {
-  const auto size = static_cast<std::size_t>(state.range(0));
-  Buffer dst = random_buffer(size, 3);
-  const Buffer src = random_buffer(size, 4);
-  for (auto _ : state) {
-    gf::addmul_slice(dst, src, 0x1d);
-    benchmark::DoNotOptimize(dst.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(size));
+template <typename Fn>
+double measure_mb_s(double min_time, std::size_t bytes, Fn&& fn) {
+  fn();  // warmup: tables, page faults
+  std::size_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0;
+  do {
+    fn();
+    ++iters;
+    elapsed = seconds_since(start);
+  } while (elapsed < min_time);
+  return static_cast<double>(bytes) * static_cast<double>(iters) /
+         (elapsed * 1e6);
 }
 
-void bench_matrix_inverse(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::vector<unsigned> exponents(n);
-  for (std::size_t i = 0; i < n; ++i) exponents[i] = static_cast<unsigned>(i);
-  const gf::Matrix vandermonde = gf::Matrix::vandermonde(exponents, n);
-  for (auto _ : state) {
-    auto inverse = vandermonde.inverse();
-    benchmark::DoNotOptimize(inverse);
-  }
-}
+struct Sample {
+  std::string kernel;
+  std::string op;
+  std::size_t length = 0;
+  double mb_s = 0;
+};
 
 }  // namespace
 
-BENCHMARK(bench_xor)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
-BENCHMARK(bench_addmul)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
-BENCHMARK(bench_matrix_inverse)->Arg(9)->Arg(20)->Arg(40);
+int main(int argc, char** argv) {
+  double min_time = 0.05;
+  std::string json_path = "BENCH_gf_ops.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--min-time=", 0) == 0) {
+        min_time = std::stod(arg.substr(11));
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json_path = arg.substr(7);
+      } else if (arg == "--list-kernels") {
+        for (const gf::GfKernel* kernel : gf::supported_kernels()) {
+          std::printf("%s\n", kernel->name);
+        }
+        return 0;
+      } else {
+        std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad numeric value in %s\n", arg.c_str());
+      return 2;
+    }
+  }
 
-BENCHMARK_MAIN();
+  // L1-resident, L2-resident, and memory-bound slices. The last tier is
+  // above gf::kNonTemporalMinBytes so fold4_nt actually streams.
+  const std::vector<std::size_t> lengths = {4 << 10, 64 << 10, 1 << 20};
+  constexpr std::size_t kFoldSources = 4;
+  constexpr gf::Elem kCoeff = 0x1d;
+
+  std::vector<Sample> samples;
+  for (const gf::GfKernel* kernel : gf::supported_kernels()) {
+    DBLREP_CHECK(gf::set_active_kernel(kernel->name));
+    std::fprintf(stderr, "== kernel %s ==\n", kernel->name);
+    for (const std::size_t length : lengths) {
+      Buffer dst(length);
+      std::vector<Buffer> srcs;
+      for (std::size_t i = 0; i < kFoldSources; ++i) {
+        srcs.push_back(random_buffer(length, i + 1));
+      }
+      std::vector<ByteSpan> fold_views;
+      for (const auto& src : srcs) fold_views.emplace_back(src);
+
+      const auto record = [&](const char* op, std::size_t bytes, auto&& fn) {
+        Sample sample;
+        sample.kernel = kernel->name;
+        sample.op = op;
+        sample.length = length;
+        sample.mb_s = measure_mb_s(min_time, bytes, fn);
+        std::fprintf(stderr, "  %-10s %8zu B %10.1f MB/s\n", op, length,
+                     sample.mb_s);
+        samples.push_back(std::move(sample));
+      };
+      const auto touch = [&] {
+        volatile std::uint8_t sink = dst.back();
+        (void)sink;
+      };
+
+      record("mul", length, [&] {
+        kernel->mul_slice(dst, fold_views[0], kCoeff);
+        touch();
+      });
+      record("addmul", length, [&] {
+        kernel->addmul_slice(dst, fold_views[0], kCoeff);
+        touch();
+      });
+      record("xor", length, [&] {
+        kernel->xor_slice(dst, fold_views[0]);
+        touch();
+      });
+      record("fold4", kFoldSources * length, [&] {
+        kernel->xor_fold_slice(dst, fold_views, /*non_temporal=*/false);
+        touch();
+      });
+      record("fold4_nt", kFoldSources * length, [&] {
+        kernel->xor_fold_slice(dst, fold_views, /*non_temporal=*/true);
+        touch();
+      });
+
+      // The rs-10-4 coefficient shape: 4 parity rows x 10 data columns,
+      // single stripe vs fused across 8 stripes. Distinct non-trivial
+      // coefficients (not 0/1) so no fast path short-circuits; the exact
+      // values are irrelevant to the timing.
+      constexpr std::size_t kRows = 4;
+      constexpr std::size_t kCols = 10;
+      constexpr std::size_t kGroups = 8;
+      std::vector<gf::Elem> coeffs(kRows * kCols);
+      for (std::size_t i = 0; i < coeffs.size(); ++i) {
+        coeffs[i] = static_cast<gf::Elem>(2 + i);
+      }
+      std::vector<Buffer> data_blocks;
+      std::vector<Buffer> parity_blocks;
+      for (std::size_t g = 0; g < kGroups; ++g) {
+        for (std::size_t i = 0; i < kCols; ++i) {
+          data_blocks.push_back(random_buffer(length, 100 + g * kCols + i));
+        }
+        for (std::size_t r = 0; r < kRows; ++r) {
+          parity_blocks.emplace_back(length);
+        }
+      }
+      std::vector<ByteSpan> sources;
+      std::vector<MutableByteSpan> outputs;
+      for (auto& b : data_blocks) sources.emplace_back(b);
+      for (auto& b : parity_blocks) outputs.emplace_back(b);
+
+      record("apply", kCols * length, [&] {
+        kernel->matrix_apply(
+            coeffs, std::span<const ByteSpan>(sources.data(), kCols),
+            std::span<const MutableByteSpan>(outputs.data(), kRows));
+        volatile std::uint8_t sink = parity_blocks[0].back();
+        (void)sink;
+      });
+      record("apply_b8", kGroups * kCols * length, [&] {
+        kernel->matrix_apply_batch(coeffs, sources, outputs, kGroups);
+        volatile std::uint8_t sink = parity_blocks.back().back();
+        (void)sink;
+      });
+    }
+  }
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n  \"bench\": \"gf_ops\",\n"
+       << "  \"min_time_s\": " << min_time << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    json << "    {\"kernel\": \"" << s.kernel << "\", \"op\": \"" << s.op
+         << "\", \"length\": " << s.length << ", \"mb_per_s\": " << s.mb_s
+         << "}" << (i + 1 == samples.size() ? "\n" : ",\n");
+  }
+  json << "  ]\n}\n";
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -2,8 +2,22 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
 
 namespace dblrep {
+
+namespace {
+
+std::size_t align_up(std::size_t n) {
+  return (n + StripeArena::kAlignment - 1) & ~(StripeArena::kAlignment - 1);
+}
+
+std::uint8_t* new_aligned(std::size_t size) {
+  return static_cast<std::uint8_t*>(
+      ::operator new[](size, std::align_val_t{StripeArena::kAlignment}));
+}
+
+}  // namespace
 
 MutableByteSpan StripeArena::alloc(std::size_t size) {
   MutableByteSpan out = alloc_uninit(size);
@@ -12,17 +26,21 @@ MutableByteSpan StripeArena::alloc(std::size_t size) {
 }
 
 MutableByteSpan StripeArena::alloc_uninit(std::size_t size) {
-  if (chunks_.empty() || chunks_.back().size - chunks_.back().offset < size) {
+  // Reserve the aligned footprint so the *next* bump pointer stays
+  // kAlignment-aligned too (chunk bases are aligned by construction).
+  const std::size_t aligned_size = align_up(size);
+  if (chunks_.empty() ||
+      chunks_.back().size - chunks_.back().offset < aligned_size) {
     Chunk chunk;
     // Grow geometrically over the total so long multi-stripe runs converge
     // to one chunk quickly.
-    chunk.size = std::max({size, kMinChunk, capacity()});
-    chunk.bytes = std::make_unique<std::uint8_t[]>(chunk.size);
+    chunk.size = std::max({aligned_size, kMinChunk, capacity()});
+    chunk.bytes.reset(new_aligned(chunk.size));
     chunks_.push_back(std::move(chunk));
   }
   Chunk& chunk = chunks_.back();
   std::uint8_t* out = chunk.bytes.get() + chunk.offset;
-  chunk.offset += size;
+  chunk.offset += aligned_size;
   used_ += size;
   return {out, size};
 }
@@ -32,7 +50,7 @@ void StripeArena::reset() {
     // Coalesce: one chunk covering everything we ever needed at once.
     Chunk merged;
     merged.size = capacity();
-    merged.bytes = std::make_unique<std::uint8_t[]>(merged.size);
+    merged.bytes.reset(new_aligned(merged.size));
     chunks_.clear();
     chunks_.push_back(std::move(merged));
   } else if (!chunks_.empty()) {

@@ -6,6 +6,11 @@
 // allocation here; reset() recycles the memory for the next stripe without
 // returning it to the allocator, so a multi-stripe encode or node repair
 // performs one real allocation total once the arena has warmed up.
+//
+// Every span is 64-byte aligned (kAlignment): parity buffers are written
+// by the GF kernels' streaming-store path, and cache-line alignment lets
+// the non-temporal interior cover the whole buffer instead of paying
+// head/tail fixups per block.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +24,9 @@ namespace dblrep {
 
 class StripeArena {
  public:
+  /// Alignment of every returned span (one cache line / one ZMM store).
+  static constexpr std::size_t kAlignment = 64;
+
   StripeArena() = default;
 
   StripeArena(const StripeArena&) = delete;
@@ -39,17 +47,25 @@ class StripeArena {
   /// one so the steady state is a single contiguous block.
   void reset();
 
-  /// Bytes handed out since the last reset().
+  /// Bytes handed out since the last reset() (excluding alignment padding).
   std::size_t used() const { return used_; }
 
   /// Bytes owned (high-water mark across resets).
   std::size_t capacity() const;
 
  private:
+  /// Aligned chunk storage: operator new with alignment needs the matching
+  /// aligned delete, which unique_ptr's default deleter does not call.
+  struct AlignedFree {
+    void operator()(std::uint8_t* p) const {
+      ::operator delete[](p, std::align_val_t{kAlignment});
+    }
+  };
+
   struct Chunk {
-    std::unique_ptr<std::uint8_t[]> bytes;
+    std::unique_ptr<std::uint8_t[], AlignedFree> bytes;
     std::size_t size = 0;      // capacity of this chunk
-    std::size_t offset = 0;    // bump pointer
+    std::size_t offset = 0;    // bump pointer (always kAlignment-aligned)
   };
 
   static constexpr std::size_t kMinChunk = 64 * 1024;

@@ -9,7 +9,13 @@
 //    stripe is staged through the arena),
 //  * computes all parity symbols with one fused gf::matrix_apply pass over
 //    the scheme's cached parity coefficient block,
-//  * recycles a single StripeArena across stripes, so encoding an N-stripe
+//  * fuses encode across stripes: encode_batch() runs one
+//    gf::matrix_apply_batch over many stripes' sources at once, so the
+//    generator-matrix coefficient block and its per-coefficient tables
+//    stay hot in L1/L2 across the batch instead of being re-streamed per
+//    stripe, and per-call setup (views, arena bookkeeping, dispatch) is
+//    paid once per batch,
+//  * recycles a single StripeArena across batches, so encoding an N-stripe
 //    file performs O(1) heap allocations instead of O(N * num_symbols).
 //
 // One codec instance is not thread-safe; give each writer thread its own
@@ -28,6 +34,12 @@ namespace dblrep::ec {
 
 class StripeCodec {
  public:
+  /// Cross-stripe batching targets roughly this much logical data per
+  /// fused kernel call; small stripes (tests, small blocks) batch up to
+  /// kMaxBatchStripes, large stripes degrade gracefully to one per call.
+  static constexpr std::size_t kBatchTargetBytes = 4 * 1024 * 1024;
+  static constexpr std::size_t kMaxBatchStripes = 32;
+
   explicit StripeCodec(const CodeScheme& code) : code_(&code) {}
 
   StripeCodec(const StripeCodec&) = delete;
@@ -43,18 +55,36 @@ class StripeCodec {
   /// Stripes needed to hold `length` logical bytes.
   std::size_t stripe_count(std::size_t length, std::size_t block_size) const;
 
+  /// Stripes encode_batch / encode_file fuse per kernel call for this
+  /// block size (>= 1).
+  std::size_t batch_stripes(std::size_t block_size) const;
+
   /// Encodes one stripe. `stripe_data` holds up to stripe_bytes() logical
   /// bytes (shorter inputs are zero-padded). Returns num_symbols views in
   /// symbol order; systematic views alias `stripe_data` where possible,
   /// parity views point into the arena. All views are invalidated by the
-  /// next encode_stripe()/encode_file() call.
+  /// next encode_stripe()/encode_batch()/encode_file() call.
   std::span<const ByteSpan> encode_stripe(ByteSpan stripe_data,
                                           std::size_t block_size);
 
+  /// Encodes all stripes covering `data` (up to batch_stripes() of them
+  /// fused into one gf::matrix_apply_batch pass), then hands each stripe's
+  /// symbol views to `sink(stripe_index, symbols)` in stripe order.
+  /// stripe_index counts from 0 within `data`; views passed to the sink
+  /// are invalidated when the next batch starts (i.e. a sink must consume
+  /// its stripe before returning). Stops and propagates the first sink
+  /// error. `data` may cover any number of stripes; the final one may be
+  /// ragged (zero-padded).
+  Status encode_batch(
+      ByteSpan data, std::size_t block_size,
+      const std::function<Status(std::size_t, std::span<const ByteSpan>)>&
+          sink);
+
   /// Streams a whole file through the codec: splits `data` into stripes,
-  /// encodes each, and hands the symbol views to `sink(stripe_index,
-  /// symbols)` before the arena is recycled for the next stripe. Stops and
-  /// propagates the first sink error.
+  /// encodes each (batched across stripes), and hands the symbol views to
+  /// `sink(stripe_index, symbols)` before the arena is recycled. Stops and
+  /// propagates the first sink error. (Alias of encode_batch; kept for the
+  /// streaming-file reading of call sites.)
   Status encode_file(
       ByteSpan data, std::size_t block_size,
       const std::function<Status(std::size_t, std::span<const ByteSpan>)>&

@@ -104,4 +104,16 @@ void matrix_apply(std::span<const Elem> coeffs,
   active_kernel().matrix_apply(coeffs, sources, outputs);
 }
 
+void matrix_apply_batch(std::span<const Elem> coeffs,
+                        std::span<const ByteSpan> sources,
+                        std::span<const MutableByteSpan> outputs,
+                        std::size_t groups) {
+  active_kernel().matrix_apply_batch(coeffs, sources, outputs, groups);
+}
+
+void xor_fold_slice(MutableByteSpan dst, std::span<const ByteSpan> sources,
+                    bool non_temporal) {
+  active_kernel().xor_fold_slice(dst, sources, non_temporal);
+}
+
 }  // namespace dblrep::gf

@@ -70,4 +70,22 @@ void matrix_apply(std::span<const Elem> coeffs,
                   std::span<const ByteSpan> sources,
                   std::span<const MutableByteSpan> outputs);
 
+/// Cross-stripe batched matrix_apply: the same (rows x cols) coefficient
+/// block applied to `groups` independent source/output groups laid out
+/// back-to-back (group g reads sources[g*cols, (g+1)*cols) and writes
+/// outputs[g*rows, (g+1)*rows)). Encoding a batch of stripes in one call
+/// keeps the coefficient tables hot across stripes and pays per-call setup
+/// once; see gf/kernel.h.
+void matrix_apply_batch(std::span<const Elem> coeffs,
+                        std::span<const ByteSpan> sources,
+                        std::span<const MutableByteSpan> outputs,
+                        std::size_t groups);
+
+/// dst[i] = XOR over sources of sources[s][i] -- the coefficient-1-only
+/// fold (XOR parities, replica folds). With `non_temporal` set, vector
+/// kernels write dst with streaming stores (identical bytes, less memory
+/// traffic for large write-once outputs).
+void xor_fold_slice(MutableByteSpan dst, std::span<const ByteSpan> sources,
+                    bool non_temporal = false);
+
 }  // namespace dblrep::gf

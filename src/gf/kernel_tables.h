@@ -25,8 +25,25 @@ const std::uint8_t* mul_row(Elem coeff);
 /// the nibble decomposition. This is the pshufb/vpshufb operand layout.
 const std::uint8_t* nibble_tables(Elem coeff);
 
+/// 8x8 GF(2) bit matrix M_c with c*x == M_c * x, in the vgf2p8affineqb
+/// operand layout: output bit b of each byte is parity(qword byte [7-b]
+/// AND input byte), so row b (whose bit j is bit b of c * 2^j) lives in
+/// byte 7-b of the qword. One broadcast of this qword replaces both nibble
+/// tables for the GFNI kernel.
+std::uint64_t affine_matrix(Elem coeff);
+
 /// Portable 64-bit-word XOR: dst[i] ^= src[i] starting at `from`.
 void xor_words(MutableByteSpan dst, ByteSpan src, std::size_t from = 0);
+
+/// Portable single-pass fold: dst[i] = XOR of sources[s][i], word at a
+/// time, starting at `from`. sources must be non-empty.
+void xor_fold_words(MutableByteSpan dst, std::span<const ByteSpan> sources,
+                    std::size_t from = 0);
+
+/// Byte-wise fold over [from, to) -- the short-head helper vector kernels
+/// use to reach store alignment before a streaming main loop.
+void xor_fold_range(MutableByteSpan dst, std::span<const ByteSpan> sources,
+                    std::size_t from, std::size_t to);
 
 /// Scalar table loops for vector-kernel tails, starting at `from`.
 void addmul_scalar_tail(MutableByteSpan dst, ByteSpan src, Elem coeff,
@@ -37,15 +54,33 @@ void mul_scalar_tail(MutableByteSpan dst, ByteSpan src, Elem coeff,
 /// Size and overlap preconditions shared by every kernel entry point.
 void check_slice_contract(MutableByteSpan dst, ByteSpan src);
 
-/// Generic chunked matrix_apply built on `kernel`'s own slice ops.
+/// Shared argument validation for xor_fold_slice (sizes + per-source
+/// overlap contract).
+void check_fold_contract(MutableByteSpan dst, std::span<const ByteSpan> sources);
+
+/// Generic chunked matrix_apply built on `kernel`'s own slice ops
+/// (implemented as matrix_apply_batch_with over one group).
 void matrix_apply_with(const GfKernel& kernel, std::span<const Elem> coeffs,
                        std::span<const ByteSpan> sources,
                        std::span<const MutableByteSpan> outputs);
+
+/// Generic chunked batched apply built on `kernel`'s slice ops: same
+/// coefficient block, `groups` independent source/output groups. Routes
+/// coefficient-1-only rows through kernel->xor_fold_slice with the
+/// non-temporal flag resolved from the process-wide policy, and records
+/// modeled traffic into this thread's SliceOpStats.
+void matrix_apply_batch_with(const GfKernel& kernel,
+                             std::span<const Elem> coeffs,
+                             std::span<const ByteSpan> sources,
+                             std::span<const MutableByteSpan> outputs,
+                             std::size_t groups);
 
 /// x86 kernels, defined in kernel_x86.cc. Return nullptr when the CPU (or
 /// the build target) does not support the instruction set.
 const GfKernel* ssse3_kernel();
 const GfKernel* avx2_kernel();
+const GfKernel* avx512_kernel();
+const GfKernel* gfni_kernel();
 
 }  // namespace detail
 }  // namespace dblrep::gf

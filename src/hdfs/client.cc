@@ -40,7 +40,11 @@ FileWriter::FileWriter(FileWriter&& other) noexcept
       inflight_(std::move(other.inflight_)),
       deferred_(std::move(other.deferred_)),
       appended_(other.appended_),
+      stats_(other.stats_),
       open_(other.open_) {
+  // views_inflight_ is always false between calls (append drains its
+  // zero-copy stores before returning), so there is no borrowed span to
+  // hand over.
   other.open_ = false;
   other.inflight_.clear();
 }
@@ -59,17 +63,20 @@ void FileWriter::drain(std::size_t allow) {
   }
 }
 
-Status FileWriter::dispatch(Buffer stripe_data) {
+Result<cluster::StripeId> FileWriter::prepare_dispatch() {
   // Bound the pipeline (and with it ingest memory): wait for the oldest
   // store before adding another.
   drain(max_inflight_ - 1);
   if (!deferred_.is_ok()) return deferred_;
 
   auto stripe_id = dfs_->allocate_stripe(path_);
-  if (!stripe_id.is_ok()) {
-    deferred_ = stripe_id.status();
-    return deferred_;
-  }
+  if (!stripe_id.is_ok()) deferred_ = stripe_id.status();
+  return stripe_id;
+}
+
+Status FileWriter::dispatch(Buffer stripe_data) {
+  auto stripe_id = prepare_dispatch();
+  if (!stripe_id.is_ok()) return deferred_;
   MiniDfs* dfs = dfs_;
   const std::string path = path_;
   const cluster::StripeId stripe = *stripe_id;
@@ -80,18 +87,47 @@ Status FileWriter::dispatch(Buffer stripe_data) {
   return Status::ok();
 }
 
+Status FileWriter::dispatch_view(ByteSpan stripe_data) {
+  auto stripe_id = prepare_dispatch();
+  if (!stripe_id.is_ok()) return deferred_;
+  // Zero-copy: the store task encodes straight out of the caller's span
+  // (the codec's systematic symbols are views into it), so append() must
+  // drain this store before returning control to the caller.
+  MiniDfs* dfs = dfs_;
+  const std::string path = path_;
+  const cluster::StripeId stripe = *stripe_id;
+  inflight_.push_back(
+      exec::spawn(dfs_->pool(), [dfs, path, stripe, stripe_data] {
+        return dfs->store_stripe(path, stripe, stripe_data);
+      }));
+  views_inflight_ = true;
+  return Status::ok();
+}
+
 Status FileWriter::append(ByteSpan data) {
   if (!open_) {
     return failed_precondition_error("append on closed writer for " + path_);
   }
   if (!deferred_.is_ok()) return deferred_;
-  // Every byte is copied exactly once, into the owned buffer its stripe
-  // store needs anyway (the store is asynchronous, so it cannot alias the
-  // caller's span). buffer_ holds strictly less than one stripe between
-  // calls: top it up first, then dispatch full stripes straight from the
-  // span, then stash the sub-stripe tail. appended_ counts only accepted
-  // bytes -- a failed dispatch returns early and its stripe (and the
-  // span's unconsumed tail) never count.
+  append_impl(data);
+  if (views_inflight_) {
+    // Zero-copy stores borrow `data`; finish them before the caller
+    // reclaims the span. (Owned-buffer stores keep pipelining across
+    // appends; only span-borrowing ones force this barrier.)
+    drain(0);
+    views_inflight_ = false;
+  }
+  return deferred_;
+}
+
+void FileWriter::append_impl(ByteSpan data) {
+  // Ragged bytes are copied exactly once, into the pre-reserved sub-stripe
+  // buffer; stripe-aligned runs of the span skip even that and are encoded
+  // zero-copy by dispatch_view. buffer_ holds strictly less than one
+  // stripe between calls: top it up first, then dispatch full stripes
+  // straight from the span, then stash the sub-stripe tail. appended_
+  // counts only accepted bytes -- a failed dispatch returns early and its
+  // stripe (and the span's unconsumed tail) never count.
   std::size_t pos = 0;
   if (!buffer_.empty()) {
     const std::size_t take =
@@ -100,24 +136,32 @@ Status FileWriter::append(ByteSpan data) {
                    data.begin() + static_cast<std::ptrdiff_t>(take));
     pos = take;
     appended_ += take;
+    stats_.buffered_bytes += take;
     if (buffer_.size() == stripe_bytes_) {
       Buffer stripe = std::move(buffer_);
       buffer_ = Buffer();
-      if (!dispatch(std::move(stripe)).is_ok()) return deferred_;
+      if (!dispatch(std::move(stripe)).is_ok()) return;
     }
   }
   while (data.size() - pos >= stripe_bytes_) {
-    Buffer stripe(data.begin() + static_cast<std::ptrdiff_t>(pos),
-                  data.begin() +
-                      static_cast<std::ptrdiff_t>(pos + stripe_bytes_));
-    if (!dispatch(std::move(stripe)).is_ok()) return deferred_;
+    if (!dispatch_view(data.subspan(pos, stripe_bytes_)).is_ok()) return;
     pos += stripe_bytes_;
     appended_ += stripe_bytes_;
+    stats_.zero_copy_bytes += stripe_bytes_;
   }
-  appended_ += data.size() - pos;
-  buffer_.insert(buffer_.end(),
-                 data.begin() + static_cast<std::ptrdiff_t>(pos), data.end());
-  return deferred_;
+  const std::size_t tail = data.size() - pos;
+  if (tail > 0) {
+    // One up-front reservation per buffer lifetime: the buffer grows to at
+    // most stripe_bytes_ before it is dispatched, so reserving the full
+    // stripe here avoids the log(stripe_bytes) doubling reallocations a
+    // drip-fed ingest would otherwise pay per stripe.
+    buffer_.reserve(stripe_bytes_);
+    buffer_.insert(buffer_.end(),
+                   data.begin() + static_cast<std::ptrdiff_t>(pos),
+                   data.end());
+    appended_ += tail;
+    stats_.buffered_bytes += tail;
+  }
 }
 
 Status FileWriter::finish(bool commit) {

@@ -11,9 +11,15 @@
 //    (placement draws stay deterministic in append order) and then encoded
 //    + stored asynchronously on the DFS pool, with a bounded number of
 //    stripes in flight -- so multi-call ingest pipelines and a file larger
-//    than memory streams through a fixed-size window. close() flushes the
-//    zero-padded tail, waits for the pipeline, and publishes the path
-//    (readers see nothing earlier); any failure rolls the whole file back.
+//    than memory streams through a fixed-size window. Stripe-aligned spans
+//    take a zero-copy fast path: full stripes are encoded straight from
+//    the caller's memory (the codec's systematic symbols are views into
+//    it) instead of being staged through the writer's buffer; append then
+//    waits for those stores before returning, since the caller reclaims
+//    the span. Only ragged heads/tails are copied into the (pre-reserved)
+//    sub-stripe buffer. close() flushes the zero-padded tail, waits for
+//    the pipeline, and publishes the path (readers see nothing earlier);
+//    any failure rolls the whole file back.
 //  * pread(path, offset, len) -- byte-range reads resolving only the
 //    stripes covering the range, with per-block degraded-read fallback.
 //  * *_async variants -- the same operations returning exec::Future,
@@ -48,6 +54,15 @@ struct ClientOptions {
   std::size_t max_inflight_stripes = 0;
 };
 
+/// Byte-accounting probe for the append path: how much of the ingested
+/// data was staged through the writer's sub-stripe buffer versus encoded
+/// zero-copy straight from caller spans. Stripe-aligned appends must show
+/// buffered_bytes == 0 (tests assert this).
+struct WriterStats {
+  std::size_t buffered_bytes = 0;   ///< copied into the sub-stripe buffer
+  std::size_t zero_copy_bytes = 0;  ///< encoded directly from caller spans
+};
+
 /// Handle for one streaming write. Move-only, single-owner, not
 /// thread-safe. Destroying a still-open writer aborts the write (the path
 /// and every stored stripe roll back).
@@ -61,9 +76,11 @@ class FileWriter {
 
   /// Appends logical bytes. Completed stripes are dispatched to the pool;
   /// the call blocks only when max_inflight_stripes stores are already in
-  /// flight. After any failure the writer is poisoned: the first error
-  /// (in stripe order -- independent of pool scheduling) is returned from
-  /// every subsequent append/close.
+  /// flight -- except that full stripes taken zero-copy from `data` must
+  /// finish before append returns (the caller may reuse the span
+  /// immediately after). After any failure the writer is poisoned: the
+  /// first error (in stripe order -- independent of pool scheduling) is
+  /// returned from every subsequent append/close.
   Status append(ByteSpan data);
 
   /// Flushes the partial tail stripe, waits for every in-flight store,
@@ -81,14 +98,30 @@ class FileWriter {
   /// an append that failed partway is not counted.
   std::size_t bytes_appended() const { return appended_; }
 
+  /// Copy-vs-zero-copy accounting for the bytes accepted so far.
+  const WriterStats& stats() const { return stats_; }
+
  private:
   friend class Client;
   FileWriter(MiniDfs* dfs, std::string path, std::size_t stripe_bytes,
              std::size_t max_inflight);
 
+  /// append() body; leaves zero-copy stores in flight (views_inflight_)
+  /// for append() to drain before the caller reclaims its span.
+  void append_impl(ByteSpan data);
+
   /// Allocates a stripe (serially, on this thread) and spawns its encode +
-  /// store on the pool, first draining to keep the pipeline bounded.
+  /// store on the pool, first draining to keep the pipeline bounded. The
+  /// owning overload moves the stripe bytes into the store task; the view
+  /// overload encodes straight from `stripe_data`, which must stay valid
+  /// until the store is drained.
   Status dispatch(Buffer stripe_data);
+  Status dispatch_view(ByteSpan stripe_data);
+
+  /// Shared dispatch prologue: drains the window down to one free slot and
+  /// allocates the next stripe id (serially, in append order). Failures
+  /// land in deferred_ and are returned as an error status.
+  Result<cluster::StripeId> prepare_dispatch();
 
   /// Waits for in-flight stores (front first, i.e. stripe order) until at
   /// most `allow` remain; records the first failure in deferred_.
@@ -105,6 +138,8 @@ class FileWriter {
   std::deque<exec::Future<Status>> inflight_;  // stores, in stripe order
   Status deferred_;  // first failure; poisons the writer
   std::size_t appended_ = 0;
+  WriterStats stats_;
+  bool views_inflight_ = false;  // zero-copy stores borrow a caller span
   bool open_ = false;
 };
 

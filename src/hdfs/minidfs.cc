@@ -232,6 +232,39 @@ Status MiniDfs::store_stripe_bytes(SchemeRuntime& rt, std::size_t block_size,
   return Status::ok();
 }
 
+Status MiniDfs::store_stripe_batch(SchemeRuntime& rt, std::size_t block_size,
+                                   std::span<const cluster::StripeId> stripes,
+                                   ByteSpan data) {
+  const ec::CodeScheme& code = *rt.code;
+  if (data.empty()) {
+    return invalid_argument_error("stripe batch data must be non-empty");
+  }
+  // One codec lease for the whole range: encode_batch fuses the parity
+  // passes of up to StripeCodec::kMaxBatchStripes stripes into single
+  // coefficient-block walks, and the sink below persists each stripe's
+  // symbol views before the next batch recycles the arena. Store semantics
+  // (unsealed until commit, per-slot traffic accounting) match
+  // store_stripe_bytes exactly; the sink's stripe index is relative to
+  // `data`, so stripes[s] maps it back to the allocated id.
+  auto lease = rt.runtimes->acquire();
+  DBLREP_CHECK_EQ(stripes.size(),
+                  lease->codec.stripe_count(data.size(), block_size));
+  const auto& layout = code.layout();
+  return lease->codec.encode_batch(
+      data, block_size,
+      [&](std::size_t s, std::span<const ByteSpan> symbols) -> Status {
+        const cluster::StripeId stripe = stripes[s];
+        for (std::size_t slot = 0; slot < layout.num_slots(); ++slot) {
+          const cluster::NodeId node = catalog_.node_of({stripe, slot});
+          DBLREP_RETURN_IF_ERROR(
+              datanodes_[static_cast<std::size_t>(node)].put(
+                  {stripe, slot}, symbols[layout.symbol_of_slot(slot)]));
+          traffic_.record_to_client(node, static_cast<double>(block_size));
+        }
+        return Status::ok();
+      });
+}
+
 Status MiniDfs::store_stripe(const std::string& path,
                              cluster::StripeId stripe, ByteSpan stripe_data) {
   std::string code_spec;
@@ -347,13 +380,25 @@ Status MiniDfs::write_file(const std::string& path, ByteSpan data,
   // The runtime and block size are resolved once for the whole file, and
   // the length is published once below -- the workers touch no namespace
   // state, unlike a FileWriter's store_stripe calls (which pay per-stripe
-  // lookups to keep stat() progress live).
+  // lookups to keep stat() progress live). Each pool task owns a
+  // contiguous run of batch_stripes() stripes so its leased codec can fuse
+  // their parity passes; parallel_for_all still surfaces the
+  // lowest-indexed failure, and store_stripe_batch stops at the first
+  // failing stripe within a run, so the reported stripe stays the lowest
+  // failing one regardless of pool scheduling.
+  const std::size_t batch = ec::StripeCodec(*rt.code).batch_stripes(block_size);
+  const std::size_t num_batches = (num_stripes + batch - 1) / batch;
   const Status write_status = exec::parallel_for_all(
-      *pool_, num_stripes, [&](std::size_t s) -> Status {
-        const std::size_t begin = s * stripe_bytes;
-        const std::size_t len = std::min(stripe_bytes, data.size() - begin);
-        return store_stripe_bytes(rt, block_size, (*stripes)[s],
-                                  data.subspan(begin, len));
+      *pool_, num_batches, [&](std::size_t b) -> Status {
+        const std::size_t first = b * batch;
+        const std::size_t count = std::min(batch, num_stripes - first);
+        const std::size_t begin = first * stripe_bytes;
+        const std::size_t len =
+            std::min(count * stripe_bytes, data.size() - begin);
+        return store_stripe_batch(
+            rt, block_size,
+            std::span<const cluster::StripeId>(stripes->data() + first, count),
+            data.subspan(begin, len));
       });
   if (!write_status.is_ok()) return write_status;
   {

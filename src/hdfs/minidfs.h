@@ -50,6 +50,7 @@
 #include <memory>
 #include <set>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -277,6 +278,14 @@ class MiniDfs {
   /// its workers so they touch no namespace state.
   Status store_stripe_bytes(SchemeRuntime& rt, std::size_t block_size,
                             cluster::StripeId stripe, ByteSpan stripe_data);
+
+  /// Batched form: encodes every stripe covering `data` through one leased
+  /// codec (cross-stripe fused parity passes, see StripeCodec::encode_batch)
+  /// and stores stripes[i] from the i-th stripe of `data`. `stripes` must
+  /// have exactly as many entries as stripes of `data`.
+  Status store_stripe_batch(SchemeRuntime& rt, std::size_t block_size,
+                            std::span<const cluster::StripeId> stripes,
+                            ByteSpan data);
 
   /// Plan for `failed` under `code`, computed once per distinct pattern and
   /// served under a shared-read lock afterwards. The returned pointer stays

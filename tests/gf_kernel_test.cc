@@ -1,7 +1,10 @@
 // Cross-kernel equivalence property tests: every GF kernel backend (scalar
-// table, SSSE3 split-table, AVX2 split-table, and their shared word-XOR
-// coefficient-1 path) must be bit-identical for every coefficient, for odd
-// and unaligned slice lengths, and under the documented aliasing contracts.
+// table, SSSE3/AVX2/AVX-512 split-table, GFNI affine, and their shared
+// word-XOR coefficient-1 path) must be bit-identical for every coefficient,
+// for odd and unaligned slice lengths, with and without streaming stores,
+// and under the documented aliasing contracts. Kernels the host cannot run
+// never appear in supported_kernels(); the RunsOrSkips tests below make
+// that absence visible as a GTEST_SKIP instead of silent green.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -162,6 +165,100 @@ TEST_P(KernelParamTest, MatrixApplyMatchesRowByRowReference) {
   }
 }
 
+TEST_P(KernelParamTest, XorFoldMatchesReferenceForEverySourceCount) {
+  const GfKernel& kernel = *GetParam();
+  for (std::size_t n : kLengths) {
+    for (std::size_t num_sources = 1; num_sources <= 5; ++num_sources) {
+      std::vector<Buffer> storage;
+      std::vector<ByteSpan> sources;
+      Buffer expected(n, 0);
+      for (std::size_t s = 0; s < num_sources; ++s) {
+        storage.push_back(pattern_buffer(n, 47 + 7 * s + n));
+        sources.emplace_back(storage.back());
+        for (std::size_t i = 0; i < n; ++i) expected[i] ^= storage[s][i];
+      }
+      for (const bool nt : {false, true}) {
+        Buffer dst(n, 0xcc);  // fold overwrites: stale bytes must vanish
+        kernel.xor_fold_slice(dst, sources, nt);
+        EXPECT_EQ(dst, expected)
+            << kernel.name << " xor_fold sources=" << num_sources
+            << " n=" << n << " nt=" << nt;
+      }
+    }
+  }
+}
+
+TEST_P(KernelParamTest, XorFoldUnalignedHeadsAndRaggedTails) {
+  // The streaming-store path peels a scalar head up to the vector
+  // alignment and a word tail after the streamed interior; misalign dst
+  // and every source differently so head, interior, and tail all carry
+  // data, with and without the hint.
+  const GfKernel& kernel = *GetParam();
+  const std::size_t n = 3 * 1024 + 7;
+  std::vector<Buffer> storage;
+  std::vector<ByteSpan> sources;
+  for (std::size_t s = 0; s < 3; ++s) {
+    storage.push_back(pattern_buffer(n + s + 1, 53 + s));
+    sources.push_back(ByteSpan(storage.back()).subspan(s + 1, n));
+  }
+  Buffer expected(n, 0);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t i = 0; i < n; ++i) expected[i] ^= sources[s][i];
+  }
+  for (const bool nt : {false, true}) {
+    Buffer dst_storage(n + 5, 0x11);
+    const MutableByteSpan dst = MutableByteSpan(dst_storage).subspan(5, n);
+    kernel.xor_fold_slice(dst, sources, nt);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(dst[i], expected[i])
+          << kernel.name << " unaligned fold at " << i << " nt=" << nt;
+    }
+  }
+}
+
+TEST_P(KernelParamTest, MatrixApplyBatchMatchesPerGroupApply) {
+  // The fused cross-stripe path must be byte-identical to applying the
+  // same coefficient block group by group.
+  const GfKernel& kernel = *GetParam();
+  const std::size_t k = 4;
+  const std::size_t rows = 3;
+  const std::size_t groups = 3;
+  for (std::size_t n : kLengths) {
+    std::vector<Elem> coeffs(rows * k);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < k; ++c) {
+        coeffs[r * k + c] = static_cast<Elem>(
+            r == 0 ? 1 : (59 * r + 17 * c + 5) % 256);
+      }
+    }
+    std::vector<Buffer> sources_storage;
+    std::vector<ByteSpan> sources;
+    for (std::size_t i = 0; i < groups * k; ++i) {
+      sources_storage.push_back(pattern_buffer(n, 61 + i));
+      sources.emplace_back(sources_storage.back());
+    }
+    std::vector<Buffer> batch_storage(groups * rows, Buffer(n, 0x44));
+    std::vector<MutableByteSpan> batch_outputs;
+    for (auto& out : batch_storage) batch_outputs.emplace_back(out);
+    kernel.matrix_apply_batch(coeffs, sources, batch_outputs, groups);
+
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::vector<Buffer> single_storage(rows, Buffer(n, 0x99));
+      std::vector<MutableByteSpan> single_outputs;
+      for (auto& out : single_storage) single_outputs.emplace_back(out);
+      kernel.matrix_apply(
+          coeffs,
+          std::span<const ByteSpan>(sources.data() + g * k, k),
+          single_outputs);
+      for (std::size_t r = 0; r < rows; ++r) {
+        EXPECT_EQ(batch_storage[g * rows + r], single_storage[r])
+            << kernel.name << " batch group " << g << " row " << r
+            << " n=" << n;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllSupportedKernels, KernelParamTest,
     ::testing::ValuesIn(supported_kernels()),
@@ -187,6 +284,85 @@ TEST(GfKernelDispatch, SetActiveKernelRoutesFreeFunctions) {
   }
   EXPECT_FALSE(set_active_kernel("no-such-kernel"));
   ASSERT_TRUE(set_active_kernel(original.name));
+}
+
+// One visible skip per hardware-gated kernel: the param suite only
+// instantiates kernels the host supports, so without these a machine
+// lacking (say) GFNI would report green with the kernel never executed.
+TEST(GfKernelDispatch, Ssse3RunsOrSkips) {
+  if (find_kernel("ssse3") == nullptr) {
+    GTEST_SKIP() << "host lacks SSSE3; kernel excluded from the param suite";
+  }
+  EXPECT_TRUE(set_active_kernel("ssse3"));
+  ASSERT_TRUE(set_active_kernel("scalar"));
+}
+
+TEST(GfKernelDispatch, Avx2RunsOrSkips) {
+  if (find_kernel("avx2") == nullptr) {
+    GTEST_SKIP() << "host lacks AVX2; kernel excluded from the param suite";
+  }
+  EXPECT_TRUE(set_active_kernel("avx2"));
+  ASSERT_TRUE(set_active_kernel("scalar"));
+}
+
+TEST(GfKernelDispatch, Avx512RunsOrSkips) {
+  if (find_kernel("avx512") == nullptr) {
+    GTEST_SKIP() << "host lacks AVX-512F/BW/VL or OS ZMM state; kernel "
+                    "excluded from the param suite";
+  }
+  EXPECT_TRUE(set_active_kernel("avx512"));
+  ASSERT_TRUE(set_active_kernel("scalar"));
+}
+
+TEST(GfKernelDispatch, GfniRunsOrSkips) {
+  if (find_kernel("gfni") == nullptr) {
+    GTEST_SKIP() << "host lacks GFNI (or the AVX-512 it rides on); kernel "
+                    "excluded from the param suite";
+  }
+  EXPECT_TRUE(set_active_kernel("gfni"));
+  ASSERT_TRUE(set_active_kernel("scalar"));
+}
+
+TEST(SliceOpStats, NonTemporalRemovesRfoFromModeledTraffic) {
+  // The modeled accounting behind the bench's bytes-moved gate: an
+  // all-ones parity row over a slice at the NT threshold. A regular store
+  // pays write + read-for-ownership; a streaming store pays write only.
+  // The model is kernel-independent, so this holds even on scalar-only
+  // hosts (where the hint is ignored at execution but the routing --
+  // which is what the model audits -- is identical).
+  const std::size_t n = kNonTemporalMinBytes;
+  std::vector<Buffer> storage;
+  std::vector<ByteSpan> sources;
+  for (std::size_t s = 0; s < 3; ++s) {
+    storage.push_back(pattern_buffer(n, 67 + s));
+    sources.emplace_back(storage.back());
+  }
+  const std::vector<Elem> coeffs = {1, 1, 1};
+  Buffer out(n);
+  std::vector<MutableByteSpan> outputs = {MutableByteSpan(out)};
+
+  const bool nt_was_enabled = non_temporal_enabled();
+  const auto moved = [&](bool nt) {
+    set_non_temporal(nt);
+    reset_slice_op_stats();
+    matrix_apply(coeffs, sources, outputs);
+    return slice_op_stats();
+  };
+  const SliceOpStats regular = moved(false);
+  const SliceOpStats streamed = moved(true);
+  set_non_temporal(nt_was_enabled);
+
+  EXPECT_EQ(regular.src_bytes_read, 3 * n);
+  EXPECT_EQ(regular.dst_bytes_written, n);
+  EXPECT_EQ(regular.rfo_bytes_read, n);
+  EXPECT_EQ(regular.nt_bytes_written, 0u);
+
+  EXPECT_EQ(streamed.src_bytes_read, 3 * n);
+  EXPECT_EQ(streamed.dst_bytes_written, n);
+  EXPECT_EQ(streamed.rfo_bytes_read, 0u);
+  EXPECT_EQ(streamed.nt_bytes_written, n);
+
+  EXPECT_LT(streamed.total_bytes_moved(), regular.total_bytes_moved());
 }
 
 #ifndef NDEBUG
