@@ -18,6 +18,11 @@
 // Usage: bench_parallel_scaling [--block-size=BYTES] [--stripes=N]
 //                               [--min-time=SECONDS] [--workers=CSV]
 //                               [--schemes=CSV] [--json=PATH]
+//                               [--latency-json=PATH]
+//
+// --latency-json additionally exports every mixed run's full
+// WorkloadReport (per-op count/mean/p50/p99/p999 plus raw histogram
+// buckets) for offline latency-distribution analysis.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -55,6 +60,7 @@ struct Sample {
   // Mixed workload-under-repair:
   double mixed_read_p50_us = 0;
   double mixed_read_p99_us = 0;
+  double mixed_read_p999_us = 0;
   double mixed_ops_per_s = 0;
   double mixed_repair_s = 0;
   std::size_t mixed_errors = 0;
@@ -104,6 +110,7 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> worker_counts = {0, 1, 2, 4, 8};
   std::vector<std::string> schemes = {"rs-10-4", "pentagon", "heptagon-local"};
   std::string json_path = "BENCH_parallel_scaling.json";
+  std::string latency_json_path;  // empty: no per-run histogram export
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     try {
@@ -122,6 +129,8 @@ int main(int argc, char** argv) {
         schemes = split_csv(arg.substr(10));
       } else if (arg.rfind("--json=", 0) == 0) {
         json_path = arg.substr(7);
+      } else if (arg.rfind("--latency-json=", 0) == 0) {
+        latency_json_path = arg.substr(15);
       } else {
         std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
         return 2;
@@ -140,6 +149,7 @@ int main(int argc, char** argv) {
   topology.num_nodes = 25;
 
   std::vector<Sample> samples;
+  std::vector<std::string> latency_entries;
   std::map<std::string, double> serial_encode, serial_repair;
   std::map<std::string, std::uint64_t> serial_fingerprint;
 
@@ -234,11 +244,18 @@ int main(int argc, char** argv) {
         DBLREP_CHECK_MSG(report.is_ok(), report.status().to_string());
         DBLREP_CHECK_MSG(report->repair_status.is_ok(),
                          report->repair_status.to_string());
-        sample.mixed_read_p50_us = report->read.latency_hist.quantile(0.5);
-        sample.mixed_read_p99_us = report->read.latency_hist.quantile(0.99);
+        sample.mixed_read_p50_us = report->read.p50_us();
+        sample.mixed_read_p99_us = report->read.p99_us();
+        sample.mixed_read_p999_us = report->read.p999_us();
         sample.mixed_ops_per_s = report->ops_per_s;
         sample.mixed_repair_s = report->repair_s;
         sample.mixed_errors = report->total_errors();
+        if (!latency_json_path.empty()) {
+          std::ostringstream entry;
+          entry << "    {\"scheme\": \"" << spec << "\", \"workers\": "
+                << workers << ", \"report\":\n" << report->to_json() << "}";
+          latency_entries.push_back(entry.str());
+        }
       }
 
       if (workers == 0) {
@@ -288,6 +305,7 @@ int main(int argc, char** argv) {
          << (s.bytes_identical ? "true" : "false")
          << ", \"mixed_read_p50_us\": " << s.mixed_read_p50_us
          << ", \"mixed_read_p99_us\": " << s.mixed_read_p99_us
+         << ", \"mixed_read_p999_us\": " << s.mixed_read_p999_us
          << ", \"mixed_ops_per_s\": " << s.mixed_ops_per_s
          << ", \"mixed_repair_s\": " << s.mixed_repair_s
          << ", \"mixed_errors\": " << s.mixed_errors << "}"
@@ -295,6 +313,21 @@ int main(int argc, char** argv) {
   }
   json << "  ]\n}\n";
   std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+
+  if (!latency_json_path.empty()) {
+    std::ofstream lj(latency_json_path);
+    if (!lj) {
+      std::fprintf(stderr, "cannot write %s\n", latency_json_path.c_str());
+      return 1;
+    }
+    lj << "{\n  \"bench\": \"parallel_scaling_latency\",\n  \"reports\": [\n";
+    for (std::size_t i = 0; i < latency_entries.size(); ++i) {
+      lj << latency_entries[i]
+         << (i + 1 == latency_entries.size() ? "\n" : ",\n");
+    }
+    lj << "  ]\n}\n";
+    std::fprintf(stderr, "wrote %s\n", latency_json_path.c_str());
+  }
 
   // Fail loudly if any parallel repair diverged from the serial bytes;
   // scaling numbers for a wrong result are meaningless.

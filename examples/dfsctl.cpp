@@ -1,7 +1,12 @@
 // dfsctl: a small command-driven shell over the mini-HDFS, for poking at
 // the coded data plane interactively or from scripts.
 //
-// Usage: dfsctl [nodes] [racks]      (then commands on stdin)
+// Usage: dfsctl [nodes] [racks] [--net]   (then commands on stdin)
+//
+// --net attaches the link-level network model: every transfer the DFS
+// makes is captured, and `traffic` additionally replays the capture
+// through net::NetworkModel to show which fabric links the byte pattern
+// actually loads (and asserts network conservation on the replay).
 //
 // Commands:
 //   write <path> <code> <blocks>   write <blocks> random data blocks
@@ -21,7 +26,10 @@
 //   fail <node> | restart <node>   membership control
 //   repair <node> | repair-all     rebuild lost blocks
 //   scrub | heal                   verify / verify-and-fix all stripes
-//   traffic                        show network counters
+//   traffic                        show network counters: the intra-rack /
+//                                  cross-rack / client / total split, the
+//                                  top per-node senders and receivers, and
+//                                  (with --net) per-link utilization
 //   quit
 //
 // Exit code: 0 when every command succeeded, 1 if any command reported an
@@ -38,24 +46,48 @@
 //   repair-all
 //   traffic
 //   quit" | ./build/examples/dfsctl
+#include <algorithm>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "chaos/invariants.h"
 #include "common/bytes.h"
+#include "exec/thread_pool.h"
 #include "hdfs/client.h"
 #include "hdfs/minidfs.h"
 #include "hdfs/raidnode.h"
+#include "net/model.h"
+#include "net/transfer.h"
+#include "sim/event_queue.h"
 
 int main(int argc, char** argv) {
   using namespace dblrep;
   constexpr std::size_t kBlock = 4096;
 
   cluster::Topology topology;
-  if (argc > 1) topology.num_nodes = std::strtoul(argv[1], nullptr, 10);
-  if (argc > 2) topology.num_racks = std::strtoul(argv[2], nullptr, 10);
-  hdfs::MiniDfs dfs(topology, /*seed=*/2014);
+  bool with_net = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--net") {
+      with_net = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() > 0) {
+    topology.num_nodes = std::strtoul(positional[0], nullptr, 10);
+  }
+  if (positional.size() > 1) {
+    topology.num_racks = std::strtoul(positional[1], nullptr, 10);
+  }
+  net::TransferLog transfer_log;
+  std::vector<net::TransferRecord> captured;  // everything since start
+  hdfs::MiniDfsOptions options;
+  if (with_net) options.transfer_log = &transfer_log;
+  hdfs::MiniDfs dfs(topology, /*seed=*/2014, &exec::default_pool(), options);
   hdfs::Client client(dfs);
   hdfs::RaidNode raid(dfs);
   std::map<std::string, hdfs::FileWriter> writers;  // open append handles
@@ -245,11 +277,69 @@ int main(int argc, char** argv) {
         std::cout << healed.status().to_string() << "\n";
       }
     } else if (cmd == "traffic") {
-      std::cout << "network total: " << format_bytes(dfs.traffic().total_bytes())
-                << ", cross-rack: "
-                << format_bytes(dfs.traffic().cross_rack_bytes())
-                << ", client: " << format_bytes(dfs.traffic().client_bytes())
-                << "\n";
+      const auto& meter = dfs.traffic();
+      std::cout << "network total: " << format_bytes(meter.total_bytes())
+                << ", intra-rack: " << format_bytes(meter.intra_rack_bytes())
+                << ", cross-rack: " << format_bytes(meter.cross_rack_bytes())
+                << ", client: " << format_bytes(meter.client_bytes()) << "\n";
+      // Top per-node senders and receivers (non-zero only).
+      const auto print_top = [&](const char* label, auto bytes_of) {
+        std::vector<std::pair<double, std::size_t>> ranked;
+        for (std::size_t n = 0; n < topology.num_nodes; ++n) {
+          const double b = bytes_of(static_cast<cluster::NodeId>(n));
+          if (b > 0) ranked.emplace_back(b, n);
+        }
+        std::sort(ranked.rbegin(), ranked.rend());
+        std::cout << label << ":";
+        const std::size_t top = std::min<std::size_t>(ranked.size(), 3);
+        for (std::size_t i = 0; i < top; ++i) {
+          std::cout << " node" << ranked[i].second << "="
+                    << format_bytes(ranked[i].first);
+        }
+        if (top == 0) std::cout << " (none)";
+        std::cout << "\n";
+      };
+      print_top("top senders", [&](cluster::NodeId n) {
+        return meter.node_sent_bytes(n);
+      });
+      print_top("top receivers", [&](cluster::NodeId n) {
+        return meter.node_received_bytes(n);
+      });
+      if (with_net) {
+        // Replay everything captured so far through the link-level model:
+        // which fabric links does this byte pattern actually load?
+        const auto drained = transfer_log.drain();
+        captured.insert(captured.end(), drained.begin(), drained.end());
+        sim::EventQueue queue;
+        net::NetworkModel model(queue, topology, net::NetworkConfig{});
+        for (const auto& record : captured) {
+          model.start_transfer(record, 0.0);
+        }
+        queue.run();
+        std::vector<std::string> violations;
+        chaos::check_network_conservation(model, violations,
+                                          /*expect_drained=*/true);
+        for (const auto& v : violations) std::cout << "VIOLATION: " << v << "\n";
+        note(violations.empty());
+        std::vector<std::pair<double, std::size_t>> busiest;
+        for (std::size_t id = 0; id < model.num_links(); ++id) {
+          if (model.link(id).busy_s > 0) {
+            busiest.emplace_back(model.link(id).busy_s, id);
+          }
+        }
+        std::sort(busiest.rbegin(), busiest.rend());
+        std::cout << "link replay (" << captured.size() << " transfers, "
+                  << queue.now() * 1e3 << " ms makespan):\n";
+        const std::size_t top = std::min<std::size_t>(busiest.size(), 8);
+        for (std::size_t i = 0; i < top; ++i) {
+          const net::LinkStats& link = model.link(busiest[i].second);
+          std::cout << "  " << link.name << ": "
+                    << format_bytes(link.bytes_in) << " in "
+                    << link.transfers << " transfer(s), utilization "
+                    << 100.0 * link.utilization(queue.now())
+                    << "%, max depth " << link.max_queue_depth << "\n";
+        }
+      }
     } else {
       note(false);
       std::cout << "unknown command: " << cmd << "\n";

@@ -402,6 +402,81 @@ void check_traffic_conservation(const hdfs::MiniDfs& dfs,
   }
 }
 
+void check_network_conservation(const net::NetworkModel& model,
+                                std::vector<std::string>& violations,
+                                bool expect_drained) {
+  const auto report = [&](const std::string& what) {
+    violations.push_back("network: " + what);
+  };
+
+  // Global books: injected, delivered, and in-flight are independently
+  // accumulated, so their balance is a real check. All values are sums of
+  // whole byte counts far below 2^53 -- equality is exact.
+  const double injected = model.injected_bytes();
+  const double delivered = model.delivered_bytes();
+  const double in_flight = model.in_flight_bytes();
+  if (in_flight < 0) {
+    std::ostringstream os;
+    os << "negative in-flight bytes " << in_flight;
+    report(os.str());
+  }
+  if (delivered + in_flight != injected) {
+    std::ostringstream os;
+    os << "bytes leak: injected " << injected << " != delivered " << delivered
+       << " + in-flight " << in_flight;
+    report(os.str());
+  }
+  if (model.transfers_delivered() > model.transfers_injected()) {
+    std::ostringstream os;
+    os << "delivered " << model.transfers_delivered()
+       << " transfers but only " << model.transfers_injected()
+       << " were injected";
+    report(os.str());
+  }
+  double per_class = 0;
+  for (std::size_t c = 0; c < net::kNumTransferClasses; ++c) {
+    per_class +=
+        model.delivered_class_bytes(static_cast<net::TransferClass>(c));
+  }
+  if (per_class != delivered) {
+    std::ostringstream os;
+    os << "per-class delivered sum " << per_class << " != delivered total "
+       << delivered;
+    report(os.str());
+  }
+
+  // Per-link books: every byte that entered a link either left it or is
+  // still held there.
+  for (std::size_t id = 0; id < model.num_links(); ++id) {
+    const net::LinkStats& link = model.link(id);
+    if (link.held_bytes < 0) {
+      std::ostringstream os;
+      os << "link " << link.name << " holds negative bytes "
+         << link.held_bytes;
+      report(os.str());
+    }
+    if (link.bytes_out + link.held_bytes != link.bytes_in) {
+      std::ostringstream os;
+      os << "link " << link.name << " leaks: in " << link.bytes_in
+         << " != out " << link.bytes_out << " + held " << link.held_bytes;
+      report(os.str());
+    }
+    if (expect_drained && (link.held_bytes != 0 || link.queue_depth != 0)) {
+      std::ostringstream os;
+      os << "link " << link.name << " not drained: held " << link.held_bytes
+         << " depth " << link.queue_depth;
+      report(os.str());
+    }
+  }
+  if (expect_drained &&
+      (in_flight != 0 || model.transfers_in_flight() != 0)) {
+    std::ostringstream os;
+    os << "queue drained but " << in_flight << " bytes / "
+       << model.transfers_in_flight() << " transfers still in flight";
+    report(os.str());
+  }
+}
+
 void check_all(const hdfs::MiniDfs& dfs, const TruthMap& truth,
                std::vector<std::string>& violations) {
   check_durability(dfs, truth, violations);

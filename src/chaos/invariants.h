@@ -45,6 +45,7 @@
 
 #include "common/bytes.h"
 #include "hdfs/minidfs.h"
+#include "net/model.h"
 
 namespace dblrep::chaos {
 
@@ -80,6 +81,19 @@ void check_placement(const hdfs::MiniDfs& dfs, const TruthMap& truth,
 
 void check_traffic_conservation(const hdfs::MiniDfs& dfs,
                                 std::vector<std::string>& violations);
+
+/// Network conservation over a net::NetworkModel, valid at any instant
+/// (mid-flight included): globally, bytes injected == bytes delivered +
+/// bytes in flight (same for transfer counts, and in-flight is
+/// non-negative); per link, bytes_in == bytes_out + held_bytes with held
+/// bytes/queue depth non-negative; and the sum of per-class delivered
+/// bytes equals total delivered. Once the event queue has drained, pass
+/// `expect_drained` to additionally require in-flight == 0 and every
+/// link's queue empty. Tolerance is exact: every quantity is a sum of
+/// whole byte counts far below 2^53.
+void check_network_conservation(const net::NetworkModel& model,
+                                std::vector<std::string>& violations,
+                                bool expect_drained = false);
 
 /// Runs the full battery in the order above.
 void check_all(const hdfs::MiniDfs& dfs, const TruthMap& truth,

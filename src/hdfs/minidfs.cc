@@ -227,7 +227,8 @@ Status MiniDfs::store_stripe_bytes(SchemeRuntime& rt, std::size_t block_size,
     DBLREP_RETURN_IF_ERROR(datanodes_[static_cast<std::size_t>(node)].put(
         {stripe, slot}, symbols[layout.symbol_of_slot(slot)]));
     // Client -> datanode transfer (the client is off-cluster).
-    traffic_.record_to_client(node, static_cast<double>(block_size));
+    account_upload(node, static_cast<double>(block_size),
+                   net::TransferClass::kClientWrite);
   }
   return Status::ok();
 }
@@ -259,7 +260,8 @@ Status MiniDfs::store_stripe_batch(SchemeRuntime& rt, std::size_t block_size,
           DBLREP_RETURN_IF_ERROR(
               datanodes_[static_cast<std::size_t>(node)].put(
                   {stripe, slot}, symbols[layout.symbol_of_slot(slot)]));
-          traffic_.record_to_client(node, static_cast<double>(block_size));
+          account_upload(node, static_cast<double>(block_size),
+                         net::TransferClass::kClientWrite);
         }
         return Status::ok();
       });
@@ -439,7 +441,8 @@ Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
     const cluster::NodeId node = catalog_.node_of({stripe, slot});
     auto bytes = datanodes_[static_cast<std::size_t>(node)].get({stripe, slot});
     if (bytes.is_ok()) {
-      traffic_.record_to_client(node, static_cast<double>(bytes->size()));
+      account_delivery(node, static_cast<double>(bytes->size()),
+                       net::TransferClass::kClientRead);
       return bytes;
     }
   }
@@ -482,12 +485,16 @@ Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
     const cluster::NodeId from =
         group[static_cast<std::size_t>(send.from_node)];
     if (send.to_node == ec::kClientNode) {
-      traffic_.record_to_client(from, static_cast<double>(file.block_size));
+      account_delivery(from, static_cast<double>(file.block_size),
+                       net::TransferClass::kClientRead);
     } else {
-      traffic_.record(from, group[static_cast<std::size_t>(send.to_node)],
-                      static_cast<double>(file.block_size));
+      account(from, group[static_cast<std::size_t>(send.to_node)],
+              static_cast<double>(file.block_size),
+              net::TransferClass::kClientRead);
     }
   }
+  // One degraded read = one dependency-chained flow in a captured replay.
+  if (options_.transfer_log != nullptr) options_.transfer_log->mark();
   return std::move((*delivered)[0]);
 }
 
@@ -662,6 +669,30 @@ void MiniDfs::gc_stale_replicas(DataNode& dn) {
   }
 }
 
+void MiniDfs::account(cluster::NodeId from, cluster::NodeId to, double bytes,
+                      net::TransferClass cls) {
+  traffic_.record(from, to, bytes);
+  if (options_.transfer_log != nullptr) {
+    options_.transfer_log->record(from, to, bytes, cls);
+  }
+}
+
+void MiniDfs::account_upload(cluster::NodeId node, double bytes,
+                             net::TransferClass cls) {
+  traffic_.record_to_client(node, bytes);
+  if (options_.transfer_log != nullptr) {
+    options_.transfer_log->record(net::kClientEndpoint, node, bytes, cls);
+  }
+}
+
+void MiniDfs::account_delivery(cluster::NodeId node, double bytes,
+                               net::TransferClass cls) {
+  traffic_.record_to_client(node, bytes);
+  if (options_.transfer_log != nullptr) {
+    options_.transfer_log->record(node, net::kClientEndpoint, bytes, cls);
+  }
+}
+
 std::set<cluster::NodeId> MiniDfs::down_nodes() const {
   std::set<cluster::NodeId> down;
   for (const auto& dn : datanodes_) {
@@ -736,10 +767,15 @@ Status MiniDfs::repair_stripe(cluster::StripeId stripe) {
       return internal_error("repair plan send references a node outside the "
                             "stripe's placement group");
     }
-    traffic_.record(info.group[static_cast<std::size_t>(send.from_node)],
-                    info.group[static_cast<std::size_t>(send.to_node)],
-                    static_cast<double>(repair_block_size));
+    account(info.group[static_cast<std::size_t>(send.from_node)],
+            info.group[static_cast<std::size_t>(send.to_node)],
+            static_cast<double>(repair_block_size),
+            net::TransferClass::kRepair);
   }
+  // One stripe's repair = one dependency-chained flow; stripes of a larger
+  // repair run independently (and that parallelism is the storm a captured
+  // replay must reproduce).
+  if (options_.transfer_log != nullptr) options_.transfer_log->mark();
   // Re-check the seal before persisting: a write or delete overlapping this
   // repair (the documented unsupported race) must fail loudly rather than
   // let the repair resurrect dropped blocks.
@@ -880,8 +916,8 @@ Result<std::size_t> MiniDfs::scrub_repair() {
                     symbols[code.layout().symbol_of_slot(slot)]));
             // The rewrite is sourced from the decoding site; count one
             // block of traffic per healed replica.
-            traffic_.record_to_client(node,
-                                      static_cast<double>(info.block_size));
+            account_upload(node, static_cast<double>(info.block_size),
+                           net::TransferClass::kScrub);
             healed.fetch_add(1);
           }
           return Status::ok();

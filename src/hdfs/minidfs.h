@@ -64,6 +64,7 @@
 #include "exec/striped_mutex.h"
 #include "exec/thread_pool.h"
 #include "hdfs/datanode.h"
+#include "net/transfer.h"
 
 namespace dblrep::hdfs {
 
@@ -89,6 +90,14 @@ struct MiniDfsOptions {
   /// combined block crosses the rack boundary. Rebuilt bytes are identical
   /// either way; only the traffic's rack split changes.
   bool layered_repair = false;
+
+  /// Link-level network model shim (off by default): when set, every byte
+  /// the TrafficMeter accounts is also captured as a classed, directed
+  /// net::TransferRecord, so a harness can replay the exact transfer
+  /// pattern into a net::NetworkModel for contention/latency simulation.
+  /// Not owned; must outlive the DFS. Capture only -- no data-plane
+  /// behavior (bytes, placement, traffic totals) changes.
+  net::TransferLog* transfer_log = nullptr;
 };
 
 class MiniDfs {
@@ -318,6 +327,19 @@ class MiniDfs {
   /// outage may hold replicas of stripes deleted while it was away; drop
   /// them so the catalog and the disks agree again.
   void gc_stale_replicas(DataNode& dn);
+
+  // Traffic accounting shims: each feeds the TrafficMeter exactly as
+  // before and, when options_.transfer_log is set, also captures a classed
+  // net::TransferRecord for link-level replay.
+  /// Node-to-node transfer (repair helper sends, relay hops, ...).
+  void account(cluster::NodeId from, cluster::NodeId to, double bytes,
+               net::TransferClass cls);
+  /// Client -> node upload (write fan-out, scrub re-injection).
+  void account_upload(cluster::NodeId node, double bytes,
+                      net::TransferClass cls);
+  /// Node -> client delivery (read / pread / degraded-read results).
+  void account_delivery(cluster::NodeId node, double bytes,
+                        net::TransferClass cls);
 
   cluster::Topology topology_;
   MiniDfsOptions options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <sstream>
 #include <thread>
 
 #include "ec/registry.h"
@@ -30,6 +31,45 @@ void OpStats::merge(const OpStats& other) {
   latency_us.merge(other.latency_us);
   latency_hist.merge(other.latency_hist);
   errors += other.errors;
+}
+
+std::string OpStats::to_json() const {
+  std::ostringstream out;
+  out << "{\"count\": " << latency_us.count()
+      << ", \"errors\": " << errors
+      << ", \"mean_us\": " << latency_us.mean()
+      << ", \"min_us\": " << latency_us.min()
+      << ", \"max_us\": " << latency_us.max()
+      << ", \"p50_us\": " << p50_us()
+      << ", \"p99_us\": " << p99_us()
+      << ", \"p999_us\": " << p999_us()
+      << ", \"hist_counts\": [";
+  const auto& counts = latency_hist.counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << counts[i];
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string WorkloadReport::to_json() const {
+  std::ostringstream out;
+  out << "{\"read\": " << read.to_json()
+      << ",\n \"write\": " << write.to_json()
+      << ",\n \"degraded\": " << degraded.to_json()
+      << ",\n \"pread\": " << pread.to_json()
+      << ",\n \"append\": " << append.to_json()
+      << ",\n \"wall_s\": " << wall_s
+      << ", \"ops_per_s\": " << ops_per_s
+      << ", \"repair_s\": " << repair_s
+      << ", \"total_ops\": " << total_ops()
+      << ", \"total_errors\": " << total_errors()
+      << ",\n \"traffic_total_bytes\": " << traffic_total_bytes
+      << ", \"traffic_intra_rack_bytes\": " << traffic_intra_rack_bytes
+      << ", \"traffic_cross_rack_bytes\": " << traffic_cross_rack_bytes
+      << ", \"traffic_client_bytes\": " << traffic_client_bytes << "}";
+  return out.str();
 }
 
 WorkloadDriver::WorkloadDriver(MiniDfs& dfs, WorkloadOptions options)

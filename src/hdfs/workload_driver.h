@@ -84,6 +84,17 @@ struct OpStats {
 
   void record(double us, bool ok);
   void merge(const OpStats& other);
+
+  // Tail quantiles off the log-spaced histogram. p999 is the paper-regime
+  // headline: repair storms show up in the extreme tail long before they
+  // move the mean.
+  double p50_us() const { return latency_hist.quantile(0.50); }
+  double p99_us() const { return latency_hist.quantile(0.99); }
+  double p999_us() const { return latency_hist.quantile(0.999); }
+
+  /// JSON object: count/errors/mean/min/max/p50/p99/p999 plus the raw
+  /// histogram counts (underflow and overflow buckets included).
+  std::string to_json() const;
 };
 
 struct WorkloadReport {
@@ -118,6 +129,11 @@ struct WorkloadReport {
     return read.errors + write.errors + degraded.errors + pread.errors +
            append.errors;
   }
+
+  /// Full report as one JSON object: per-op OpStats (histograms included),
+  /// throughput, repair wall time, and the traffic split -- the `--json`
+  /// export surface of the workload benches.
+  std::string to_json() const;
 };
 
 class WorkloadDriver {

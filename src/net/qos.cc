@@ -1,0 +1,66 @@
+#include "net/qos.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dblrep::net {
+
+TokenBucket::TokenBucket(double rate_bytes_per_sec, double burst_bytes)
+    : rate_(rate_bytes_per_sec), burst_(burst_bytes), tokens_(burst_bytes) {
+  DBLREP_CHECK_GT(rate_, 0.0);
+  DBLREP_CHECK_GT(burst_, 0.0);
+}
+
+void TokenBucket::refill(sim::SimTime now) {
+  DBLREP_CHECK_GE(now, last_);
+  tokens_ = std::min(burst_, tokens_ + rate_ * (now - last_));
+  last_ = now;
+}
+
+sim::SimTime TokenBucket::reserve(double bytes, sim::SimTime now) {
+  DBLREP_CHECK_GE(bytes, 0.0);
+  // A pending deficit grant leaves last_ in the future; later reservations
+  // queue behind it (FIFO by construction), never before.
+  const sim::SimTime at = std::max(now, last_);
+  refill(at);
+  tokens_ -= bytes;
+  if (tokens_ >= 0.0) return at;
+  // Deficit: the grant lands when refill pays it off; last_ advances to
+  // the grant time with the bucket empty there.
+  const sim::SimTime grant = at + (-tokens_) / rate_;
+  tokens_ = 0.0;
+  last_ = grant;
+  return grant;
+}
+
+void TokenBucket::set_rate(double rate_bytes_per_sec, sim::SimTime now) {
+  DBLREP_CHECK_GT(rate_bytes_per_sec, 0.0);
+  if (now >= last_) refill(now);  // accrue at the old rate first
+  rate_ = rate_bytes_per_sec;
+}
+
+QosThrottler::QosThrottler(const QosConfig& config)
+    : config_(config), cluster_(config.cluster_rate, config.cluster_burst) {}
+
+void QosThrottler::add_link(std::size_t link_id, double bandwidth) {
+  DBLREP_CHECK_EQ(link_id, per_link_.size());
+  per_link_.emplace_back(std::max(1.0, bandwidth * config_.link_fraction),
+                         config_.link_burst);
+}
+
+sim::SimTime QosThrottler::admit(std::size_t entry_link, double bytes,
+                                 sim::SimTime now) {
+  DBLREP_CHECK_LT(entry_link, per_link_.size());
+  const sim::SimTime cluster_grant = cluster_.reserve(bytes, now);
+  return per_link_[entry_link].reserve(bytes, cluster_grant);
+}
+
+void QosThrottler::observe_utilization(double utilization, sim::SimTime now) {
+  if (!config_.adaptive) return;
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  const double scale = 1.0 + (config_.adaptive_boost - 1.0) * (1.0 - u);
+  cluster_.set_rate(config_.cluster_rate * scale, now);
+}
+
+}  // namespace dblrep::net

@@ -1,0 +1,100 @@
+// Repair QoS: hierarchical token buckets pacing repair-class transfers
+// against foreground client traffic.
+//
+// "Network Traffic Driven Storage Repair" (PAPERS.md) argues repair
+// scheduling must react to link load; YTsaurus ships a distributed
+// throttler doing exactly this for its replicator. The model here is the
+// simulation-side equivalent: before a repair-class transfer may enter its
+// first link, it reserves its byte count from
+//
+//   1. the cluster-wide repair bucket (one global bytes/s budget), and
+//   2. the per-link bucket of its entry link (a fraction of that link's
+//      bandwidth, so repair can never monopolize any single NIC even when
+//      the global budget would allow it).
+//
+// The grant time is the later of the two; reservations debit immediately
+// and FIFO-queue when the bucket is dry, so a storm of reservations spreads
+// out at exactly the refill rate. Foreground classes are never throttled.
+//
+// Load-adaptive mode: the driver feeds the throttler the measured hottest
+// link utilization before each admission; refill scales linearly from
+// `adaptive_boost x` the base rate on an idle network down to 1x when any
+// link is saturated -- repair soaks up headroom without a standing cost to
+// the foreground tail.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace dblrep::net {
+
+/// Continuous-refill token bucket over simulated time. Reservations may
+/// exceed the burst capacity: the bucket then runs a deficit paid off at
+/// the refill rate, which makes grants FIFO and exact.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_bytes_per_sec, double burst_bytes);
+
+  /// Earliest time >= now at which `bytes` tokens are available; debits
+  /// them. Successive calls are granted FIFO.
+  sim::SimTime reserve(double bytes, sim::SimTime now);
+
+  /// Changes the refill rate (tokens accrued up to `now` at the old rate
+  /// are kept).
+  void set_rate(double rate_bytes_per_sec, sim::SimTime now);
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(sim::SimTime now);
+
+  double rate_;
+  double burst_;
+  double tokens_;  // may go negative (deficit of an oversized reservation)
+  sim::SimTime last_ = 0.0;
+};
+
+struct QosConfig {
+  /// Cluster-wide repair budget refill (bytes/s) and burst.
+  double cluster_rate = 125e6;  // 1 Gbps worth of repair, cluster-wide
+  double cluster_burst = 256 * 1024;
+
+  /// Per-entry-link repair cap, as a fraction of that link's bandwidth.
+  double link_fraction = 0.2;
+  double link_burst = 128 * 1024;
+
+  /// Load-adaptive refill: scale the cluster rate by up to adaptive_boost
+  /// when the measured hottest-link utilization is low.
+  bool adaptive = false;
+  double adaptive_boost = 4.0;
+};
+
+class QosThrottler {
+ public:
+  explicit QosThrottler(const QosConfig& config);
+
+  /// Registers link `link_id`'s bandwidth (ids are dense, model-assigned).
+  void add_link(std::size_t link_id, double bandwidth_bytes_per_sec);
+
+  /// Reserves `bytes` from the cluster bucket and `entry_link`'s bucket;
+  /// returns the admission time (>= now).
+  sim::SimTime admit(std::size_t entry_link, double bytes, sim::SimTime now);
+
+  /// Feeds the adaptive controller the current hottest-link utilization in
+  /// [0, 1]. No-op unless config.adaptive.
+  void observe_utilization(double utilization, sim::SimTime now);
+
+  /// Current cluster refill rate (post-adaptation).
+  double cluster_rate() const { return cluster_.rate(); }
+  const QosConfig& config() const { return config_; }
+
+ private:
+  QosConfig config_;
+  TokenBucket cluster_;
+  std::vector<TokenBucket> per_link_;
+};
+
+}  // namespace dblrep::net

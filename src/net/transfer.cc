@@ -1,0 +1,69 @@
+#include "net/transfer.h"
+
+#include <utility>
+
+namespace dblrep::net {
+
+const char* to_string(TransferClass cls) {
+  switch (cls) {
+    case TransferClass::kClientWrite:
+      return "client_write";
+    case TransferClass::kClientRead:
+      return "client_read";
+    case TransferClass::kRepair:
+      return "repair";
+    case TransferClass::kScrub:
+      return "scrub";
+  }
+  return "unknown";
+}
+
+void TransferLog::record(cluster::NodeId from, cluster::NodeId to,
+                         double bytes, TransferClass cls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back({from, to, bytes, cls});
+}
+
+void TransferLog::mark() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (marks_.empty() ? records_.empty() : marks_.back() == records_.size()) {
+    return;  // nothing captured since the previous boundary
+  }
+  marks_.push_back(records_.size());
+}
+
+std::vector<TransferRecord> TransferLog::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  marks_.clear();
+  return std::exchange(records_, {});
+}
+
+std::vector<std::vector<TransferRecord>> TransferLog::drain_flows() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::vector<TransferRecord>> flows;
+  std::size_t begin = 0;
+  marks_.push_back(records_.size());
+  for (const std::size_t end : marks_) {
+    if (end > begin) {
+      flows.emplace_back(records_.begin() + static_cast<std::ptrdiff_t>(begin),
+                         records_.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+    begin = end;
+  }
+  marks_.clear();
+  records_.clear();
+  return flows;
+}
+
+std::size_t TransferLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void TransferLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  marks_.clear();
+}
+
+}  // namespace dblrep::net

@@ -1,0 +1,366 @@
+// Tests for the link-level network model: token-bucket QoS math, FIFO
+// store-and-forward timing on the two-tier fabric, flow dependency
+// chaining, conservation (mid-flight and drained), and the MiniDfs
+// TransferLog capture shim.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "chaos/invariants.h"
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "hdfs/minidfs.h"
+#include "net/model.h"
+#include "net/qos.h"
+#include "net/transfer.h"
+#include "sim/event_queue.h"
+
+namespace dblrep::net {
+namespace {
+
+// Hand-checkable link speeds: a 100-byte transfer takes 1 s on a NIC.
+NetworkConfig easy_config() {
+  NetworkConfig config;
+  config.nic = {100.0, 0.5};
+  config.tor = {1000.0, 0.25};
+  config.spine = {2000.0, 0.125};
+  return config;
+}
+
+cluster::Topology small_topology(std::size_t nodes = 6,
+                                 std::size_t racks = 2) {
+  cluster::Topology topology;
+  topology.num_nodes = nodes;
+  topology.num_racks = racks;
+  return topology;
+}
+
+// ------------------------------------------------------------ TokenBucket
+
+TEST(TokenBucket, BurstGrantsImmediatelyThenPacesAtRate) {
+  TokenBucket bucket(100.0, 100.0);  // 100 B/s, 100 B burst
+  EXPECT_DOUBLE_EQ(bucket.reserve(100.0, 0.0), 0.0);  // burst covers it
+  // Bucket is empty: the next 100 bytes refill over exactly 1 s, and the
+  // one after queues FIFO behind that grant.
+  EXPECT_DOUBLE_EQ(bucket.reserve(100.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(bucket.reserve(100.0, 0.0), 2.0);
+}
+
+TEST(TokenBucket, OversizedReservationRunsADeficit) {
+  TokenBucket bucket(100.0, 100.0);
+  // 350 bytes against a 100-byte burst: 250 bytes of deficit paid off at
+  // 100 B/s.
+  EXPECT_DOUBLE_EQ(bucket.reserve(350.0, 0.0), 2.5);
+  // Later arrivals still queue behind the pending grant.
+  EXPECT_DOUBLE_EQ(bucket.reserve(100.0, 1.0), 3.5);
+}
+
+TEST(TokenBucket, IdleTimeRefillsUpToBurst) {
+  TokenBucket bucket(100.0, 100.0);
+  EXPECT_DOUBLE_EQ(bucket.reserve(100.0, 0.0), 0.0);
+  // After 10 s idle the bucket is full again (capped at burst, not 1000).
+  EXPECT_DOUBLE_EQ(bucket.reserve(100.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(bucket.reserve(100.0, 10.0), 11.0);
+}
+
+TEST(QosThrottler, AdmissionIsTheLaterOfClusterAndLinkGrant) {
+  QosConfig config;
+  config.cluster_rate = 100.0;
+  config.cluster_burst = 100.0;
+  config.link_fraction = 0.1;  // 10 B/s on a 100 B/s link
+  config.link_burst = 50.0;
+  QosThrottler throttler(config);
+  throttler.add_link(0, 100.0);
+  // Cluster burst covers 100 bytes at t=0, but the link bucket holds only
+  // 50: the remaining 50 refill at 10 B/s -> granted at t=5.
+  EXPECT_DOUBLE_EQ(throttler.admit(0, 100.0, 0.0), 5.0);
+}
+
+TEST(QosThrottler, AdaptiveModeScalesClusterRateWithHeadroom) {
+  QosConfig config;
+  config.cluster_rate = 100.0;
+  config.adaptive = true;
+  config.adaptive_boost = 4.0;
+  QosThrottler throttler(config);
+  throttler.observe_utilization(0.0, 0.0);  // idle network -> full boost
+  EXPECT_DOUBLE_EQ(throttler.cluster_rate(), 400.0);
+  throttler.observe_utilization(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(throttler.cluster_rate(), 250.0);
+  throttler.observe_utilization(1.0, 2.0);  // saturated -> base rate
+  EXPECT_DOUBLE_EQ(throttler.cluster_rate(), 100.0);
+}
+
+// ---------------------------------------------------------- NetworkModel
+
+TEST(NetworkModel, IntraRackTransferTimingIsTwoNicHops) {
+  sim::EventQueue queue;
+  NetworkModel model(queue, small_topology(), easy_config());
+  sim::SimTime delivered = -1.0;
+  // Nodes 0 and 2 share rack 0 (round-robin racks). 100 bytes:
+  //   nic_up[0]: 1 s tx + 0.5 s latency; nic_down[2]: 1 s tx + 0.5 s.
+  model.start_transfer({0, 2, 100.0, TransferClass::kClientRead}, 0.0,
+                       [&](sim::SimTime t) { delivered = t; });
+  queue.run();
+  EXPECT_DOUBLE_EQ(delivered, 3.0);
+}
+
+TEST(NetworkModel, CrossRackTransferTraversesTorAndSpine) {
+  sim::EventQueue queue;
+  NetworkModel model(queue, small_topology(), easy_config());
+  sim::SimTime delivered = -1.0;
+  // Node 0 (rack 0) -> node 1 (rack 1), 100 bytes:
+  //   nic_up 1.5 + tor_up 0.35 + spine 0.175 + tor_down 0.35 + nic_down 1.5
+  model.start_transfer({0, 1, 100.0, TransferClass::kClientRead}, 0.0,
+                       [&](sim::SimTime t) { delivered = t; });
+  queue.run();
+  EXPECT_NEAR(delivered, 3.875, 1e-12);
+  // The spine saw exactly this one transfer.
+  bool spine_used = false;
+  for (std::size_t id = 0; id < model.num_links(); ++id) {
+    if (model.link(id).name == "spine") {
+      spine_used = model.link(id).transfers == 1;
+    }
+  }
+  EXPECT_TRUE(spine_used);
+}
+
+TEST(NetworkModel, SharedNicSerializesFifo) {
+  sim::EventQueue queue;
+  NetworkModel model(queue, small_topology(), easy_config());
+  std::vector<sim::SimTime> delivered;
+  for (int i = 0; i < 2; ++i) {
+    model.start_transfer({0, 2, 100.0, TransferClass::kClientRead}, 0.0,
+                         [&](sim::SimTime t) { delivered.push_back(t); });
+  }
+  queue.run();
+  ASSERT_EQ(delivered.size(), 2u);
+  // First as if alone; second waits a full tx behind it on *each* NIC.
+  EXPECT_DOUBLE_EQ(delivered[0], 3.0);
+  EXPECT_DOUBLE_EQ(delivered[1], 4.0);
+  // The entry NIC's second transfer waited 1 s for the serializer.
+  for (std::size_t id = 0; id < model.num_links(); ++id) {
+    const LinkStats& link = model.link(id);
+    if (link.name == "nic_up[0]") {
+      EXPECT_EQ(link.transfers, 2u);
+      EXPECT_DOUBLE_EQ(link.queue_delay_s.max(), 1.0);
+      EXPECT_EQ(link.max_queue_depth, 2u);
+    }
+  }
+}
+
+TEST(NetworkModel, ClientTransfersAttachAtTheSpine) {
+  sim::EventQueue queue;
+  NetworkModel model(queue, small_topology(), easy_config());
+  sim::SimTime up = -1.0, down = -1.0;
+  // Upload client -> node 3: spine + tor_down + nic_down.
+  model.start_transfer({kClientEndpoint, 3, 100.0,
+                        TransferClass::kClientWrite},
+                       0.0, [&](sim::SimTime t) { down = t; });
+  // Delivery node 3 -> client: nic_up + tor_up + spine.
+  model.start_transfer({3, kClientEndpoint, 100.0,
+                        TransferClass::kClientRead},
+                       0.0, [&](sim::SimTime t) { up = t; });
+  queue.run();
+  // spine 0.175 + tor_down 0.35 + nic_down 1.5 (no contention: disjoint
+  // links; both values are the same 3-hop sum by symmetry).
+  EXPECT_NEAR(down, 2.025, 1e-12);
+  EXPECT_NEAR(up, 2.025, 1e-12);
+  // No node NIC uplink carried the upload.
+  for (std::size_t id = 0; id < model.num_links(); ++id) {
+    const LinkStats& link = model.link(id);
+    if (link.name == "nic_up[3]") {
+      EXPECT_EQ(link.transfers, 1u);
+    }
+    if (link.name == "nic_down[3]") {
+      EXPECT_EQ(link.transfers, 1u);
+    }
+  }
+}
+
+TEST(NetworkModel, SelfTransferDeliversInstantly) {
+  sim::EventQueue queue;
+  NetworkModel model(queue, small_topology(), easy_config());
+  sim::SimTime delivered = -1.0;
+  model.start_transfer({4, 4, 100.0, TransferClass::kRepair}, 2.0,
+                       [&](sim::SimTime t) { delivered = t; });
+  queue.run();
+  EXPECT_DOUBLE_EQ(delivered, 2.0);
+  EXPECT_DOUBLE_EQ(model.delivered_bytes(), 100.0);
+}
+
+TEST(NetworkModel, ThrottlerPacesRepairButNotClientTraffic) {
+  NetworkConfig config = easy_config();
+  config.throttle_repair = true;
+  config.qos.cluster_rate = 100.0;
+  config.qos.cluster_burst = 100.0;
+  config.qos.link_fraction = 1.0;  // per-link bucket not the binding limit
+  config.qos.link_burst = 1e9;
+  sim::EventQueue queue;
+  NetworkModel model(queue, small_topology(), config);
+  std::vector<sim::SimTime> repair;
+  sim::SimTime client = -1.0;
+  for (int i = 0; i < 3; ++i) {
+    model.start_transfer({0, 2, 100.0, TransferClass::kRepair}, 0.0,
+                         [&](sim::SimTime t) { repair.push_back(t); });
+  }
+  model.start_transfer({4, 5, 100.0, TransferClass::kClientRead}, 0.0,
+                       [&](sim::SimTime t) { client = t; });
+  queue.run();
+  ASSERT_EQ(repair.size(), 3u);
+  // Admissions at 0 / 1 / 2 s: each repair transfer finds free links when
+  // it finally enters (pacing >= serialization time), so deliveries land
+  // 1 s apart instead of queueing back-to-back.
+  EXPECT_DOUBLE_EQ(repair[0], 3.0);
+  EXPECT_DOUBLE_EQ(repair[1], 4.0);
+  EXPECT_DOUBLE_EQ(repair[2], 5.0);
+  // The (cross-rack, disjoint-route) client read was never throttled: it
+  // delivers as if the repair storm did not exist.
+  EXPECT_NEAR(client, 3.875, 1e-12);
+}
+
+TEST(NetworkModel, FlowChainsDependentRecords) {
+  sim::EventQueue queue;
+  NetworkModel model(queue, small_topology(6, 1), easy_config());
+  // helper(0) -> aggregator(2), then aggregator(2) -> destination(4): the
+  // second leg may only start once the first delivers (t=3), so the flow
+  // completes at 6 -- not at 3, which two independent transfers would give.
+  sim::SimTime done = -1.0;
+  model.start_flow({{0, 2, 100.0, TransferClass::kRepair},
+                    {2, 4, 100.0, TransferClass::kRepair}},
+                   0.0, [&](sim::SimTime t) { done = t; });
+  queue.run();
+  EXPECT_DOUBLE_EQ(done, 6.0);
+}
+
+TEST(NetworkModel, FlowRunsIndependentRecordsInParallel) {
+  sim::EventQueue queue;
+  NetworkModel model(queue, small_topology(6, 1), easy_config());
+  sim::SimTime done = -1.0;
+  // Two helpers on different nodes feed the same aggregator: their sends
+  // overlap (disjoint nic_up links), and the relay waits for the later
+  // arrival at nic_down[4] (second send serializes behind the first).
+  model.start_flow({{0, 4, 100.0, TransferClass::kRepair},
+                    {2, 4, 100.0, TransferClass::kRepair},
+                    {4, 5, 100.0, TransferClass::kRepair}},
+                   0.0, [&](sim::SimTime t) { done = t; });
+  queue.run();
+  // Sends deliver at 3 and 4 (shared nic_down[4]); relay 4->5 then takes
+  // another 3 s.
+  EXPECT_DOUBLE_EQ(done, 7.0);
+}
+
+TEST(NetworkModel, ConservationHoldsMidFlightAndWhenDrained) {
+  sim::EventQueue queue;
+  NetworkModel model(queue, small_topology(), easy_config());
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const auto from = static_cast<cluster::NodeId>(rng.uniform_int(0, 5));
+    auto to = static_cast<cluster::NodeId>(rng.uniform_int(0, 5));
+    model.start_transfer(
+        {from, to, static_cast<double>(rng.uniform_int(1, 500)),
+         TransferClass::kClientRead},
+        rng.uniform(0.0, 2.0));
+  }
+  // Stop the clock mid-storm: the books must balance with bytes in flight.
+  queue.run(2.5);
+  std::vector<std::string> violations;
+  chaos::check_network_conservation(model, violations);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  EXPECT_GT(model.in_flight_bytes(), 0.0);
+
+  queue.run();
+  violations.clear();
+  chaos::check_network_conservation(model, violations,
+                                    /*expect_drained=*/true);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  EXPECT_DOUBLE_EQ(model.delivered_bytes(), model.injected_bytes());
+  EXPECT_EQ(model.transfers_delivered(), 50u);
+}
+
+// ------------------------------------------------- TransferLog + MiniDfs
+
+TEST(TransferLog, RecordsDrainInCaptureOrder) {
+  TransferLog log;
+  log.record(0, 1, 10.0, TransferClass::kRepair);
+  log.record(kClientEndpoint, 2, 20.0, TransferClass::kClientWrite);
+  EXPECT_EQ(log.size(), 2u);
+  const auto records = log.drain();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].to, 1);
+  EXPECT_EQ(records[1].bytes, 20.0);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(MiniDfsShim, CapturesClassedTransfersMatchingTrafficMeter) {
+  cluster::Topology topology;
+  topology.num_nodes = 12;
+  topology.num_racks = 3;
+  TransferLog log;
+  hdfs::MiniDfsOptions options;
+  options.transfer_log = &log;
+  hdfs::MiniDfs dfs(topology, 7, /*pool=*/nullptr, options);
+
+  const Buffer data = random_buffer(64 * 10, 3);
+  ASSERT_TRUE(dfs.write_file("/f", data, "pentagon", 64).is_ok());
+  double upload_bytes = 0;
+  for (const auto& r : log.drain()) {
+    EXPECT_EQ(r.from, kClientEndpoint);
+    EXPECT_EQ(r.cls, TransferClass::kClientWrite);
+    upload_bytes += r.bytes;
+  }
+  EXPECT_DOUBLE_EQ(upload_bytes, dfs.traffic().client_bytes());
+
+  const auto read = dfs.read_file("/f");
+  ASSERT_TRUE(read.is_ok());
+  double read_bytes = 0;
+  for (const auto& r : log.drain()) {
+    EXPECT_EQ(r.to, kClientEndpoint);
+    EXPECT_EQ(r.cls, TransferClass::kClientRead);
+    read_bytes += r.bytes;
+  }
+  EXPECT_DOUBLE_EQ(read_bytes + upload_bytes, dfs.traffic().client_bytes());
+
+  // Repair traffic captures as node-to-node kRepair records whose byte sum
+  // matches the meter's node-to-node delta.
+  const double node_bytes_before =
+      dfs.traffic().intra_rack_bytes() + dfs.traffic().cross_rack_bytes();
+  ASSERT_TRUE(dfs.fail_node(dfs.catalog().node_of({0, 0})).is_ok());
+  ASSERT_TRUE(dfs.repair_all().is_ok());
+  double repair_bytes = 0;
+  for (const auto& r : log.drain()) {
+    if (!is_repair_class(r.cls)) continue;
+    EXPECT_NE(r.from, kClientEndpoint);
+    EXPECT_NE(r.to, kClientEndpoint);
+    repair_bytes += r.bytes;
+  }
+  const double node_bytes_after =
+      dfs.traffic().intra_rack_bytes() + dfs.traffic().cross_rack_bytes();
+  EXPECT_DOUBLE_EQ(repair_bytes, node_bytes_after - node_bytes_before);
+}
+
+TEST(MiniDfsShim, CaptureDoesNotPerturbTheDataPlane) {
+  // Identical seeds with and without the shim: stored bytes and traffic
+  // totals must agree exactly (capture is observation, not behavior).
+  cluster::Topology topology;
+  topology.num_nodes = 12;
+  topology.num_racks = 3;
+  const Buffer data = random_buffer(64 * 10, 3);
+
+  hdfs::MiniDfs plain(topology, 7, nullptr, {});
+  TransferLog log;
+  hdfs::MiniDfsOptions options;
+  options.transfer_log = &log;
+  hdfs::MiniDfs shimmed(topology, 7, nullptr, options);
+
+  for (hdfs::MiniDfs* dfs : {&plain, &shimmed}) {
+    ASSERT_TRUE(dfs->write_file("/f", data, "heptagon", 64).is_ok());
+    ASSERT_TRUE(dfs->read_file("/f").is_ok());
+  }
+  EXPECT_EQ(plain.stored_bytes(), shimmed.stored_bytes());
+  EXPECT_DOUBLE_EQ(plain.traffic().total_bytes(),
+                   shimmed.traffic().total_bytes());
+}
+
+}  // namespace
+}  // namespace dblrep::net

@@ -64,6 +64,56 @@ TEST(EventQueue, SchedulingInThePastIsContractViolation) {
   EXPECT_THROW(q.schedule_after(-0.5, [] {}), ContractViolation);
 }
 
+TEST(EventQueue, TiesBreakFifoAcrossScheduleVariants) {
+  // schedule_at and schedule_after landing on the same timestamp share one
+  // FIFO: insertion order wins regardless of which API queued the event.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5.0, [&] { order.push_back(0); });
+  q.schedule_after(5.0, [&] { order.push_back(1); });  // now == 0 -> t = 5
+  q.schedule_at(5.0, [&] { order.push_back(2); });
+  q.schedule_after(5.0, [&] { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, DeadlineBoundaryIsInclusive) {
+  // run(deadline) executes events AT the deadline; only strictly-later
+  // events stay queued. The clock advances to the last executed event, not
+  // to the deadline itself.
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(5.0, [&] { ++fired; });
+  q.schedule_at(5.0 + 1e-9, [&] { ++fired; });
+  const std::size_t ran = q.run(5.0);
+  EXPECT_EQ(ran, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ReentrantScheduleAfterFromCallback) {
+  // A callback scheduling at zero delay runs later the same instant (after
+  // everything already queued at that time), and a reentrant chain
+  // interleaves correctly with pre-queued events at later times.
+  EventQueue q;
+  std::vector<std::pair<double, int>> order;
+  q.schedule_at(1.0, [&] {
+    order.emplace_back(q.now(), 0);
+    q.schedule_after(0.0, [&] { order.emplace_back(q.now(), 2); });
+    q.schedule_after(1.0, [&] { order.emplace_back(q.now(), 3); });
+  });
+  q.schedule_at(1.0, [&] { order.emplace_back(q.now(), 1); });
+  q.run();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], (std::pair<double, int>{1.0, 0}));
+  EXPECT_EQ(order[1], (std::pair<double, int>{1.0, 1}));  // pre-queued first
+  EXPECT_EQ(order[2], (std::pair<double, int>{1.0, 2}));  // zero-delay after
+  EXPECT_EQ(order[3], (std::pair<double, int>{2.0, 3}));
+}
+
 TEST(EventQueue, StepReturnsFalseWhenEmpty) {
   EventQueue q;
   EXPECT_FALSE(q.step());
