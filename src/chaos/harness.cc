@@ -458,6 +458,32 @@ std::string Run::apply(std::size_t step, const ChaosEvent& event) {
       }
       break;
     }
+    case EventKind::kNameNodeCrash: {
+      // Odd picks checkpoint first, so both the replay-everything and the
+      // snapshot-plus-tail recovery paths run under chaos. Events execute
+      // serially (the harness is the serialization point), so no write is
+      // open and recovery must land fingerprint-identical.
+      const bool checkpoint = (event.pick & 1) != 0;
+      if (checkpoint) dfs.snapshot_namenode();
+      const std::uint64_t before = dfs.catalog_fingerprint();
+      const auto recovered = dfs.crash_namenode();
+      if (!recovered.is_ok()) {
+        os << "namenode crash: " << code_name(recovered.status());
+        add_violation(step, event,
+                      "namenode recovery failed: " +
+                          recovered.status().to_string());
+        break;
+      }
+      const std::uint64_t after = dfs.catalog_fingerprint();
+      os << "namenode crash" << (checkpoint ? " (snapshotted)" : "")
+         << ": replayed " << recovered->journal_records_replayed
+         << " records";
+      if (before != after) {
+        add_violation(step, event,
+                      "namenode recovery changed the catalog fingerprint");
+      }
+      break;
+    }
   }
   return os.str();
 }

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "cluster/placement.h"
 #include "ec/local_polygon.h"
+#include "ec/registry.h"
 
 namespace dblrep::chaos {
 
@@ -402,6 +406,56 @@ void check_traffic_conservation(const hdfs::MiniDfs& dfs,
   }
 }
 
+void check_catalog_recovery(const hdfs::MiniDfs& dfs,
+                            std::vector<std::string>& violations) {
+  const hdfs::NameNode& live = dfs.namenode();
+  // Open writes are rolled back by recovery by design; the crash-point
+  // fuzzer in recovery_test owns that regime.
+  if (live.has_pending_writes()) return;
+
+  // The scratch NameNode outlives this call only through its restore():
+  // own the schemes it resolves so the catalog's raw pointers stay valid
+  // for the fingerprint below.
+  auto schemes = std::make_shared<
+      std::map<std::string, std::unique_ptr<ec::CodeScheme>>>();
+  hdfs::SchemeResolver resolver =
+      [schemes](const std::string& spec) -> Result<const ec::CodeScheme*> {
+    auto it = schemes->find(spec);
+    if (it == schemes->end()) {
+      auto code = ec::make_code(spec);
+      if (!code.is_ok()) return code.status();
+      it = schemes->emplace(spec, std::move(*code)).first;
+    }
+    return it->second.get();
+  };
+
+  hdfs::NameNode scratch(
+      dfs.topology(), resolver,
+      hdfs::NameNodeOptions{.shards = live.num_shards(),
+                            .snapshot_every = 0});
+  std::vector<Buffer> snapshots, journals;
+  for (std::size_t s = 0; s < live.num_shards(); ++s) {
+    snapshots.push_back(live.snapshot_bytes(s));
+    journals.push_back(live.journal_bytes(s));
+  }
+  const auto report =
+      scratch.restore(std::move(snapshots), std::move(journals));
+  if (!report.is_ok()) {
+    violations.push_back("catalog recovery: restore failed: " +
+                         report.status().to_string());
+    return;
+  }
+  if (scratch.fingerprint() != live.fingerprint()) {
+    std::ostringstream os;
+    os << "catalog recovery: rebuilt fingerprint "
+       << scratch.fingerprint() << " != live fingerprint "
+       << live.fingerprint() << " (replayed "
+       << report->journal_records_replayed << " records over "
+       << live.num_shards() << " shards)";
+    violations.push_back(os.str());
+  }
+}
+
 void check_network_conservation(const net::NetworkModel& model,
                                 std::vector<std::string>& violations,
                                 bool expect_drained) {
@@ -481,6 +535,7 @@ void check_all(const hdfs::MiniDfs& dfs, const TruthMap& truth,
                std::vector<std::string>& violations) {
   check_durability(dfs, truth, violations);
   check_placement(dfs, truth, violations);
+  check_catalog_recovery(dfs, violations);
   check_traffic_conservation(dfs, violations);
 }
 

@@ -25,6 +25,9 @@
 //    promises are asserted strictly: rack_aware spreads within +/-1
 //    across racks, group_per_rack pins each local group wholly inside one
 //    rack with the global parity node in a third.
+//  * Catalog recovery -- at every quiescent instant the metadata plane's
+//    durability artifacts (per-shard snapshot + write-ahead journal) must
+//    rebuild a catalog whose fingerprint matches the live NameNode's.
 //  * Traffic conservation -- every recorded byte lands in exactly one of
 //    the intra-rack / cross-rack / client buckets, the buckets sum to the
 //    independently-accumulated total, and per-node sent/received sums
@@ -81,6 +84,16 @@ void check_placement(const hdfs::MiniDfs& dfs, const TruthMap& truth,
 
 void check_traffic_conservation(const hdfs::MiniDfs& dfs,
                                 std::vector<std::string>& violations);
+
+/// Catalog recovery -- the metadata plane's durability artifacts (per-shard
+/// snapshot + write-ahead journal) must at every quiescent instant rebuild
+/// a catalog fingerprint-identical to the live one. A fresh NameNode is
+/// restored from *copies* of the artifacts, so the probe never perturbs the
+/// live metadata plane. Skipped while a write transaction is open: open
+/// writes are rolled back by recovery by design, so live != rebuilt there
+/// (the crash-point fuzzer in recovery_test owns that regime).
+void check_catalog_recovery(const hdfs::MiniDfs& dfs,
+                            std::vector<std::string>& violations);
 
 /// Network conservation over a net::NetworkModel, valid at any instant
 /// (mid-flight included): globally, bytes injected == bytes delivered +

@@ -26,6 +26,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kRepairNode:    return "repair_node";
     case EventKind::kRepairAll:     return "repair_all";
     case EventKind::kScrubRepair:   return "scrub_repair";
+    case EventKind::kNameNodeCrash: return "namenode_crash";
   }
   return "unknown";
 }
@@ -39,6 +40,7 @@ std::string ChaosEvent::to_string() const {
 FaultMix FaultMix::transient_storm() {
   FaultMix mix;
   mix.name = "transient_storm";
+  mix.namenode_crash_rate = 0.05;
   mix.transient_rate = 0.6;
   mix.mean_outage_s = 2.0;
   mix.repair_all_rate = 0.15;
@@ -50,6 +52,7 @@ FaultMix FaultMix::transient_storm() {
 FaultMix FaultMix::crash_heavy() {
   FaultMix mix;
   mix.name = "crash_heavy";
+  mix.namenode_crash_rate = 0.1;
   mix.crash_rate = 0.35;
   mix.restart_rate = 0.1;
   mix.repair_node_rate = 0.25;
@@ -62,6 +65,7 @@ FaultMix FaultMix::crash_heavy() {
 FaultMix FaultMix::rack_correlated() {
   FaultMix mix;
   mix.name = "rack_correlated";
+  mix.namenode_crash_rate = 0.05;
   mix.rack_outage_rate = 0.2;
   mix.mean_rack_outage_s = 3.0;
   mix.crash_rate = 0.08;
@@ -74,6 +78,7 @@ FaultMix FaultMix::rack_correlated() {
 FaultMix FaultMix::bit_rot() {
   FaultMix mix;
   mix.name = "bit_rot";
+  mix.namenode_crash_rate = 0.05;
   mix.corrupt_rate = 0.6;
   mix.scrub_rate = 0.25;
   mix.read_rate = 1.0;
@@ -85,6 +90,7 @@ FaultMix FaultMix::bit_rot() {
 FaultMix FaultMix::mixed() {
   FaultMix mix;
   mix.name = "mixed";
+  mix.namenode_crash_rate = 0.08;
   mix.crash_rate = 0.12;
   mix.transient_rate = 0.25;
   mix.rack_outage_rate = 0.06;
@@ -183,6 +189,9 @@ std::vector<ChaosEvent> generate_schedule(const ChaosConfig& config,
   }});
   processes.push_back({mix.scrub_rate, [&](sim::SimTime t) {
     emit(t, EventKind::kScrubRepair, 0);
+  }});
+  processes.push_back({mix.namenode_crash_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kNameNodeCrash, rng.next_u64());
   }});
 
   // Everything below is synchronous inside this call, so the recursive

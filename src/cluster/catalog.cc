@@ -5,9 +5,8 @@
 
 namespace dblrep::cluster {
 
-Result<StripeId> BlockCatalog::register_stripe(const ec::CodeScheme& code,
-                                               std::vector<NodeId> group,
-                                               bool sealed) {
+Status BlockCatalog::register_locked(StripeId id, const ec::CodeScheme& code,
+                                     std::vector<NodeId> group, bool sealed) {
   if (group.size() != code.num_nodes()) {
     return invalid_argument_error("placement group size != code length");
   }
@@ -20,69 +19,103 @@ Result<StripeId> BlockCatalog::register_stripe(const ec::CodeScheme& code,
       return invalid_argument_error("placement group node out of range");
     }
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  const StripeId id = stripes_.size();
-  stripes_.push_back({&code, group, sealed});
-  for (std::size_t slot = 0; slot < code.layout().num_slots(); ++slot) {
-    const NodeId node =
-        group[static_cast<std::size_t>(code.layout().node_of_slot(slot))];
-    node_slots_[node].push_back({id, slot});
+  if (stripes_.contains(id)) {
+    return already_exists_error("stripe id " + std::to_string(id) +
+                                " already in use");
   }
+  const auto [it, inserted] = stripes_.emplace(id, StripeInfo{&code, std::move(group), sealed});
+  (void)inserted;
+  const StripeInfo& info = it->second;
+  for (std::size_t slot = 0; slot < code.layout().num_slots(); ++slot) {
+    const NodeId node = info.group[static_cast<std::size_t>(
+        code.layout().node_of_slot(slot))];
+    node_slots_[node].insert({id, slot});
+  }
+  next_id_ = std::max(next_id_, id + 1);
+  return Status::ok();
+}
+
+Result<StripeId> BlockCatalog::register_stripe(const ec::CodeScheme& code,
+                                               std::vector<NodeId> group,
+                                               bool sealed) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const StripeId id = next_id_;
+  DBLREP_RETURN_IF_ERROR(register_locked(id, code, std::move(group), sealed));
   return id;
+}
+
+Status BlockCatalog::register_stripe_at(StripeId id,
+                                        const ec::CodeScheme& code,
+                                        std::vector<NodeId> group,
+                                        bool sealed) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return register_locked(id, code, std::move(group), sealed);
 }
 
 Status BlockCatalog::unregister_stripe(StripeId id) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  if (id >= stripes_.size() || stripes_[id].code == nullptr) {
+  const auto it = stripes_.find(id);
+  if (it == stripes_.end() || it->second.code == nullptr) {
     return not_found_error("no such stripe");
   }
-  const StripeInfo& info = stripes_[id];
+  const StripeInfo& info = it->second;
   for (std::size_t slot = 0; slot < info.code->layout().num_slots(); ++slot) {
-    const NodeId node =
-        info.group[static_cast<std::size_t>(info.code->layout().node_of_slot(slot))];
-    auto& slots = node_slots_[node];
-    std::erase_if(slots, [&](const SlotAddress& address) {
-      return address.stripe == id;
-    });
+    const NodeId node = info.group[static_cast<std::size_t>(
+        info.code->layout().node_of_slot(slot))];
+    node_slots_[node].erase({id, slot});
   }
-  stripes_[id].code = nullptr;  // tombstone; ids stay stable
-  stripes_[id].group.clear();
+  it->second.code = nullptr;  // tombstone; ids stay stable
+  it->second.group.clear();
   return Status::ok();
 }
 
 Status BlockCatalog::seal_stripe(StripeId id) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  if (id >= stripes_.size() || stripes_[id].code == nullptr) {
+  const auto it = stripes_.find(id);
+  if (it == stripes_.end() || it->second.code == nullptr) {
     return not_found_error("no such stripe");
   }
-  stripes_[id].sealed = true;
+  it->second.sealed = true;
   return Status::ok();
 }
 
 bool BlockCatalog::is_sealed(StripeId id) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return id < stripes_.size() && stripes_[id].code != nullptr &&
-         stripes_[id].sealed;
+  const auto it = stripes_.find(id);
+  return it != stripes_.end() && it->second.code != nullptr &&
+         it->second.sealed;
 }
 
 bool BlockCatalog::is_registered(StripeId id) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return id < stripes_.size() && stripes_[id].code != nullptr;
+  const auto it = stripes_.find(id);
+  return it != stripes_.end() && it->second.code != nullptr;
 }
 
 std::size_t BlockCatalog::num_stripes() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::size_t live = 0;
-  for (const auto& info : stripes_) {
+  for (const auto& [id, info] : stripes_) {
     if (info.code != nullptr) ++live;
   }
   return live;
 }
 
+std::vector<StripeId> BlockCatalog::live_stripe_ids() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<StripeId> ids;
+  ids.reserve(stripes_.size());
+  for (const auto& [id, info] : stripes_) {
+    if (info.code != nullptr) ids.push_back(id);
+  }
+  return ids;
+}
+
 const StripeInfo& BlockCatalog::stripe_unlocked(StripeId id) const {
-  DBLREP_CHECK_LT(id, stripes_.size());
-  DBLREP_CHECK_MSG(stripes_[id].code != nullptr, "stripe " << id << " deleted");
-  return stripes_[id];
+  const auto it = stripes_.find(id);
+  DBLREP_CHECK_MSG(it != stripes_.end(), "stripe " << id << " unknown");
+  DBLREP_CHECK_MSG(it->second.code != nullptr, "stripe " << id << " deleted");
+  return it->second;
 }
 
 const StripeInfo& BlockCatalog::stripe(StripeId id) const {
@@ -115,7 +148,8 @@ std::vector<NodeId> BlockCatalog::replica_nodes(StripeId id,
 std::vector<SlotAddress> BlockCatalog::slots_on_node(NodeId node) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = node_slots_.find(node);
-  return it == node_slots_.end() ? std::vector<SlotAddress>{} : it->second;
+  if (it == node_slots_.end()) return {};
+  return {it->second.begin(), it->second.end()};
 }
 
 std::set<ec::NodeIndex> BlockCatalog::failed_in_stripe(

@@ -6,17 +6,22 @@
 // actual block payloads; the repair engine and the MapReduce simulator
 // both consult the catalog for replica locations.
 //
+// Stripe ids come from two sources: register_stripe draws from an internal
+// counter (standalone use: one catalog, ids 0, 1, 2, ...), while
+// register_stripe_at takes an explicit id -- the sharded NameNode assigns
+// ids from one global counter so a stripe's id is independent of which
+// metadata shard's catalog records it (and therefore of the shard count).
+//
 // Thread-safe: all methods synchronize on an internal shared mutex, and
-// stripe records live in a deque so the references stripe() hands out stay
-// valid across concurrent registrations. The one caveat is unregistration:
-// a reference obtained from stripe() is invalidated by unregister_stripe()
-// of that same id, so callers must not delete a stripe while another
-// thread still operates on it (MiniDfs enforces this with its per-path
-// namespace locks).
+// stripe records live in a node-based map so the references stripe() hands
+// out stay valid across concurrent registrations. The one caveat is
+// unregistration: a reference obtained from stripe() is invalidated by
+// unregister_stripe() of that same id, so callers must not delete a stripe
+// while another thread still operates on it (MiniDfs enforces this with
+// its per-path namespace locks).
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <map>
 #include <optional>
 #include <set>
@@ -53,11 +58,18 @@ class BlockCatalog {
   explicit BlockCatalog(const Topology& topology) : topology_(&topology) {}
 
   /// Registers a stripe placed on `group` (one cluster node per code node,
-  /// all distinct). Returns its id. Pass sealed=false for a stripe whose
-  /// bytes are still being written, then seal_stripe() when they land.
+  /// all distinct). Returns its id, drawn from the internal counter. Pass
+  /// sealed=false for a stripe whose bytes are still being written, then
+  /// seal_stripe() when they land.
   Result<StripeId> register_stripe(const ec::CodeScheme& code,
                                    std::vector<NodeId> group,
                                    bool sealed = true);
+
+  /// Registers a stripe under a caller-assigned id (the sharded NameNode's
+  /// global id space, and snapshot/journal replay). The id must not be in
+  /// use -- live or tombstoned -- in this catalog.
+  Status register_stripe_at(StripeId id, const ec::CodeScheme& code,
+                            std::vector<NodeId> group, bool sealed);
 
   /// Marks a stripe's bytes durable (visible to repair and scrub).
   Status seal_stripe(StripeId id);
@@ -72,31 +84,43 @@ class BlockCatalog {
   std::size_t num_stripes() const;
   const StripeInfo& stripe(StripeId id) const;
 
+  /// Live stripe ids in ascending order (snapshot / fingerprint walks).
+  std::vector<StripeId> live_stripe_ids() const;
+
   /// Cluster node hosting a slot.
   NodeId node_of(SlotAddress address) const;
 
   /// Cluster nodes holding replicas of (stripe, symbol), in slot order.
   std::vector<NodeId> replica_nodes(StripeId id, std::size_t symbol) const;
 
-  /// All slots a cluster node hosts (across stripes). Returns a snapshot
-  /// by value: the per-node listings mutate under concurrent registration.
+  /// All slots a cluster node hosts (across stripes), in address order.
+  /// Returns a snapshot by value: the per-node listings mutate under
+  /// concurrent registration.
   std::vector<SlotAddress> slots_on_node(NodeId node) const;
 
   /// Code-local failed set for a stripe, given cluster-level down nodes.
   std::set<ec::NodeIndex> failed_in_stripe(
       StripeId id, const std::set<NodeId>& down_nodes) const;
 
-  /// Stripes that have at least one slot on `node`.
+  /// Stripes that have at least one slot on `node`, ascending.
   std::vector<StripeId> stripes_on_node(NodeId node) const;
 
  private:
+  Status register_locked(StripeId id, const ec::CodeScheme& code,
+                         std::vector<NodeId> group, bool sealed);
   const StripeInfo& stripe_unlocked(StripeId id) const;
   NodeId node_of_unlocked(SlotAddress address) const;
 
   const Topology* topology_;
   mutable std::shared_mutex mu_;
-  std::deque<StripeInfo> stripes_;  // deque: stable refs under push_back
-  std::map<NodeId, std::vector<SlotAddress>> node_slots_;
+  /// Live stripes and tombstones (code == nullptr); node-based map so
+  /// references stay stable across registration, ids stable forever.
+  std::map<StripeId, StripeInfo> stripes_;
+  StripeId next_id_ = 0;  // register_stripe draws; register_stripe_at bumps
+  /// Ordered per-node slot sets: enumeration order is (stripe, slot) --
+  /// identical to registration order in the single-catalog case (ids are
+  /// assigned monotonically) and deterministic under sharding.
+  std::map<NodeId, std::set<SlotAddress>> node_slots_;
 };
 
 }  // namespace dblrep::cluster

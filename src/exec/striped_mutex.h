@@ -13,6 +13,7 @@
 
 #include <array>
 #include <functional>
+#include <mutex>
 #include <shared_mutex>
 #include <string_view>
 

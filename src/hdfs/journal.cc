@@ -1,0 +1,364 @@
+#include "hdfs/journal.h"
+
+#include <cstring>
+#include <limits>
+
+namespace dblrep::hdfs {
+
+namespace {
+
+// Explicit little-endian field codec: the journal is a durability format,
+// so the byte layout must not depend on host struct layout or endianness.
+
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void vec_u64(const std::vector<std::uint64_t>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (std::uint64_t x : v) u64(x);
+  }
+  void vec_i32(const std::vector<std::int32_t>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (std::int32_t x : v) u32(static_cast<std::uint32_t>(x));
+  }
+
+  Buffer take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    // Serialize byte-by-byte little-endian regardless of host order.
+    const auto* bytes = static_cast<const std::uint8_t*>(p);
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  Buffer out_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(ByteSpan in) : in_(in) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(raw(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(raw(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(raw(4)); }
+  std::uint64_t u64() { return raw(8); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!take(n)) return {};
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_ - n), n);
+    return s;
+  }
+  std::vector<std::uint64_t> vec_u64() {
+    const std::uint32_t n = u32();
+    std::vector<std::uint64_t> v;
+    if (!ok_ || n > in_.size()) {  // count can't exceed remaining bytes
+      ok_ = false;
+      return v;
+    }
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n && ok_; ++i) v.push_back(u64());
+    return v;
+  }
+  std::vector<std::int32_t> vec_i32() {
+    const std::uint32_t n = u32();
+    std::vector<std::int32_t> v;
+    if (!ok_ || n > in_.size()) {
+      ok_ = false;
+      return v;
+    }
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n && ok_; ++i) {
+      v.push_back(static_cast<std::int32_t>(u32()));
+    }
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+  bool done() const { return ok_ && pos_ == in_.size(); }
+
+ private:
+  std::uint64_t raw(std::size_t n) {
+    if (!take(n)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(in_[pos_ - n + i]) << (8 * i);
+    }
+    return v;
+  }
+  bool take(std::size_t n) {
+    if (!ok_ || in_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  ByteSpan in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void encode_file_state(Encoder& enc, const FileState& file) {
+  enc.str(file.code_spec);
+  enc.u64(file.block_size);
+  enc.u64(file.length);
+  enc.vec_u64(file.stripes);
+}
+
+FileState decode_file_state(Decoder& dec) {
+  FileState file;
+  file.code_spec = dec.str();
+  file.block_size = dec.u64();
+  file.length = dec.u64();
+  file.stripes = dec.vec_u64();
+  return file;
+}
+
+Buffer encode_payload(const JournalRecord& record) {
+  Encoder enc;
+  enc.u16(static_cast<std::uint16_t>(record.kind));
+  enc.u64(record.seq);
+  enc.str(record.path);
+  enc.str(record.path2);
+  enc.str(record.code_spec);
+  enc.u64(record.block_size);
+  enc.u64(record.length);
+  enc.u64(record.stripe);
+  enc.vec_u64(record.stripes);
+  enc.u32(static_cast<std::uint32_t>(record.groups.size()));
+  for (const auto& group : record.groups) enc.vec_i32(group);
+  encode_file_state(enc, record.file);
+  return enc.take();
+}
+
+bool decode_payload(ByteSpan payload, JournalRecord& record) {
+  Decoder dec(payload);
+  const std::uint16_t kind = dec.u16();
+  if (kind < static_cast<std::uint16_t>(JournalRecordKind::kCreate) ||
+      kind > static_cast<std::uint16_t>(JournalRecordKind::kGcStripes)) {
+    return false;
+  }
+  record.kind = static_cast<JournalRecordKind>(kind);
+  record.seq = dec.u64();
+  record.path = dec.str();
+  record.path2 = dec.str();
+  record.code_spec = dec.str();
+  record.block_size = dec.u64();
+  record.length = dec.u64();
+  record.stripe = dec.u64();
+  record.stripes = dec.vec_u64();
+  const std::uint32_t num_groups = dec.u32();
+  if (!dec.ok() || num_groups > payload.size()) return false;
+  record.groups.clear();
+  record.groups.reserve(num_groups);
+  for (std::uint32_t g = 0; g < num_groups && dec.ok(); ++g) {
+    record.groups.push_back(dec.vec_i32());
+  }
+  record.file = decode_file_state(dec);
+  return dec.done();
+}
+
+constexpr std::size_t kFrameHeader = 8;  // u32 length + u32 crc
+/// Upper bound on a single record's payload: a frame claiming more is
+/// certainly garbage (a torn length field must not trigger a huge read).
+constexpr std::size_t kMaxPayload = 1u << 28;
+
+constexpr std::uint32_t kSnapshotMagic = 0x4e535244;  // "DRSN"
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+const char* to_string(JournalRecordKind kind) {
+  switch (kind) {
+    case JournalRecordKind::kCreate:    return "create";
+    case JournalRecordKind::kAllocate:  return "allocate";
+    case JournalRecordKind::kStore:     return "store";
+    case JournalRecordKind::kSeal:      return "seal";
+    case JournalRecordKind::kCommit:    return "commit";
+    case JournalRecordKind::kAbort:     return "abort";
+    case JournalRecordKind::kDelete:    return "delete";
+    case JournalRecordKind::kRename:    return "rename";
+    case JournalRecordKind::kRenameOut: return "rename_out";
+    case JournalRecordKind::kRenameIn:  return "rename_in";
+    case JournalRecordKind::kRenameAck: return "rename_ack";
+    case JournalRecordKind::kGcStripes: return "gc_stripes";
+  }
+  return "unknown";
+}
+
+Buffer encode_record(const JournalRecord& record) {
+  const Buffer payload = encode_payload(record);
+  Encoder enc;
+  enc.u32(static_cast<std::uint32_t>(payload.size()));
+  enc.u32(crc32c(payload));
+  Buffer framed = enc.take();
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  return framed;
+}
+
+ParsedJournal parse_journal(ByteSpan bytes) {
+  ParsedJournal out;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeader) {
+      out.tail_error = "torn frame header (" +
+                       std::to_string(bytes.size() - pos) + " bytes)";
+      break;
+    }
+    std::uint32_t len = 0, crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(bytes[pos + i]) << (8 * i);
+      crc |= static_cast<std::uint32_t>(bytes[pos + 4 + i]) << (8 * i);
+    }
+    if (len > kMaxPayload) {
+      out.tail_error = "frame length " + std::to_string(len) + " implausible";
+      break;
+    }
+    if (bytes.size() - pos - kFrameHeader < len) {
+      out.tail_error = "torn payload (have " +
+                       std::to_string(bytes.size() - pos - kFrameHeader) +
+                       " of " + std::to_string(len) + " bytes)";
+      break;
+    }
+    const ByteSpan payload = bytes.subspan(pos + kFrameHeader, len);
+    if (crc32c(payload) != crc) {
+      out.tail_error = "payload CRC mismatch at offset " + std::to_string(pos);
+      break;
+    }
+    JournalRecord record;
+    if (!decode_payload(payload, record)) {
+      out.tail_error = "undecodable payload at offset " + std::to_string(pos);
+      break;
+    }
+    out.records.push_back(std::move(record));
+    pos += kFrameHeader + len;
+    out.clean_bytes = pos;
+  }
+  out.discarded_bytes = bytes.size() - out.clean_bytes;
+  return out;
+}
+
+Buffer encode_snapshot(const ShardImage& image) {
+  Encoder body;
+  body.u64(image.last_seq);
+  body.u64(image.next_stripe_id);
+  body.u64(image.files.size());
+  for (const auto& [path, file] : image.files) {
+    body.str(path);
+    encode_file_state(body, file);
+  }
+  body.u64(image.pending.size());
+  for (const auto& [path, file] : image.pending) {
+    body.str(path);
+    encode_file_state(body, file);
+  }
+  body.u64(image.stripes.size());
+  for (const auto& stripe : image.stripes) {
+    body.u64(stripe.id);
+    body.str(stripe.code_spec);
+    body.u8(stripe.sealed ? 1 : 0);
+    body.vec_i32(stripe.group);
+  }
+  const Buffer payload = body.take();
+
+  Encoder framed;
+  framed.u32(kSnapshotMagic);
+  framed.u32(kSnapshotVersion);
+  framed.u32(static_cast<std::uint32_t>(payload.size()));
+  framed.u32(crc32c(payload));
+  Buffer out = framed.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<ShardImage> decode_snapshot(ByteSpan bytes) {
+  ShardImage image;
+  if (bytes.empty()) return image;  // never snapshotted
+  if (bytes.size() < 16) {
+    return corruption_error("snapshot shorter than its header");
+  }
+  Decoder header(bytes.subspan(0, 16));
+  if (header.u32() != kSnapshotMagic) {
+    return corruption_error("snapshot magic mismatch");
+  }
+  if (header.u32() != kSnapshotVersion) {
+    return corruption_error("unsupported snapshot version");
+  }
+  const std::uint32_t len = header.u32();
+  const std::uint32_t crc = header.u32();
+  if (bytes.size() - 16 != len) {
+    return corruption_error("snapshot length mismatch");
+  }
+  const ByteSpan payload = bytes.subspan(16, len);
+  if (crc32c(payload) != crc) {
+    return corruption_error("snapshot CRC mismatch");
+  }
+
+  Decoder dec(payload);
+  image.last_seq = dec.u64();
+  image.next_stripe_id = dec.u64();
+  const std::uint64_t num_files = dec.u64();
+  for (std::uint64_t i = 0; i < num_files && dec.ok(); ++i) {
+    std::string path = dec.str();
+    image.files.emplace_back(std::move(path), decode_file_state(dec));
+  }
+  const std::uint64_t num_pending = dec.u64();
+  for (std::uint64_t i = 0; i < num_pending && dec.ok(); ++i) {
+    std::string path = dec.str();
+    image.pending.emplace_back(std::move(path), decode_file_state(dec));
+  }
+  const std::uint64_t num_stripes = dec.u64();
+  for (std::uint64_t i = 0; i < num_stripes && dec.ok(); ++i) {
+    ShardImage::Stripe stripe;
+    stripe.id = dec.u64();
+    stripe.code_spec = dec.str();
+    stripe.sealed = dec.u8() != 0;
+    stripe.group = dec.vec_i32();
+    image.stripes.push_back(std::move(stripe));
+  }
+  if (!dec.done()) {
+    return corruption_error("snapshot payload undecodable");
+  }
+  return image;
+}
+
+std::size_t Journal::append(const JournalRecord& record) {
+  const Buffer framed = encode_record(record);
+  buf_.insert(buf_.end(), framed.begin(), framed.end());
+  boundaries_.push_back(buf_.size());
+  last_seq_ = record.seq;
+  return boundaries_.size() - 1;
+}
+
+void Journal::clear() {
+  buf_.clear();
+  boundaries_.clear();
+  // last_seq_ survives: it reports the newest mutation this shard has
+  // journaled, snapshotted or not.
+}
+
+Status Journal::drop_last_record() {
+  if (boundaries_.empty()) {
+    return failed_precondition_error("journal has no record to drop");
+  }
+  boundaries_.pop_back();
+  buf_.resize(boundaries_.empty() ? 0 : boundaries_.back());
+  // Recompute last_seq_ from what remains (test-only path; cost is fine).
+  const ParsedJournal parsed = parse_journal(buf_);
+  last_seq_ = parsed.records.empty() ? 0 : parsed.records.back().seq;
+  return Status::ok();
+}
+
+}  // namespace dblrep::hdfs

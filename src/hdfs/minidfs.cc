@@ -21,7 +21,12 @@ MiniDfs::MiniDfs(const cluster::Topology& topology, std::uint64_t seed,
                  exec::ThreadPool* pool, const MiniDfsOptions& options)
     : topology_(topology),
       options_(options),
-      catalog_(topology_),
+      namenode_(
+          topology_,
+          // The NameNode resolves code specs through the DFS's runtime
+          // table (one scheme + codec pool per spec, created on demand).
+          [this](const std::string& spec) { return this->scheme(spec); },
+          NameNodeOptions{options.meta_shards, options.meta_snapshot_every}),
       traffic_(topology_),
       pool_(pool != nullptr ? pool : &exec::inline_pool()),
       rng_(seed) {
@@ -108,33 +113,18 @@ Status MiniDfs::begin_write(const std::string& path,
     return resource_exhausted_error("not enough live nodes for " + code_spec);
   }
 
-  // Reserve the path: concurrent creators of the same name fail fast, and
-  // readers see nothing until commit_write publishes.
-  std::unique_lock<std::shared_mutex> lock(ns_mu_);
-  if (files_.contains(path) || pending_writes_.contains(path)) {
-    return already_exists_error(path);
-  }
-  FileInfo info;
-  info.code_spec = code_spec;
-  info.block_size = block_size;
-  info.sealed = false;
-  pending_writes_.emplace(path, std::move(info));
-  return Status::ok();
+  // Reserve the path (journaled): concurrent creators of the same name
+  // fail fast, and readers see nothing until commit_write publishes.
+  return namenode_.begin_write(path, code_spec, block_size);
 }
 
 Result<std::vector<cluster::StripeId>> MiniDfs::allocate_stripes(
     const std::string& path, std::size_t count) {
-  std::string code_spec;
-  {
-    std::shared_lock<std::shared_mutex> lock(ns_mu_);
-    const auto it = pending_writes_.find(path);
-    if (it == pending_writes_.end()) {
-      return failed_precondition_error("no write transaction open for " +
-                                       path);
-    }
-    code_spec = it->second.code_spec;
+  const auto open = namenode_.stat(path);
+  if (!open.is_ok() || open->sealed) {
+    return failed_precondition_error("no write transaction open for " + path);
   }
-  auto code_result = scheme(code_spec);
+  auto code_result = scheme(open->code_spec);
   if (!code_result.is_ok()) return code_result.status();
   const ec::CodeScheme& code = **code_result;
 
@@ -146,56 +136,34 @@ Result<std::vector<cluster::StripeId>> MiniDfs::allocate_stripes(
     if (dn.is_up()) live.push_back(dn.id());
   }
   if (live.size() < code.num_nodes()) {
-    return resource_exhausted_error("not enough live nodes for " + code_spec);
+    return resource_exhausted_error("not enough live nodes for " +
+                                    open->code_spec);
   }
 
-  std::vector<cluster::StripeId> stripes;
-  stripes.reserve(count);
-  const auto unregister_batch = [&] {
-    for (const cluster::StripeId stripe : stripes) {
-      (void)catalog_.unregister_stripe(stripe);
-    }
-  };
-  {
-    // Placement is serial: one rng draw sequence per stripe in allocation
-    // order, so the layout is a deterministic function of the seed and
-    // byte-identical between serial and parallel executions. The
-    // construction-time policy decides the rack structure: flat
-    // (rack-blind uniform), rack_aware spreading, or group_per_rack,
-    // which pins each local code group to its own rack.
-    std::lock_guard<std::mutex> lock(place_mu_);
-    for (std::size_t s = 0; s < count; ++s) {
-      auto group_result = cluster::place_stripe_group(options_.placement,
-                                                      topology_, code, live,
-                                                      rng_);
-      if (!group_result.is_ok()) {
-        unregister_batch();
-        return group_result.status();
-      }
-      // Unsealed until commit_write publishes the file: a concurrent
-      // repair pass must not mistake a write in flight for mass failure
-      // (nor race an abort of one).
-      auto stripe_id =
-          catalog_.register_stripe(code, std::move(*group_result),
-                                   /*sealed=*/false);
-      if (!stripe_id.is_ok()) {
-        unregister_batch();
-        return stripe_id.status();
-      }
-      stripes.push_back(*stripe_id);
-    }
+  // Placement is serial: one rng draw sequence per stripe in allocation
+  // order, so the layout is a deterministic function of the seed and
+  // byte-identical between serial and parallel executions. The
+  // construction-time policy decides the rack structure: flat (rack-blind
+  // uniform), rack_aware spreading, or group_per_rack, which pins each
+  // local code group to its own rack. attach_stripes runs under the same
+  // lock hold, so stripe ids are assigned in draw order -- which is what
+  // makes the layout independent of the metadata shard count -- and
+  // registration is atomic with the open-transaction check (a concurrent
+  // abort closing the transaction cannot leak stripes).
+  std::vector<std::vector<cluster::NodeId>> groups;
+  groups.reserve(count);
+  std::lock_guard<std::mutex> lock(place_mu_);
+  for (std::size_t s = 0; s < count; ++s) {
+    auto group_result = cluster::place_stripe_group(options_.placement,
+                                                    topology_, code, live,
+                                                    rng_);
+    if (!group_result.is_ok()) return group_result.status();
+    groups.push_back(std::move(*group_result));
   }
-  std::unique_lock<std::shared_mutex> lock(ns_mu_);
-  const auto it = pending_writes_.find(path);
-  if (it == pending_writes_.end()) {
-    // The transaction was aborted under us; don't leak the stripes.
-    unregister_batch();
-    return failed_precondition_error("write transaction for " + path +
-                                     " closed during allocation");
-  }
-  it->second.stripes.insert(it->second.stripes.end(), stripes.begin(),
-                            stripes.end());
-  return stripes;
+  // Unsealed until commit_write publishes the file: a concurrent repair
+  // pass must not mistake a write in flight for mass failure (nor race an
+  // abort of one).
+  return namenode_.attach_stripes(path, code, groups);
 }
 
 Result<cluster::StripeId> MiniDfs::allocate_stripe(const std::string& path) {
@@ -223,7 +191,7 @@ Status MiniDfs::store_stripe_bytes(SchemeRuntime& rt, std::size_t block_size,
   const auto symbols = lease->codec.encode_stripe(stripe_data, block_size);
   const auto& layout = code.layout();
   for (std::size_t slot = 0; slot < layout.num_slots(); ++slot) {
-    const cluster::NodeId node = catalog_.node_of({stripe, slot});
+    const cluster::NodeId node = namenode_.node_of({stripe, slot});
     DBLREP_RETURN_IF_ERROR(datanodes_[static_cast<std::size_t>(node)].put(
         {stripe, slot}, symbols[layout.symbol_of_slot(slot)]));
     // Client -> datanode transfer (the client is off-cluster).
@@ -256,7 +224,7 @@ Status MiniDfs::store_stripe_batch(SchemeRuntime& rt, std::size_t block_size,
       [&](std::size_t s, std::span<const ByteSpan> symbols) -> Status {
         const cluster::StripeId stripe = stripes[s];
         for (std::size_t slot = 0; slot < layout.num_slots(); ++slot) {
-          const cluster::NodeId node = catalog_.node_of({stripe, slot});
+          const cluster::NodeId node = namenode_.node_of({stripe, slot});
           DBLREP_RETURN_IF_ERROR(
               datanodes_[static_cast<std::size_t>(node)].put(
                   {stripe, slot}, symbols[layout.symbol_of_slot(slot)]));
@@ -269,80 +237,43 @@ Status MiniDfs::store_stripe_batch(SchemeRuntime& rt, std::size_t block_size,
 
 Status MiniDfs::store_stripe(const std::string& path,
                              cluster::StripeId stripe, ByteSpan stripe_data) {
-  std::string code_spec;
-  std::size_t block_size = 0;
-  {
-    std::shared_lock<std::shared_mutex> lock(ns_mu_);
-    const auto it = pending_writes_.find(path);
-    if (it == pending_writes_.end()) {
-      return failed_precondition_error("no write transaction open for " +
-                                       path);
-    }
-    code_spec = it->second.code_spec;
-    block_size = it->second.block_size;
+  const auto open = namenode_.stat(path);
+  if (!open.is_ok() || open->sealed) {
+    return failed_precondition_error("no write transaction open for " + path);
   }
-  auto rt_result = runtime(code_spec);
+  auto rt_result = runtime(open->code_spec);
   if (!rt_result.is_ok()) return rt_result.status();
   DBLREP_RETURN_IF_ERROR(
-      store_stripe_bytes(**rt_result, block_size, stripe, stripe_data));
+      store_stripe_bytes(**rt_result, open->block_size, stripe, stripe_data));
 
-  // Progress accounting for stat() of the open write.
-  std::unique_lock<std::shared_mutex> lock(ns_mu_);
-  const auto it = pending_writes_.find(path);
-  if (it == pending_writes_.end()) {
-    return failed_precondition_error("write transaction for " + path +
-                                     " closed during store");
-  }
-  it->second.length += stripe_data.size();
-  return Status::ok();
+  // Progress accounting (journaled) for stat() of the open write.
+  return namenode_.record_store(path, stripe, stripe_data.size());
 }
 
 Status MiniDfs::commit_write(const std::string& path) {
-  std::unique_lock<std::shared_mutex> lock(ns_mu_);
-  const auto it = pending_writes_.find(path);
-  if (it == pending_writes_.end()) {
-    return failed_precondition_error("no write transaction open for " + path);
-  }
-  // Seal-at-commit: the stripes become visible to repair and scrub in the
-  // same step that publishes the path, so no stripe is ever both sealed
-  // and abortable. seal_stripe only fails on a tombstone, which nothing
-  // can produce for a pending stripe -- treat it as corruption.
-  for (const cluster::StripeId stripe : it->second.stripes) {
-    DBLREP_RETURN_IF_ERROR(catalog_.seal_stripe(stripe));
-  }
-  FileInfo info = std::move(it->second);
-  pending_writes_.erase(it);
-  info.sealed = true;
-  files_.emplace(path, std::move(info));
-  return Status::ok();
+  // Seal-at-commit: the NameNode seals every stripe and publishes the path
+  // in one journaled critical section, so no stripe is ever both sealed
+  // and abortable.
+  return namenode_.commit_write(path);
 }
 
 Status MiniDfs::abort_write(const std::string& path) {
-  FileInfo info;
-  {
-    std::unique_lock<std::shared_mutex> lock(ns_mu_);
-    const auto it = pending_writes_.find(path);
-    if (it == pending_writes_.end()) {
-      return failed_precondition_error("no write transaction open for " +
-                                       path);
-    }
-    info = std::move(it->second);
-    pending_writes_.erase(it);
-  }
-  // Failed writes must not leak: drop whatever blocks landed and
-  // unregister every stripe this transaction allocated (all still possible
-  // -- unsealed stripes are invisible to repair, and the unpublished path
-  // is invisible to readers).
-  auto code_result = scheme(info.code_spec);
-  if (!code_result.is_ok()) return code_result.status();
-  const auto& layout = (*code_result)->layout();
-  for (const cluster::StripeId stripe : info.stripes) {
+  // Failed writes must not leak: the NameNode drops the metadata (journaled
+  // kAbort) and hands back each stripe's placement so the blocks that
+  // landed can be dropped here (all still possible -- unsealed stripes are
+  // invisible to repair, and the unpublished path is invisible to readers).
+  auto removed = namenode_.abort_write(path);
+  if (!removed.is_ok()) return removed.status();
+  for (const StripePlacement& placement : removed->stripes) {
+    auto code_result = scheme(placement.code_spec);
+    if (!code_result.is_ok()) return code_result.status();
+    const auto& layout = (*code_result)->layout();
     for (std::size_t slot = 0; slot < layout.num_slots(); ++slot) {
-      const cluster::NodeId node = catalog_.node_of({stripe, slot});
+      const cluster::NodeId node = placement.group[static_cast<std::size_t>(
+          layout.node_of_slot(slot))];
       auto& dn = datanodes_[static_cast<std::size_t>(node)];
-      if (dn.has({stripe, slot})) (void)dn.drop({stripe, slot});
+      if (dn.has({placement.id, slot})) (void)dn.drop({placement.id, slot});
     }
-    (void)catalog_.unregister_stripe(stripe);
   }
   return Status::ok();
 }
@@ -403,10 +334,11 @@ Status MiniDfs::write_file(const std::string& path, ByteSpan data,
             data.subspan(begin, len));
       });
   if (!write_status.is_ok()) return write_status;
-  {
-    std::unique_lock<std::shared_mutex> lock(ns_mu_);
-    const auto it = pending_writes_.find(path);
-    if (it != pending_writes_.end()) it->second.length = data.size();
+  // One journaled length record for the whole file (the batch store path
+  // bypasses the per-stripe record_store that FileWriter handles pay).
+  if (!data.empty()) {
+    DBLREP_RETURN_IF_ERROR(
+        namenode_.record_store(path, stripes->front(), data.size()));
   }
   const Status committed = commit_write(path);
   if (committed.is_ok()) guard.armed = false;
@@ -414,17 +346,14 @@ Status MiniDfs::write_file(const std::string& path, ByteSpan data,
 }
 
 Result<FileInfo> MiniDfs::lookup_copy(const std::string& path) const {
-  std::shared_lock<std::shared_mutex> lock(ns_mu_);
-  const auto it = files_.find(path);
-  if (it == files_.end()) return not_found_error(path);
-  return it->second;
+  return namenode_.lookup(path);
 }
 
 ec::SlotStore MiniDfs::gather_stripe(cluster::StripeId stripe) const {
-  const auto& info = catalog_.stripe(stripe);
+  const auto& info = namenode_.stripe(stripe);
   ec::SlotStore store;
   for (std::size_t slot = 0; slot < info.code->layout().num_slots(); ++slot) {
-    const cluster::NodeId node = catalog_.node_of({stripe, slot});
+    const cluster::NodeId node = namenode_.node_of({stripe, slot});
     const auto& dn = datanodes_[static_cast<std::size_t>(node)];
     auto bytes = dn.get({stripe, slot});
     if (bytes.is_ok()) store[slot] = std::move(*bytes);
@@ -435,10 +364,10 @@ ec::SlotStore MiniDfs::gather_stripe(cluster::StripeId stripe) const {
 Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
                                     cluster::StripeId stripe,
                                     std::size_t symbol) {
-  const ec::CodeScheme& code = *catalog_.stripe(stripe).code;
+  const ec::CodeScheme& code = *namenode_.stripe(stripe).code;
   // Try each replica in turn; CRC failures and down nodes fall through.
   for (std::size_t slot : code.layout().slots_of_symbol(symbol)) {
-    const cluster::NodeId node = catalog_.node_of({stripe, slot});
+    const cluster::NodeId node = namenode_.node_of({stripe, slot});
     auto bytes = datanodes_[static_cast<std::size_t>(node)].get({stripe, slot});
     if (bytes.is_ok()) {
       account_delivery(node, static_cast<double>(bytes->size()),
@@ -455,7 +384,7 @@ Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
   // the stripe changes under it.
   ec::SlotStore store = gather_stripe(stripe);
   std::set<ec::NodeIndex> failed;
-  const std::size_t group_size = catalog_.stripe(stripe).group.size();
+  const std::size_t group_size = namenode_.stripe(stripe).group.size();
   for (std::size_t i = 0; i < group_size; ++i) {
     for (std::size_t slot :
          code.layout().slots_on_node(static_cast<ec::NodeIndex>(i))) {
@@ -468,7 +397,7 @@ Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
   auto plan_result = code.plan_degraded_read(symbol, failed);
   if (!plan_result.is_ok()) return plan_result.status();
   ec::RepairPlan plan = std::move(*plan_result);
-  const auto& group = catalog_.stripe(stripe).group;
+  const auto& group = namenode_.stripe(stripe).group;
   // Layered mode: each rack combines its partials locally and sends the
   // client one block per rack instead of one per helper.
   if (options_.layered_repair) {
@@ -500,7 +429,7 @@ Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
 
 Result<Buffer> MiniDfs::read_block(const std::string& path,
                                    std::size_t block_index) {
-  std::shared_lock<std::shared_mutex> path_lock(path_mu_.of(path));
+  std::shared_lock<std::shared_mutex> path_lock(namenode_.path_mutex(path));
   DBLREP_ASSIGN_OR_RETURN(const FileInfo info, lookup_copy(path));
   auto code_result = scheme(info.code_spec);
   if (!code_result.is_ok()) return code_result.status();
@@ -558,7 +487,7 @@ Result<Buffer> MiniDfs::pread_span(const FileInfo& info,
 
 Result<Buffer> MiniDfs::pread(const std::string& path, std::size_t offset,
                               std::size_t len) {
-  std::shared_lock<std::shared_mutex> path_lock(path_mu_.of(path));
+  std::shared_lock<std::shared_mutex> path_lock(namenode_.path_mutex(path));
   // Resolve once: one namespace lookup and one scheme resolution for the
   // whole range, then pread_span moves the bytes.
   DBLREP_ASSIGN_OR_RETURN(const FileInfo info, lookup_copy(path));
@@ -577,64 +506,40 @@ Result<Buffer> MiniDfs::read_file(const std::string& path) {
 }
 
 Status MiniDfs::delete_file(const std::string& path) {
-  std::unique_lock<std::shared_mutex> path_lock(path_mu_.of(path));
-  FileInfo info;
-  {
-    std::unique_lock<std::shared_mutex> lock(ns_mu_);
-    const auto it = files_.find(path);
-    if (it == files_.end()) return not_found_error(path);
-    info = std::move(it->second);
-    files_.erase(it);
-  }
-  for (cluster::StripeId stripe : info.stripes) {
-    const auto& stripe_info = catalog_.stripe(stripe);
-    for (std::size_t slot = 0; slot < stripe_info.code->layout().num_slots();
-         ++slot) {
-      const cluster::NodeId node = catalog_.node_of({stripe, slot});
+  // Exclusive path lock first (excludes in-flight readers), then the
+  // journaled metadata removal, then the block drops -- sourced from the
+  // placements the NameNode hands back, since the catalog entries are gone.
+  std::unique_lock<std::shared_mutex> path_lock(namenode_.path_mutex(path));
+  auto removed = namenode_.remove_file(path);
+  if (!removed.is_ok()) return removed.status();
+  for (const StripePlacement& placement : removed->stripes) {
+    auto code_result = scheme(placement.code_spec);
+    if (!code_result.is_ok()) return code_result.status();
+    const auto& layout = (*code_result)->layout();
+    for (std::size_t slot = 0; slot < layout.num_slots(); ++slot) {
+      const cluster::NodeId node = placement.group[static_cast<std::size_t>(
+          layout.node_of_slot(slot))];
       auto& dn = datanodes_[static_cast<std::size_t>(node)];
-      if (dn.has({stripe, slot})) (void)dn.drop({stripe, slot});
+      if (dn.has({placement.id, slot})) (void)dn.drop({placement.id, slot});
     }
-    DBLREP_RETURN_IF_ERROR(catalog_.unregister_stripe(stripe));
   }
   return Status::ok();
 }
 
 Status MiniDfs::rename(const std::string& from, const std::string& to) {
-  exec::StripedSharedMutex::PairLock path_locks(path_mu_, from, to);
-  std::unique_lock<std::shared_mutex> lock(ns_mu_);
-  const auto it = files_.find(from);
-  if (it == files_.end()) return not_found_error(from);
-  if (files_.contains(to) || pending_writes_.contains(to)) {
-    return already_exists_error(to);
-  }
-  files_.emplace(to, std::move(it->second));
-  files_.erase(it);
-  return Status::ok();
+  // Fully a metadata operation: the NameNode takes both path locks and --
+  // cross-shard -- runs the journaled rename intent protocol.
+  return namenode_.rename(from, to);
 }
 
 Result<FileInfo> MiniDfs::stat(const std::string& path) const {
-  std::shared_lock<std::shared_mutex> lock(ns_mu_);
-  if (const auto it = files_.find(path); it != files_.end()) {
-    return it->second;
-  }
-  // A write in flight: visible to stat (sealed == false, length == bytes
+  // A write in flight is visible to stat (sealed == false, length == bytes
   // stored so far) but not to readers.
-  if (const auto it = pending_writes_.find(path);
-      it != pending_writes_.end()) {
-    return it->second;
-  }
-  return not_found_error(path);
+  return namenode_.stat(path);
 }
 
 std::vector<std::string> MiniDfs::list_files() const {
-  std::shared_lock<std::shared_mutex> lock(ns_mu_);
-  std::vector<std::string> out;
-  out.reserve(files_.size());
-  for (const auto& [path, info] : files_) {
-    (void)info;
-    out.push_back(path);
-  }
-  return out;
+  return namenode_.list_files();
 }
 
 Status MiniDfs::fail_node(cluster::NodeId node) {
@@ -665,8 +570,20 @@ Status MiniDfs::restart_node(cluster::NodeId node) {
 
 void MiniDfs::gc_stale_replicas(DataNode& dn) {
   for (const auto& address : dn.stored_addresses()) {
-    if (!catalog_.is_registered(address.stripe)) (void)dn.drop(address);
+    if (!namenode_.is_registered(address.stripe)) (void)dn.drop(address);
   }
+}
+
+Result<RecoveryReport> MiniDfs::crash_namenode() {
+  auto report = namenode_.crash_and_recover();
+  if (!report.is_ok()) return report;
+  // Block reports: recovery rolled back open writes and finished
+  // half-done deletes, so drop every block whose stripe no longer exists
+  // -- the same GC a rejoining datanode runs.
+  for (auto& dn : datanodes_) {
+    if (dn.is_up()) gc_stale_replicas(dn);
+  }
+  return report;
 }
 
 void MiniDfs::account(cluster::NodeId from, cluster::NodeId to, double bytes,
@@ -703,8 +620,8 @@ std::set<cluster::NodeId> MiniDfs::down_nodes() const {
 
 Status MiniDfs::repair_stripe(cluster::StripeId stripe) {
   // Skip tombstones (deleted) and unsealed stripes (writes in flight).
-  if (!catalog_.is_sealed(stripe)) return Status::ok();
-  const auto& info = catalog_.stripe(stripe);
+  if (!namenode_.is_sealed(stripe)) return Status::ok();
+  const auto& info = namenode_.stripe(stripe);
   const ec::CodeScheme& code = *info.code;
 
   // Which code-local nodes have missing/unreadable slots for this stripe?
@@ -779,7 +696,7 @@ Status MiniDfs::repair_stripe(cluster::StripeId stripe) {
   // Re-check the seal before persisting: a write or delete overlapping this
   // repair (the documented unsupported race) must fail loudly rather than
   // let the repair resurrect dropped blocks.
-  if (!catalog_.is_sealed(stripe)) {
+  if (!namenode_.is_sealed(stripe)) {
     return failed_precondition_error(
         "stripe " + std::to_string(stripe) +
         " was unsealed or deleted while its repair was executing");
@@ -820,7 +737,7 @@ Status MiniDfs::repair_node(cluster::NodeId node) {
   // parallel_for_all: an unrecoverable stripe must not stop the others
   // from healing, and the set of healed stripes (plus the reported error)
   // must be identical whether the pass runs serial or parallel.
-  const auto stripes = catalog_.stripes_on_node(node);
+  const auto stripes = namenode_.stripes_on_node(node);
   return exec::parallel_for_all(*pool_, stripes.size(), [&](std::size_t i) {
     return repair_stripe(stripes[i]);
   });
@@ -847,15 +764,14 @@ Status MiniDfs::repair_all() {
 }
 
 Status MiniDfs::scrub() {
-  std::shared_lock<std::shared_mutex> lock(ns_mu_);
-  for (const auto& [path, info] : files_) {
+  for (const auto& [path, info] : namenode_.snapshot_files()) {
     auto code_result = scheme(info.code_spec);
     if (!code_result.is_ok()) return code_result.status();
     const ec::CodeScheme& code = **code_result;
     for (cluster::StripeId stripe : info.stripes) {
       ec::SlotStore store;
       for (std::size_t slot = 0; slot < code.layout().num_slots(); ++slot) {
-        const cluster::NodeId node = catalog_.node_of({stripe, slot});
+        const cluster::NodeId node = namenode_.node_of({stripe, slot});
         const auto& dn = datanodes_[static_cast<std::size_t>(node)];
         if (!dn.is_up()) continue;
         auto bytes = dn.get({stripe, slot});
@@ -876,14 +792,11 @@ Status MiniDfs::scrub() {
 Result<std::size_t> MiniDfs::scrub_repair() {
   // Snapshot the namespace, then heal file by file with the stripes of
   // each file fanned out across the pool.
-  std::vector<std::pair<std::string, FileInfo>> snapshot;
-  {
-    std::shared_lock<std::shared_mutex> lock(ns_mu_);
-    snapshot.assign(files_.begin(), files_.end());
-  }
+  const std::vector<std::pair<std::string, FileInfo>> snapshot =
+      namenode_.snapshot_files();
   std::atomic<std::size_t> healed{0};
   for (const auto& [path, info] : snapshot) {
-    std::shared_lock<std::shared_mutex> path_lock(path_mu_.of(path));
+    std::shared_lock<std::shared_mutex> path_lock(namenode_.path_mutex(path));
     auto code_result = scheme(info.code_spec);
     if (!code_result.is_ok()) return code_result.status();
     const ec::CodeScheme& code = **code_result;
@@ -899,7 +812,7 @@ Result<std::size_t> MiniDfs::scrub_repair() {
           const std::size_t slot_count = code.layout().num_slots();
           std::vector<std::size_t> bad_slots;
           for (std::size_t slot = 0; slot < slot_count; ++slot) {
-            const cluster::NodeId node = catalog_.node_of({stripe, slot});
+            const cluster::NodeId node = namenode_.node_of({stripe, slot});
             const auto& dn = datanodes_[static_cast<std::size_t>(node)];
             if (!dn.is_up()) continue;  // node repair handles down nodes
             if (!good.contains(slot)) bad_slots.push_back(slot);
@@ -909,7 +822,7 @@ Result<std::size_t> MiniDfs::scrub_repair() {
           if (!data.is_ok()) return data.status();
           const auto symbols = code.encode_symbols(*data);
           for (std::size_t slot : bad_slots) {
-            const cluster::NodeId node = catalog_.node_of({stripe, slot});
+            const cluster::NodeId node = namenode_.node_of({stripe, slot});
             DBLREP_RETURN_IF_ERROR(
                 datanodes_[static_cast<std::size_t>(node)].put(
                     {stripe, slot},

@@ -64,20 +64,10 @@
 #include "exec/striped_mutex.h"
 #include "exec/thread_pool.h"
 #include "hdfs/datanode.h"
+#include "hdfs/namenode.h"
 #include "net/transfer.h"
 
 namespace dblrep::hdfs {
-
-struct FileInfo {
-  std::string code_spec;
-  std::size_t block_size = 0;
-  std::size_t length = 0;  // logical bytes
-  std::vector<cluster::StripeId> stripes;
-  /// False while an open write transaction (a live FileWriter) still owns
-  /// the path: stat() reports such files with their bytes-so-far, but they
-  /// are invisible to readers until commit_write publishes them.
-  bool sealed = true;
-};
 
 /// Data-plane knobs fixed at construction.
 struct MiniDfsOptions {
@@ -98,6 +88,16 @@ struct MiniDfsOptions {
   /// Not owned; must outlive the DFS. Capture only -- no data-plane
   /// behavior (bytes, placement, traffic totals) changes.
   net::TransferLog* transfer_log = nullptr;
+
+  /// Metadata shard count of the sharded NameNode. 0 defers to the
+  /// DBLREP_META_SHARDS environment knob (default 4). Stripe ids come from
+  /// a global counter, so placement, bytes, and traffic are identical for
+  /// every shard count -- only metadata-plane contention changes.
+  std::size_t meta_shards = 0;
+
+  /// Auto-snapshot a metadata shard once its write-ahead journal holds
+  /// this many records (0 = manual snapshot_namenode() only).
+  std::size_t meta_snapshot_every = 0;
 };
 
 class MiniDfs {
@@ -242,7 +242,29 @@ class MiniDfs {
   const cluster::TrafficMeter& traffic() const { return traffic_; }
   cluster::TrafficMeter& traffic() { return traffic_; }
   const MiniDfsOptions& options() const { return options_; }
-  const cluster::BlockCatalog& catalog() const { return catalog_; }
+  /// The metadata plane's catalog view (BlockCatalog-shaped read surface,
+  /// routed across the NameNode's shards).
+  const NameNode& catalog() const { return namenode_; }
+  const NameNode& namenode() const { return namenode_; }
+  NameNode& namenode() { return namenode_; }
+
+  /// Snapshots every metadata shard (absorbing its journal) -- the
+  /// checkpoint half of the durability story.
+  void snapshot_namenode() { namenode_.snapshot(); }
+
+  /// Kills and recovers the NameNode from its durable artifacts (snapshot
+  /// + write-ahead journal per shard): every in-memory table is rebuilt,
+  /// open writes roll back, and datanode blocks whose stripes died with
+  /// them (rolled-back writes, half-finished deletes) are dropped via the
+  /// usual block-report GC. Requires quiescence -- no concurrent clients --
+  /// exactly like a real crash.
+  Result<RecoveryReport> crash_namenode();
+
+  /// Order- and shard-count-independent metadata fingerprint (namespace +
+  /// pending writes + live stripes); the chaos recovery invariant compares
+  /// it across a crash.
+  std::uint64_t catalog_fingerprint() const { return namenode_.fingerprint(); }
+
   DataNode& datanode(cluster::NodeId node);
   const DataNode& datanode(cluster::NodeId node) const;
   const cluster::Topology& topology() const { return topology_; }
@@ -343,20 +365,15 @@ class MiniDfs {
 
   cluster::Topology topology_;
   MiniDfsOptions options_;
-  cluster::BlockCatalog catalog_;
+  /// The sharded metadata plane: namespace, pending writes, block catalog,
+  /// per-path locks, write-ahead journals, and snapshots all live here.
+  NameNode namenode_;
   cluster::TrafficMeter traffic_;
   exec::ThreadPool* pool_;
   std::deque<DataNode> datanodes_;  // deque: DataNode is pinned (own mutex)
 
   mutable std::mutex place_mu_;  // guards rng_ + placement decisions
   Rng rng_;
-
-  mutable std::shared_mutex ns_mu_;  // guards files_ + pending_writes_
-  std::map<std::string, FileInfo> files_;
-  /// Write transactions in flight: path -> metadata accumulated so far
-  /// (sealed == false). Invisible to readers until commit_write.
-  std::map<std::string, FileInfo> pending_writes_;
-  mutable exec::StripedSharedMutex path_mu_;  // per-path op exclusion
 
   mutable std::shared_mutex scheme_mu_;  // guards schemes_ + pools_by_code_
   std::map<std::string, SchemeRuntime> schemes_;

@@ -1,0 +1,52 @@
+// NameNode crash recovery: snapshot + journal replay + reconciliation.
+//
+// restore() (declared on NameNode, defined here) rebuilds the whole
+// metadata plane from per-shard durable artifacts:
+//
+//  1. Per shard: decode the snapshot image (strict -- a damaged snapshot
+//     is CORRUPTION), then parse the journal with parse_journal (lenient
+//     -- a torn or CRC-bad tail is discarded) and replay each record in
+//     order onto the image. Replay is pure bookkeeping: kCreate opens a
+//     pending entry, kAllocate re-registers stripes under their original
+//     ids, kStore accumulates length, kSeal/kCommit seal and publish,
+//     kAbort/kDelete/kGcStripes unregister, the rename records move
+//     entries and track cross-shard intents.
+//
+//  2. Across shards: reconcile what a crash can leave half-done.
+//      * A RenameOut without its RenameAck is a dangling intent: the file
+//        is inserted at the destination if the destination shard's journal
+//        lost the RenameIn, and the ack is re-journaled. (Applied before
+//        the orphan sweep so the referenced-stripe set is already right.)
+//      * Every surviving pending entry is an open write whose client died
+//        with the NameNode: its stripes are unregistered, a kAbort is
+//        journaled, and the entry dropped -- open writes roll back.
+//      * Stripes referenced by no file on any shard (a delete's kDelete
+//        survived but a foreign kGcStripes did not) are unregistered and
+//        a kGcStripes journaled -- the orphan sweep.
+//
+//  3. Install: the rebuilt shards replace the live ones, the stripe
+//     router is rebuilt, and the global id/seq counters resume past every
+//     id and seq the artifacts mention (ids are never reused, even ids
+//     only a rolled-back write consumed).
+//
+// The result is fingerprint-identical to the pre-crash NameNode whenever
+// no records were lost, and lands on a consistent pre-/post-mutation
+// boundary for every record that was: tests/recovery_test.cc's crash-point
+// fuzzer enumerates every such cut.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "hdfs/namenode.h"
+
+namespace dblrep::hdfs {
+
+/// The crash-point fuzzer's knife: keeps exactly the records with
+/// seq < cut_seq (journals are seq-monotone, so this is a prefix), then
+/// re-frames them. Applying the same cut to every shard's journal
+/// reproduces the global crash point "nothing from seq cut_seq onward
+/// reached disk".
+Buffer truncate_journal_at_seq(ByteSpan journal, std::uint64_t cut_seq);
+
+}  // namespace dblrep::hdfs

@@ -134,6 +134,67 @@ TEST(ChaosHarness, MinimizerShrinksToViolatingCore) {
                           }));
 }
 
+TEST(ChaosHarness, NameNodeCrashEventsAreScheduledAndSurvivable) {
+  // Every preset carries a nonzero namenode_crash_rate, so generated
+  // schedules must actually contain crash events -- and a run that crashes
+  // the NameNode repeatedly (with and without a prior snapshot) must
+  // recover to the same catalog every time and stay deterministic.
+  bool scheduled = false;
+  for (const FaultMix& mix : FaultMix::presets()) {
+    ChaosConfig config = small_config();
+    config.mix = mix;
+    for (std::uint64_t seed = 0; seed < 8 && !scheduled; ++seed) {
+      const auto events = generate_schedule(config, seed);
+      scheduled = std::any_of(events.begin(), events.end(),
+                              [](const ChaosEvent& event) {
+                                return event.kind ==
+                                       EventKind::kNameNodeCrash;
+                              });
+    }
+  }
+  EXPECT_TRUE(scheduled);
+
+  const ChaosHarness harness(small_config());
+  const std::vector<ChaosEvent> events = {
+      {0.5, EventKind::kNameNodeCrash, 0},   // crash with journal replay
+      {1.0, EventKind::kNameNodeCrash, 1},   // snapshot first, then crash
+      {1.5, EventKind::kNameNodeCrash, 2}};  // crash again on empty journal
+  const ChaosReport a = harness.run_schedule(17, events);
+  EXPECT_TRUE(a.ok()) << a.trace_to_string();
+  const ChaosReport b = harness.run_schedule(17, events);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.final_fingerprint, b.final_fingerprint);
+}
+
+TEST(ChaosInvariants, CatalogRecoveryCheckerCatchesLostJournalRecord) {
+  // Forget the durable record of the most recent commit: the on-disk
+  // journal now replays to a catalog missing one published file, which the
+  // recovery checker must flag against the live NameNode.
+  cluster::Topology topology;
+  topology.num_nodes = 21;
+  topology.num_racks = 3;
+  hdfs::MiniDfsOptions options;
+  options.meta_shards = 4;
+  hdfs::MiniDfs dfs(topology, 9, nullptr, options);
+  ASSERT_TRUE(
+      dfs.write_file("/a", random_buffer(64 * 10, 6), "rs-10-4", 64).is_ok());
+  ASSERT_TRUE(
+      dfs.write_file("/b", random_buffer(64 * 3, 7), "3-rep", 64).is_ok());
+
+  std::vector<std::string> violations;
+  check_catalog_recovery(dfs, violations);
+  ASSERT_TRUE(violations.empty()) << violations.front();
+
+  const std::size_t shard = dfs.namenode().shard_of("/b");
+  ASSERT_GT(dfs.namenode().journal_record_count(shard), 0u);
+  ASSERT_TRUE(dfs.namenode().testonly_drop_last_journal_record(shard).is_ok());
+
+  check_catalog_recovery(dfs, violations);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("catalog"), std::string::npos)
+      << violations.front();
+}
+
 // ------------------------------------------------- layered equivalence
 
 TEST(ChaosHarness, LayeredRepairEquivalentUnderChaos) {

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "cluster/topology.h"
@@ -565,6 +567,133 @@ TEST(WorkloadMixes, PreadAndAppendClientsRunCleanly) {
     EXPECT_EQ(0, std::memcmp(bytes->data(), driver.payload().data(),
                              bytes->size()))
         << path << " diverges from the shared payload";
+  }
+}
+
+// ------------------------------------------- metadata shard equivalence
+
+MiniDfs make_sharded(std::size_t shards, exec::ThreadPool* pool = nullptr) {
+  cluster::Topology topology;
+  topology.num_nodes = 25;
+  MiniDfsOptions options;
+  options.meta_shards = shards;
+  return MiniDfs(topology, /*seed=*/7, pool, options);
+}
+
+/// Streams one file through the handle API, preads three ranges, and
+/// captures every client-visible observable.
+struct ClientShardRun {
+  Buffer whole;
+  std::vector<Buffer> ranges;
+  std::uint64_t length = 0;
+  std::size_t num_stripes = 0;
+  double traffic_total = 0;
+  double traffic_client = 0;
+  std::uint64_t catalog_fp = 0;
+};
+
+ClientShardRun run_client_scenario(const std::string& spec,
+                                   std::size_t shards, const Buffer& data) {
+  MiniDfs dfs = make_sharded(shards);
+  Client client(dfs, {.max_inflight_stripes = 2});
+  auto writer = client.create("/h/file", spec, kBlockSize);
+  EXPECT_TRUE(writer.is_ok()) << writer.status().to_string();
+  // Odd-sized chunks exercise the sub-stripe buffering path.
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t len =
+        std::min<std::size_t>(3 * kBlockSize - 7, data.size() - offset);
+    EXPECT_TRUE(writer->append(ByteSpan(data).subspan(offset, len)).is_ok());
+    offset += len;
+  }
+  EXPECT_TRUE(writer->close().is_ok());
+
+  ClientShardRun run;
+  const auto whole = dfs.read_file("/h/file");
+  EXPECT_TRUE(whole.is_ok());
+  if (whole.is_ok()) run.whole = *whole;
+  for (const auto& [off, len] :
+       {std::pair<std::size_t, std::size_t>{0, kBlockSize},
+        {kBlockSize / 2, 2 * kBlockSize},
+        {data.size() - kBlockSize, 2 * kBlockSize}}) {
+    const auto range = dfs.pread("/h/file", off, len);
+    EXPECT_TRUE(range.is_ok());
+    if (range.is_ok()) run.ranges.push_back(*range);
+  }
+  const auto info = dfs.stat("/h/file");
+  EXPECT_TRUE(info.is_ok());
+  if (info.is_ok()) {
+    run.length = info->length;
+    run.num_stripes = info->stripes.size();
+  }
+  run.traffic_total = dfs.traffic().total_bytes();
+  run.traffic_client = dfs.traffic().client_bytes();
+  run.catalog_fp = dfs.catalog_fingerprint();
+  return run;
+}
+
+TEST_P(ClientSchemeTest, StreamingAndPreadAreShardCountInvariant) {
+  const std::string spec = GetParam();
+  const std::size_t stripe_bytes = data_blocks(spec) * kBlockSize;
+  const Buffer data = payload(2 * stripe_bytes + kBlockSize + 9);
+
+  const ClientShardRun one = run_client_scenario(spec, 1, data);
+  EXPECT_EQ(one.whole, data);
+  for (const std::size_t shards : {std::size_t{4}, std::size_t{16}}) {
+    SCOPED_TRACE(spec + " shards=" + std::to_string(shards));
+    const ClientShardRun many = run_client_scenario(spec, shards, data);
+    EXPECT_EQ(many.whole, one.whole);
+    EXPECT_EQ(many.ranges, one.ranges);
+    EXPECT_EQ(many.length, one.length);
+    EXPECT_EQ(many.num_stripes, one.num_stripes);
+    EXPECT_DOUBLE_EQ(many.traffic_total, one.traffic_total);
+    EXPECT_DOUBLE_EQ(many.traffic_client, one.traffic_client);
+    EXPECT_EQ(many.catalog_fp, one.catalog_fp);
+  }
+}
+
+TEST(ClientShards, ConcurrentWritersOnSameAndDifferentShards) {
+  // Two handle writers streaming concurrently -- one pair of paths picked
+  // to hash to the same metadata shard, one to different shards -- must
+  // both publish intact under a 16-shard NameNode.
+  exec::ThreadPool pool(2);
+  MiniDfs dfs = make_sharded(16, &pool);
+
+  // Find a path that collides with "/c/a" and one that does not.
+  const std::size_t base = dfs.namenode().shard_of("/c/a");
+  std::string same, other;
+  for (int i = 0; same.empty() || other.empty(); ++i) {
+    const std::string candidate = "/c/b" + std::to_string(i);
+    const std::size_t shard = dfs.namenode().shard_of(candidate);
+    if (shard == base && same.empty()) same = candidate;
+    if (shard != base && other.empty()) other = candidate;
+  }
+
+  const Buffer data = payload(data_blocks("pentagon") * kBlockSize * 3, 21);
+  for (const auto& partner : {same, other}) {
+    SCOPED_TRACE(partner);
+    Client client(dfs, {.max_inflight_stripes = 2});
+    auto a = client.create("/c/a", "pentagon", kBlockSize);
+    auto b = client.create(partner, "pentagon", kBlockSize);
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    std::thread ta([&] {
+      EXPECT_TRUE(a->append(data).is_ok());
+      EXPECT_TRUE(a->close().is_ok());
+    });
+    std::thread tb([&] {
+      EXPECT_TRUE(b->append(data).is_ok());
+      EXPECT_TRUE(b->close().is_ok());
+    });
+    ta.join();
+    tb.join();
+    for (const auto& path : {std::string("/c/a"), partner}) {
+      const auto read = dfs.read_file(path);
+      ASSERT_TRUE(read.is_ok()) << path;
+      EXPECT_EQ(*read, data) << path;
+    }
+    ASSERT_TRUE(dfs.delete_file("/c/a").is_ok());
+    ASSERT_TRUE(dfs.delete_file(partner).is_ok());
   }
 }
 
