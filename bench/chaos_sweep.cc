@@ -82,6 +82,10 @@ int main(int argc, char** argv) {
   std::size_t seeds = 5;
   std::vector<std::string> schemes = ec::paper_code_specs();
   schemes.push_back("rs-10-4");
+  // Sub-packetized repair under chaos: the Clay MSR point and the
+  // piggybacked equal-overhead point ride the same fault mixes.
+  schemes.push_back("clay-6-4");
+  schemes.push_back("pgy-10-4");
   std::vector<std::string> mix_names;
   for (const auto& mix : chaos::FaultMix::presets()) {
     mix_names.push_back(mix.name);

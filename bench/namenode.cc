@@ -17,20 +17,29 @@
 //
 // Acceptance gates (asserted at exit, mirroring the PR bar):
 //   * at --gate-files files or more, mixed ops/s with 4 shards beats
-//     1 shard by more than 1.5x (the sharding claim);
+//     1 shard by more than --gate-scaling (default 1.5x, the full-size
+//     sharding claim; CI smoke runs enforce a reduced ratio sized for
+//     2-core runners via --gate-files=<smoke size> --gate-scaling=1.15);
 //   * recovery is linear in journal length: across the sweep, the max
 //     per-record replay cost is within 2.5x of the min (no superlinear
 //     blowup from map rebuilds or orphan sweeps).
 //   Below --gate-files the scaling gate is reported but not enforced --
-//   contention is too light at CI-smoke sizes for the ratio to mean much.
+//   contention is too light at CI-smoke sizes for the full ratio to mean
+//   much, which is why the smoke gate pairs a lower --gate-scaling with a
+//   matching --gate-files.
 //
 // Self-contained harness (no google-benchmark), same pattern as
 // bench_repair_qos: fixed seeds, everything a deterministic function of
 // the flags. Emits BENCH_namenode.json.
 //
-// Usage: namenode [--files=N] [--mixed-ops=N] [--threads=N]
+// Usage: namenode [--files=N] [--mixed-ops=N] [--threads=N] [--reps=N]
 //                 [--shards=CSV] [--journal-records=CSV]
-//                 [--gate-files=N] [--json=PATH]
+//                 [--gate-files=N] [--gate-scaling=X] [--json=PATH]
+//
+// --reps runs each shard sample N times and keeps the best mixed ops/s
+// (best-of-N is the standard throughput-gate estimator: interference only
+// ever slows a run down, so the max is the least-noisy observation and
+// the ratio of two maxes is what the scaling gate judges).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -230,6 +239,8 @@ int main(int argc, char** argv) {
   std::size_t mixed_ops = 400000;
   std::size_t threads = 8;
   std::size_t gate_files = 1000000;
+  double gate_scaling = 1.5;
+  std::size_t reps = 1;
   std::vector<std::size_t> shard_counts = {1, 4, 16};
   std::vector<std::size_t> journal_records = {10000, 20000, 40000, 80000};
   std::string json_path = "BENCH_namenode.json";
@@ -242,8 +253,12 @@ int main(int argc, char** argv) {
         mixed_ops = std::stoull(arg.substr(12));
       } else if (arg.rfind("--threads=", 0) == 0) {
         threads = std::stoull(arg.substr(10));
+      } else if (arg.rfind("--reps=", 0) == 0) {
+        reps = std::stoull(arg.substr(7));
       } else if (arg.rfind("--gate-files=", 0) == 0) {
         gate_files = std::stoull(arg.substr(13));
+      } else if (arg.rfind("--gate-scaling=", 0) == 0) {
+        gate_scaling = std::stod(arg.substr(15));
       } else if (arg.rfind("--shards=", 0) == 0) {
         shard_counts = split_sizes(arg.substr(9));
       } else if (arg.rfind("--journal-records=", 0) == 0) {
@@ -259,7 +274,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (files == 0 || mixed_ops == 0 || threads == 0 ||
+  if (files == 0 || mixed_ops == 0 || threads == 0 || reps == 0 ||
       shard_counts.empty() || journal_records.empty()) {
     std::fprintf(stderr, "need positive sizes\n");
     return 2;
@@ -267,12 +282,19 @@ int main(int argc, char** argv) {
 
   std::vector<ShardSample> shard_samples;
   for (const std::size_t shards : shard_counts) {
-    shard_samples.push_back(
-        run_shard_sample(shards, files, mixed_ops, threads));
+    ShardSample best;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      ShardSample sample = run_shard_sample(shards, files, mixed_ops, threads);
+      if (rep == 0 || sample.mixed_ops_per_s > best.mixed_ops_per_s) {
+        best = sample;
+      }
+    }
+    shard_samples.push_back(best);
     const auto& s = shard_samples.back();
     std::fprintf(stderr,
-                 "shards=%zu create %.0f files/s, mixed %.0f ops/s\n",
-                 s.shards, s.create_files_per_s, s.mixed_ops_per_s);
+                 "shards=%zu create %.0f files/s, mixed %.0f ops/s "
+                 "(best of %zu)\n",
+                 s.shards, s.create_files_per_s, s.mixed_ops_per_s, reps);
   }
 
   std::vector<RecoverySample> recovery_samples;
@@ -296,7 +318,7 @@ int main(int argc, char** argv) {
   const double ops4 = ops_at(4);
   const double scaling = ops1 > 0 ? ops4 / ops1 : 0;
   const bool scaling_enforced = files >= gate_files && ops1 > 0 && ops4 > 0;
-  const bool scaling_ok = !scaling_enforced || scaling > 1.5;
+  const bool scaling_ok = !scaling_enforced || scaling > gate_scaling;
 
   double min_cost = 0, max_cost = 0;
   for (const auto& s : recovery_samples) {
@@ -333,6 +355,7 @@ int main(int argc, char** argv) {
   }
   json << "  ],\n"
        << "  \"scaling_1_to_4\": " << scaling << ",\n"
+       << "  \"scaling_gate\": " << gate_scaling << ",\n"
        << "  \"scaling_gate_enforced\": "
        << (scaling_enforced ? "true" : "false") << ",\n"
        << "  \"scaling_ok\": " << (scaling_ok ? "true" : "false") << ",\n"
@@ -345,12 +368,12 @@ int main(int argc, char** argv) {
   bool ok = true;
   if (!scaling_ok) {
     std::fprintf(stderr,
-                 "GATE FAIL: mixed ops/s scaling 1->4 shards %.2fx <= 1.5x\n",
-                 scaling);
+                 "GATE FAIL: mixed ops/s scaling 1->4 shards %.2fx <= %.2fx\n",
+                 scaling, gate_scaling);
     ok = false;
   } else if (scaling_enforced) {
-    std::fprintf(stderr, "gate ok: 1->4 shard scaling %.2fx > 1.5x\n",
-                 scaling);
+    std::fprintf(stderr, "gate ok: 1->4 shard scaling %.2fx > %.2fx\n",
+                 scaling, gate_scaling);
   } else {
     std::fprintf(stderr,
                  "scaling gate not enforced (%zu files < %zu gate-files); "

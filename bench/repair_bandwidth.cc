@@ -30,9 +30,10 @@ struct PlanNumbers {
 
 PlanNumbers plan_numbers(const ec::CodeScheme& code) {
   PlanNumbers out;
-  out.single_repair = code.plan_node_repair(0)->network_blocks();
+  // All schemes in this table are alpha == 1, so units == blocks.
+  out.single_repair = code.plan_node_repair(0)->network_units();
   if (code.params().fault_tolerance >= 2 && code.num_nodes() >= 2) {
-    out.double_repair = code.plan_multi_node_repair({0, 1})->network_blocks();
+    out.double_repair = code.plan_multi_node_repair({0, 1})->network_units();
     // Find a symbol fully lost when nodes 0 and 1 fail.
     for (std::size_t sym = 0; sym < code.num_symbols(); ++sym) {
       bool fully_lost = true;
@@ -45,7 +46,7 @@ PlanNumbers plan_numbers(const ec::CodeScheme& code) {
       }
       if (fully_lost) {
         out.degraded_read =
-            code.plan_degraded_read(sym, {0, 1})->network_blocks();
+            code.plan_degraded_read(sym, {0, 1})->network_units();
         break;
       }
     }
@@ -154,7 +155,7 @@ int main(int argc, char** argv) {
       if (hl.rack_of_node(send.from_node) == 0) ++rack_local;
     }
     std::cout << "\nheptagon-local 2-node repair inside one local: "
-              << plan->network_blocks() << " blocks, " << rack_local
+              << plan->network_units() << " blocks, " << rack_local
               << " of them sourced rack-locally (expected: all).\n";
   }
   return 0;

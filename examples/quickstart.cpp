@@ -53,7 +53,7 @@ int main() {
   //    blocks total, with the shared block rebuilt from partial parities.
   const auto plan = code->plan_multi_node_repair(failed);
   std::cout << "two-node repair plan:\n" << plan->to_string() << "\n";
-  std::cout << "network cost: " << plan->network_blocks()
+  std::cout << "network cost: " << plan->network_units()
             << " blocks (paper: 10)\n";
 
   // 5. Three failures exceed the tolerance -- the library refuses loudly.

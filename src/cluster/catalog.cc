@@ -53,20 +53,69 @@ Status BlockCatalog::register_stripe_at(StripeId id,
 }
 
 Status BlockCatalog::unregister_stripe(StripeId id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  const auto it = stripes_.find(id);
-  if (it == stripes_.end() || it->second.code == nullptr) {
+  // Announce the deletion, then drain repair leases *before* taking mu_:
+  // a leased repair keeps reading catalog state (mu_ shared) while we
+  // wait, so waiting under mu_ exclusive would deadlock. New repairs see
+  // pending_delete_ and abort instead of joining the drain.
+  {
+    std::unique_lock<std::mutex> lease_lock(lease_mu_);
+    pending_delete_.insert(id);
+    lease_cv_.wait(lease_lock,
+                   [&] { return !repair_leases_.contains(id); });
+  }
+  Status removed = Status::ok();
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const auto it = stripes_.find(id);
+    if (it == stripes_.end() || it->second.code == nullptr) {
+      removed = not_found_error("no such stripe");
+    } else {
+      const StripeInfo& info = it->second;
+      for (std::size_t slot = 0; slot < info.code->layout().num_slots();
+           ++slot) {
+        const NodeId node = info.group[static_cast<std::size_t>(
+            info.code->layout().node_of_slot(slot))];
+        node_slots_[node].erase({id, slot});
+      }
+      it->second.code = nullptr;  // tombstone; ids stay stable
+      it->second.group.clear();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lease_lock(lease_mu_);
+    pending_delete_.erase(id);
+  }
+  return removed;
+}
+
+Status BlockCatalog::begin_repair(StripeId id) {
+  // Take the lease first, then check liveness: unregister_stripe always
+  // announces under lease_mu_ before tombstoning, so once we hold a lease
+  // with no pending delete, the stripe cannot vanish until end_repair.
+  {
+    std::lock_guard<std::mutex> lease_lock(lease_mu_);
+    if (pending_delete_.contains(id)) {
+      return aborted_error("stripe " + std::to_string(id) +
+                           " is being deleted");
+    }
+    ++repair_leases_[id];
+  }
+  if (!is_registered(id)) {
+    end_repair(id);
     return not_found_error("no such stripe");
   }
-  const StripeInfo& info = it->second;
-  for (std::size_t slot = 0; slot < info.code->layout().num_slots(); ++slot) {
-    const NodeId node = info.group[static_cast<std::size_t>(
-        info.code->layout().node_of_slot(slot))];
-    node_slots_[node].erase({id, slot});
-  }
-  it->second.code = nullptr;  // tombstone; ids stay stable
-  it->second.group.clear();
   return Status::ok();
+}
+
+void BlockCatalog::end_repair(StripeId id) {
+  std::lock_guard<std::mutex> lease_lock(lease_mu_);
+  const auto it = repair_leases_.find(id);
+  DBLREP_CHECK_MSG(it != repair_leases_.end() && it->second > 0,
+                   "end_repair without matching begin_repair");
+  if (--it->second == 0) {
+    repair_leases_.erase(it);
+    lease_cv_.notify_all();
+  }
 }
 
 Status BlockCatalog::seal_stripe(StripeId id) {

@@ -14,15 +14,18 @@
 //
 // Thread-safe: all methods synchronize on an internal shared mutex, and
 // stripe records live in a node-based map so the references stripe() hands
-// out stay valid across concurrent registrations. The one caveat is
-// unregistration: a reference obtained from stripe() is invalidated by
-// unregister_stripe() of that same id, so callers must not delete a stripe
-// while another thread still operates on it (MiniDfs enforces this with
-// its per-path namespace locks).
+// out stay valid across concurrent registrations. Unregistration is
+// coordinated through repair leases: a repair pass pins its stripe with
+// begin_repair() before touching it, and unregister_stripe() announces the
+// deletion (so new repairs abort cleanly) and then drain-waits for live
+// leases before tombstoning the record. A stripe() reference held without
+// a lease is still invalidated by a concurrent unregister_stripe().
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <shared_mutex>
@@ -76,8 +79,19 @@ class BlockCatalog {
   bool is_sealed(StripeId id) const;
 
   /// Removes a stripe (file deletion); its id becomes a tombstone and its
-  /// slots disappear from every node's listing.
+  /// slots disappear from every node's listing. Blocks until every repair
+  /// lease on the stripe (begin_repair) has been released; repairs that
+  /// arrive after the call has announced itself abort with ABORTED instead
+  /// of racing the deletion.
   Status unregister_stripe(StripeId id);
+
+  /// Pins a stripe against deletion for the duration of a repair pass.
+  /// Returns NOT_FOUND if the stripe is unknown or already tombstoned, and
+  /// ABORTED if a deletion has announced itself and is draining leases --
+  /// repair callers treat both as "skip this stripe cleanly". On OK the
+  /// caller must balance with end_repair(); leases nest (refcounted).
+  Status begin_repair(StripeId id);
+  void end_repair(StripeId id);
 
   /// Ids of live (non-tombstoned) stripes. num_stripes counts live only.
   bool is_registered(StripeId id) const;
@@ -121,6 +135,14 @@ class BlockCatalog {
   /// identical to registration order in the single-catalog case (ids are
   /// assigned monotonically) and deterministic under sharding.
   std::map<NodeId, std::set<SlotAddress>> node_slots_;
+  /// Repair-lease state lives under its own mutex: unregister_stripe must
+  /// be able to drain-wait on leases *before* taking mu_, so a leased
+  /// repair can keep reading catalog state (which needs mu_ shared) while
+  /// the deleter waits.
+  mutable std::mutex lease_mu_;
+  std::condition_variable lease_cv_;
+  std::map<StripeId, std::size_t> repair_leases_;
+  std::set<StripeId> pending_delete_;
 };
 
 }  // namespace dblrep::cluster

@@ -9,7 +9,9 @@ double repair_traffic_multiplier(const ec::CodeScheme& code) {
   DBLREP_CHECK_MSG(plan.is_ok(), "single-node repair must always be plannable");
   const double rebuilt =
       static_cast<double>(code.layout().slots_on_node(0).size());
-  return static_cast<double>(plan->network_blocks()) / rebuilt;
+  // Units transferred per unit rebuilt: both scale by the sub-chunk count,
+  // so the ratio is a byte ratio for sub-packetized schemes too.
+  return static_cast<double>(plan->network_units()) / rebuilt;
 }
 
 TransientSimReport simulate_transient_failures(

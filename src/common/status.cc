@@ -14,6 +14,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kCorruption: return "CORRUPTION";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kAborted: return "ABORTED";
   }
   return "UNKNOWN";
 }
@@ -54,6 +55,9 @@ Status resource_exhausted_error(std::string message) {
 }
 Status internal_error(std::string message) {
   return {StatusCode::kInternal, std::move(message)};
+}
+Status aborted_error(std::string message) {
+  return {StatusCode::kAborted, std::move(message)};
 }
 
 }  // namespace dblrep

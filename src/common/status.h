@@ -27,6 +27,7 @@ enum class StatusCode {
   kCorruption,      // checksum mismatch / torn block
   kResourceExhausted, // out of capacity (slots, space)
   kInternal,        // invariant broke in a recoverable context
+  kAborted,         // lost a concurrency race; caller may retry or skip
 };
 
 /// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
@@ -68,6 +69,7 @@ Status failed_precondition_error(std::string message);
 Status corruption_error(std::string message);
 Status resource_exhausted_error(std::string message);
 Status internal_error(std::string message);
+Status aborted_error(std::string message);
 
 /// Result<T> holds either a T or a non-OK Status.
 ///

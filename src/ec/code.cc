@@ -3,79 +3,34 @@
 #include <algorithm>
 #include <map>
 
+#include "ec/subchunk.h"
+
 namespace dblrep::ec {
-
-namespace {
-
-/// Incremental GF(2^8) row-space tracker for greedy basis selection.
-class RowSpace {
- public:
-  explicit RowSpace(std::size_t cols) : cols_(cols) {}
-
-  std::size_t rank() const { return reduced_.size(); }
-
-  /// Tries to add `row`; returns true iff it was independent of the span.
-  bool add(std::span<const gf::Elem> row) {
-    std::vector<gf::Elem> work(row.begin(), row.end());
-    reduce(work);
-    const auto lead = leading(work);
-    if (lead == cols_) return false;
-    const gf::Elem scale = gf::inv(work[lead]);
-    for (auto& cell : work) cell = gf::mul(cell, scale);
-    // Keep reduced_ sorted by leading column so reduce() is one pass.
-    reduced_.push_back({lead, std::move(work)});
-    std::sort(reduced_.begin(), reduced_.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    return true;
-  }
-
- private:
-  std::size_t leading(const std::vector<gf::Elem>& row) const {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      if (row[c] != 0) return c;
-    }
-    return cols_;
-  }
-
-  void reduce(std::vector<gf::Elem>& row) const {
-    for (const auto& [lead, basis_row] : reduced_) {
-      if (row[lead] == 0) continue;
-      const gf::Elem factor = row[lead];
-      for (std::size_t c = 0; c < cols_; ++c) {
-        row[c] = gf::add(row[c], gf::mul(factor, basis_row[c]));
-      }
-    }
-  }
-
-  std::size_t cols_;
-  std::vector<std::pair<std::size_t, std::vector<gf::Elem>>> reduced_;
-};
-
-}  // namespace
 
 CodeScheme::CodeScheme(CodeParams params, StripeLayout layout,
                        gf::Matrix generator)
     : params_(std::move(params)),
       layout_(std::move(layout)),
       generator_(std::move(generator)) {
+  DBLREP_CHECK_GE(params_.sub_chunks, 1u);
+  const std::size_t units = params_.data_units();
   DBLREP_CHECK_EQ(generator_.rows(), params_.num_symbols);
-  DBLREP_CHECK_EQ(generator_.cols(), params_.data_blocks);
+  DBLREP_CHECK_EQ(generator_.cols(), units);
   DBLREP_CHECK_EQ(layout_.num_symbols(), params_.num_symbols);
   DBLREP_CHECK_EQ(layout_.num_nodes(), params_.num_nodes);
   DBLREP_CHECK_EQ(layout_.num_slots(), params_.stored_blocks);
-  // Systematic prefix: symbol i == data block i for i < k.
-  for (std::size_t i = 0; i < params_.data_blocks; ++i) {
-    for (std::size_t j = 0; j < params_.data_blocks; ++j) {
+  // Systematic prefix: symbol u == data unit u for u < k*alpha.
+  for (std::size_t i = 0; i < units; ++i) {
+    for (std::size_t j = 0; j < units; ++j) {
       DBLREP_CHECK_EQ(static_cast<int>(generator_.at(i, j)),
                       static_cast<int>(i == j ? 1 : 0));
     }
   }
   // The generator must have full column rank, otherwise the code cannot
   // even decode from a fault-free stripe.
-  DBLREP_CHECK_EQ(generator_.rank(), params_.data_blocks);
-  parity_coeffs_.reserve(
-      (params_.num_symbols - params_.data_blocks) * params_.data_blocks);
-  for (std::size_t j = params_.data_blocks; j < params_.num_symbols; ++j) {
+  DBLREP_CHECK_EQ(generator_.rank(), units);
+  parity_coeffs_.reserve((params_.num_symbols - units) * units);
+  for (std::size_t j = units; j < params_.num_symbols; ++j) {
     const auto row = generator_.row(j);
     parity_coeffs_.insert(parity_coeffs_.end(), row.begin(), row.end());
   }
@@ -83,18 +38,18 @@ CodeScheme::CodeScheme(CodeParams params, StripeLayout layout,
 
 void CodeScheme::encode_into(std::span<const ByteSpan> data,
                              std::span<const MutableByteSpan> symbols) const {
-  const std::size_t k = params_.data_blocks;
-  DBLREP_CHECK_EQ(data.size(), k);
+  const std::size_t units = params_.data_units();
+  DBLREP_CHECK_EQ(data.size(), units);
   DBLREP_CHECK_EQ(symbols.size(), params_.num_symbols);
-  const std::size_t block_size = data.empty() ? 0 : data[0].size();
-  for (std::size_t i = 0; i < k; ++i) {
-    DBLREP_CHECK_EQ(data[i].size(), block_size);
-    DBLREP_CHECK_EQ(symbols[i].size(), block_size);
-    if (symbols[i].data() != data[i].data() && block_size != 0) {
+  const std::size_t unit_size = data.empty() ? 0 : data[0].size();
+  for (std::size_t i = 0; i < units; ++i) {
+    DBLREP_CHECK_EQ(data[i].size(), unit_size);
+    DBLREP_CHECK_EQ(symbols[i].size(), unit_size);
+    if (symbols[i].data() != data[i].data() && unit_size != 0) {
       std::copy(data[i].begin(), data[i].end(), symbols[i].begin());
     }
   }
-  gf::matrix_apply(parity_coeffs_, data, symbols.subspan(k));
+  gf::matrix_apply(parity_coeffs_, data, symbols.subspan(units));
 }
 
 std::vector<Buffer> CodeScheme::encode_symbols(
@@ -102,13 +57,23 @@ std::vector<Buffer> CodeScheme::encode_symbols(
   DBLREP_CHECK_EQ(data.size(), params_.data_blocks);
   const std::size_t block_size = data.empty() ? 0 : data[0].size();
   for (const auto& block : data) DBLREP_CHECK_EQ(block.size(), block_size);
+  const std::size_t alpha = params_.sub_chunks;
+  DBLREP_CHECK_EQ(block_size % alpha, 0u);
+  const std::size_t unit_size = block_size / alpha;
 
   std::vector<Buffer> symbols(params_.num_symbols);
-  std::vector<ByteSpan> data_views(data.begin(), data.end());
+  std::vector<ByteSpan> data_views;
+  data_views.reserve(params_.data_units());
+  for (const auto& block : data) {
+    for (std::size_t a = 0; a < alpha; ++a) {
+      data_views.emplace_back(
+          ByteSpan(block).subspan(a * unit_size, unit_size));
+    }
+  }
   std::vector<MutableByteSpan> symbol_views;
   symbol_views.reserve(params_.num_symbols);
   for (std::size_t j = 0; j < params_.num_symbols; ++j) {
-    symbols[j].resize(block_size);
+    symbols[j].resize(unit_size);
     symbol_views.emplace_back(symbols[j]);
   }
   encode_into(data_views, symbol_views);
@@ -139,73 +104,95 @@ CodeScheme::surviving_symbol_slots(const std::set<NodeIndex>& failed) const {
 }
 
 bool CodeScheme::is_recoverable(const std::set<NodeIndex>& failed) const {
-  RowSpace space(params_.data_blocks);
+  const std::size_t units = params_.data_units();
+  RowSpace space(units);
   for (const auto& [sym, slot] : surviving_symbol_slots(failed)) {
     (void)slot;
     space.add(generator_.row(sym));
-    if (space.rank() == params_.data_blocks) return true;
+    if (space.rank() == units) return true;
   }
-  return space.rank() == params_.data_blocks;
+  return space.rank() == units;
 }
 
 Result<std::vector<Buffer>> CodeScheme::decode(const SlotStore& store,
                                                std::size_t block_size) const {
   const std::size_t k = params_.data_blocks;
+  const std::size_t alpha = params_.sub_chunks;
+  const std::size_t units = params_.data_units();
+  if (block_size % alpha != 0) {
+    return invalid_argument_error("decode: block size not divisible by alpha");
+  }
+  const std::size_t unit_size = block_size / alpha;
 
-  // Locate one available slot per symbol.
+  // Locate one available slot per symbol (a symbol holds one unit).
   std::vector<std::optional<std::size_t>> symbol_slot(params_.num_symbols);
   for (const auto& [slot, bytes] : store) {
     if (slot >= layout_.num_slots()) {
       return invalid_argument_error("store contains unknown slot");
     }
-    if (bytes.size() != block_size) {
+    if (bytes.size() != unit_size) {
       return invalid_argument_error("decode: block size mismatch");
     }
     auto& entry = symbol_slot[layout_.symbol_of_slot(slot)];
     if (!entry) entry = slot;
   }
 
-  // Fast path: every systematic symbol is present.
+  // Fast path: every systematic unit is present -- reassemble blocks.
   bool all_systematic = true;
-  for (std::size_t i = 0; i < k; ++i) {
-    if (!symbol_slot[i]) {
+  for (std::size_t u = 0; u < units; ++u) {
+    if (!symbol_slot[u]) {
       all_systematic = false;
       break;
     }
   }
   std::vector<Buffer> data(k);
   if (all_systematic) {
-    for (std::size_t i = 0; i < k; ++i) data[i] = store.at(*symbol_slot[i]);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (alpha == 1) {
+        data[i] = store.at(*symbol_slot[i]);
+        continue;
+      }
+      data[i].resize(block_size);
+      for (std::size_t a = 0; a < alpha; ++a) {
+        const auto& unit = store.at(*symbol_slot[i * alpha + a]);
+        std::copy(unit.begin(), unit.end(),
+                  data[i].begin() + static_cast<std::ptrdiff_t>(a * unit_size));
+      }
+    }
     return data;
   }
 
   // General path: greedy basis of surviving rows, then solve.
-  RowSpace space(k);
+  RowSpace space(units);
   std::vector<std::size_t> basis_symbols;
-  for (std::size_t sym = 0; sym < params_.num_symbols && basis_symbols.size() < k;
-       ++sym) {
+  for (std::size_t sym = 0;
+       sym < params_.num_symbols && basis_symbols.size() < units; ++sym) {
     if (!symbol_slot[sym]) continue;
     if (space.add(generator_.row(sym))) basis_symbols.push_back(sym);
   }
-  if (basis_symbols.size() < k) {
+  if (basis_symbols.size() < units) {
     return data_loss_error("stripe not recoverable from surviving blocks");
   }
   auto inverse = generator_.select_rows(basis_symbols).inverse();
   if (!inverse.is_ok()) return inverse.status();
 
-  // One fused pass: data = inverse * basis-symbol blocks.
+  // One fused pass: data units = inverse * basis-symbol units, written
+  // straight into their sub-chunk positions inside the output blocks.
   std::vector<ByteSpan> sources;
-  sources.reserve(k);
-  for (std::size_t j = 0; j < k; ++j) {
+  sources.reserve(units);
+  for (std::size_t j = 0; j < units; ++j) {
     sources.emplace_back(store.at(*symbol_slot[basis_symbols[j]]));
   }
-  std::vector<gf::Elem> coeffs(k * k);
+  for (std::size_t i = 0; i < k; ++i) data[i].resize(block_size);
+  std::vector<gf::Elem> coeffs(units * units);
   std::vector<MutableByteSpan> outputs;
-  outputs.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    data[i].resize(block_size);
-    outputs.emplace_back(data[i]);
-    for (std::size_t j = 0; j < k; ++j) coeffs[i * k + j] = inverse->at(i, j);
+  outputs.reserve(units);
+  for (std::size_t u = 0; u < units; ++u) {
+    outputs.emplace_back(MutableByteSpan(data[u / alpha])
+                             .subspan((u % alpha) * unit_size, unit_size));
+    for (std::size_t j = 0; j < units; ++j) {
+      coeffs[u * units + j] = inverse->at(u, j);
+    }
   }
   gf::matrix_apply(coeffs, sources, outputs);
   return data;
@@ -292,36 +279,25 @@ Result<RepairPlan> CodeScheme::plan_multi_node_repair(
       }
       for (std::size_t s = 0; s < layout_.num_slots(); ++s) consider(s);
     }
-    RowSpace space(params_.data_blocks);
+    RowSpace space(params_.data_units());
     std::vector<std::size_t> basis_symbols;
     std::vector<std::size_t> basis_slots;
     for (const auto& [sym, src_slot] : candidates) {
-      if (space.rank() == params_.data_blocks) break;
+      if (space.rank() == params_.data_units()) break;
       if (space.add(generator_.row(sym))) {
         basis_symbols.push_back(sym);
         basis_slots.push_back(src_slot);
       }
     }
-    // Express the lost symbol over the basis: solve basis^T coeffs = target.
-    gf::Matrix basis = generator_.select_rows(basis_symbols);
-    gf::Matrix basis_t(basis.cols(), basis.rows());
-    for (std::size_t r = 0; r < basis.rows(); ++r) {
-      for (std::size_t c = 0; c < basis.cols(); ++c) {
-        basis_t.set(c, r, basis.at(r, c));
-      }
-    }
-    gf::Matrix target_t(params_.data_blocks, 1);
-    for (std::size_t c = 0; c < params_.data_blocks; ++c) {
-      target_t.set(c, 0, generator_.at(symbol, c));
-    }
-    auto coeffs = basis_t.solve(target_t);
+    // Express the lost symbol over the basis.
+    auto coeffs = express_over_rows(generator_, basis_symbols, symbol);
     if (!coeffs.is_ok()) return coeffs.status();
 
     // Fold contributions per source node.
     std::map<NodeIndex, std::vector<PartialTerm>> per_node;
     std::vector<PartialTerm> local_terms;
     for (std::size_t j = 0; j < basis_symbols.size(); ++j) {
-      const gf::Elem coeff = coeffs->at(j, 0);
+      const gf::Elem coeff = (*coeffs)[j];
       if (coeff == 0) continue;
       const NodeIndex src_node = layout_.node_of_slot(basis_slots[j]);
       if (src_node == node) {
@@ -349,6 +325,31 @@ Result<RepairPlan> CodeScheme::plan_degraded_read(
   return generic_degraded_read(symbol, failed);
 }
 
+Result<RepairPlan> CodeScheme::plan_degraded_block(
+    std::size_t block, const std::set<NodeIndex>& failed) const {
+  DBLREP_CHECK_LT(block, params_.data_blocks);
+  const std::size_t alpha = params_.sub_chunks;
+  if (alpha == 1) return plan_degraded_read(block, failed);
+
+  // Merge the per-unit degraded-read plans: client reconstructions stay in
+  // unit order, aggregate indices shift by the units already merged.
+  RepairPlan plan;
+  for (std::size_t a = 0; a < alpha; ++a) {
+    auto unit_plan = plan_degraded_read(block * alpha + a, failed);
+    if (!unit_plan.is_ok()) return unit_plan.status();
+    const std::size_t base = plan.aggregates.size();
+    for (auto& send : unit_plan->aggregates) {
+      for (auto& [index, coeff] : send.from_aggregates) index += base;
+      plan.aggregates.push_back(std::move(send));
+    }
+    for (auto& rec : unit_plan->reconstructions) {
+      for (auto& [index, coeff] : rec.from_aggregates) index += base;
+      plan.reconstructions.push_back(std::move(rec));
+    }
+  }
+  return plan;
+}
+
 Result<RepairPlan> CodeScheme::generic_degraded_read(
     std::size_t symbol, const std::set<NodeIndex>& failed) const {
   DBLREP_CHECK_LT(symbol, params_.num_symbols);
@@ -367,34 +368,25 @@ Result<RepairPlan> CodeScheme::generic_degraded_read(
   // On-the-fly repair: express the symbol over a surviving basis and fold
   // per-node partial parities (Section 3.1 of the paper).
   const auto survivors = surviving_symbol_slots(failed);
-  RowSpace space(params_.data_blocks);
+  RowSpace space(params_.data_units());
   std::vector<std::size_t> basis_symbols;
   std::vector<std::size_t> basis_slots;
   for (const auto& [sym, slot] : survivors) {
-    if (space.rank() == params_.data_blocks) break;
+    if (space.rank() == params_.data_units()) break;
     if (space.add(generator_.row(sym))) {
       basis_symbols.push_back(sym);
       basis_slots.push_back(slot);
     }
   }
-  if (basis_symbols.size() < params_.data_blocks) {
+  if (basis_symbols.size() < params_.data_units()) {
     return data_loss_error("degraded read: symbol unrecoverable");
   }
-  gf::Matrix basis = generator_.select_rows(basis_symbols);
-  gf::Matrix basis_t(basis.cols(), basis.rows());
-  for (std::size_t r = 0; r < basis.rows(); ++r) {
-    for (std::size_t c = 0; c < basis.cols(); ++c) basis_t.set(c, r, basis.at(r, c));
-  }
-  gf::Matrix target_t(params_.data_blocks, 1);
-  for (std::size_t c = 0; c < params_.data_blocks; ++c) {
-    target_t.set(c, 0, generator_.at(symbol, c));
-  }
-  auto coeffs = basis_t.solve(target_t);
+  auto coeffs = express_over_rows(generator_, basis_symbols, symbol);
   if (!coeffs.is_ok()) return coeffs.status();
 
   std::map<NodeIndex, std::vector<PartialTerm>> per_node;
   for (std::size_t j = 0; j < basis_symbols.size(); ++j) {
-    const gf::Elem coeff = coeffs->at(j, 0);
+    const gf::Elem coeff = (*coeffs)[j];
     if (coeff == 0) continue;
     per_node[layout_.node_of_slot(basis_slots[j])].push_back(
         {basis_slots[j], coeff});

@@ -31,17 +31,30 @@
 namespace dblrep::ec {
 
 /// Static descriptors of a code, the quantities in the paper's Table 1.
+///
+/// Sub-packetization: a scheme may split every block into `sub_chunks` (α)
+/// equal sub-symbols. All unit-granular quantities (num_symbols,
+/// stored_blocks, layout slots, generator dimensions) then count
+/// sub-symbols, not blocks: a stripe stores `stored_blocks` units of
+/// block_size/α bytes each, and the generator maps data_blocks·α data
+/// units to num_symbols coded units. α == 1 (every pre-existing scheme)
+/// keeps units == blocks and the historical semantics exactly.
 struct CodeParams {
   std::string name;
-  std::size_t data_blocks = 0;      // k
-  std::size_t stored_blocks = 0;    // total slots in a stripe
-  std::size_t num_symbols = 0;      // distinct coded blocks
+  std::size_t data_blocks = 0;      // k (external blocks)
+  std::size_t stored_blocks = 0;    // total slots (units) in a stripe
+  std::size_t num_symbols = 0;      // distinct coded units
   std::size_t num_nodes = 0;        // code length (Table 1 column 3)
   int fault_tolerance = 0;          // any t node failures are recoverable
+  std::size_t sub_chunks = 1;       // α: units per block
 
-  /// Table 1 column 2: stored blocks per data block.
+  /// Data units per stripe: the generator's column dimension.
+  std::size_t data_units() const { return data_blocks * sub_chunks; }
+
+  /// Table 1 column 2: stored units per data unit (== stored blocks per
+  /// data block when α == 1).
   double storage_overhead() const {
-    return static_cast<double>(stored_blocks) / static_cast<double>(data_blocks);
+    return static_cast<double>(stored_blocks) / static_cast<double>(data_units());
   }
 };
 
@@ -55,44 +68,53 @@ class CodeScheme {
   const CodeParams& params() const { return params_; }
   const StripeLayout& layout() const { return layout_; }
 
-  /// Generator matrix, num_symbols x k. Symbols [0, k) are systematic
-  /// (identity rows) for every scheme in this library.
+  /// Generator matrix, num_symbols x data_units(). Symbols
+  /// [0, data_units()) are systematic (identity rows) for every scheme in
+  /// this library; data unit u is sub-chunk u % α of block u / α.
   const gf::Matrix& generator() const { return generator_; }
 
-  /// Rows [k, num_symbols) of the generator as one contiguous row-major
-  /// block -- the coefficient operand for gf::matrix_apply. Cached at
-  /// construction so encoders never re-gather rows.
+  /// Rows [data_units(), num_symbols) of the generator as one contiguous
+  /// row-major block -- the coefficient operand for gf::matrix_apply.
+  /// Cached at construction so encoders never re-gather rows.
   std::span<const gf::Elem> parity_coeffs() const { return parity_coeffs_; }
 
   std::size_t data_blocks() const { return params_.data_blocks; }
   std::size_t num_symbols() const { return params_.num_symbols; }
   std::size_t num_nodes() const { return params_.num_nodes; }
+  std::size_t sub_chunks() const { return params_.sub_chunks; }
+  std::size_t data_units() const { return params_.data_units(); }
 
   /// Encodes k equal-sized data blocks into one buffer per slot (replicated
-  /// symbols are duplicated). Order matches layout slot indices.
+  /// symbols are duplicated). Order matches layout slot indices; each slot
+  /// buffer is block_size / α bytes. block_size must be divisible by α.
   std::vector<Buffer> encode(std::span<const Buffer> data) const;
 
-  /// Computes the distinct symbols only (no replica duplication).
+  /// Computes the distinct symbols (units) only, no replica duplication.
   std::vector<Buffer> encode_symbols(std::span<const Buffer> data) const;
 
   /// Zero-allocation core encoder: writes all num_symbols symbol buffers
   /// (systematic copies included) into caller-provided, equal-sized
-  /// `symbols` spans. Parity rows are computed with one fused matrix_apply
-  /// pass over the cached parity coefficient block. Aliasing: a systematic
-  /// symbol span may exactly alias its own data span (the copy is skipped
-  /// -- the zero-copy path); parity spans must not alias any data span,
-  /// and partial overlap anywhere is a contract violation. This is the
-  /// entry point StripeCodec batches through; encode()/encode_symbols()
-  /// are allocation-owning wrappers.
+  /// `symbols` spans. Operates at UNIT granularity: `data` is the stripe's
+  /// data_units() sub-chunk views in unit order (block-major: unit
+  /// b·α + a is sub-chunk a of block b), each block_size/α bytes -- for
+  /// α == 1 that is exactly the k block views. Parity rows are computed
+  /// with one fused matrix_apply pass over the cached parity coefficient
+  /// block. Aliasing: a systematic symbol span may exactly alias its own
+  /// data span (the copy is skipped -- the zero-copy path); parity spans
+  /// must not alias any data span, and partial overlap anywhere is a
+  /// contract violation. This is the entry point StripeCodec batches
+  /// through; encode()/encode_symbols() are allocation-owning wrappers.
   void encode_into(std::span<const ByteSpan> data,
                    std::span<const MutableByteSpan> symbols) const;
 
   /// True iff the data survives failure of exactly this node set.
   bool is_recoverable(const std::set<NodeIndex>& failed_nodes) const;
 
-  /// Recovers all k data blocks from the slots present in `store`
-  /// (slots on failed nodes simply absent). Uses systematic fast paths
-  /// where possible and Gaussian elimination otherwise.
+  /// Recovers all k data blocks (full block_size bytes each, sub-chunks
+  /// re-concatenated) from the slots present in `store` (slots on failed
+  /// nodes simply absent; each stored entry is one block_size/α unit).
+  /// Uses systematic fast paths where possible and Gaussian elimination
+  /// otherwise.
   Result<std::vector<Buffer>> decode(const SlotStore& store,
                                      std::size_t block_size) const;
 
@@ -106,11 +128,20 @@ class CodeScheme {
   virtual Result<RepairPlan> plan_multi_node_repair(
       const std::set<NodeIndex>& failed) const;
 
-  /// Plan to deliver one symbol to a client while `failed` nodes are down
-  /// (the paper's on-the-fly repair during an MR job, Section 3.1). If a
-  /// replica of the symbol survives, this is a single copy.
+  /// Plan to deliver one symbol (one unit, for α > 1) to a client while
+  /// `failed` nodes are down (the paper's on-the-fly repair during an MR
+  /// job, Section 3.1). If a replica of the symbol survives, this is a
+  /// single copy.
   virtual Result<RepairPlan> plan_degraded_read(
       std::size_t symbol, const std::set<NodeIndex>& failed) const;
+
+  /// Plan to deliver one full data BLOCK to a client: the α client
+  /// reconstructions for units [block·α, (block+1)·α), in unit order, so
+  /// the executor's delivered buffers concatenate back into the block.
+  /// Default: the per-unit degraded-read plans merged into one plan (for
+  /// α == 1 this is exactly plan_degraded_read(block, failed)).
+  virtual Result<RepairPlan> plan_degraded_block(
+      std::size_t block, const std::set<NodeIndex>& failed) const;
 
   /// Verifies that a full slot set is a valid codeword (replicas identical,
   /// parities consistent). Used by scrub paths and tests.

@@ -44,7 +44,7 @@ std::size_t cross_rack_sends(const RepairPlan& plan,
 /// Guarantees, for any input plan:
 ///  * executing the result is byte-identical to executing the input;
 ///  * cross_rack_sends(result) <= cross_rack_sends(input);
-///  * network_blocks() never increases (and is exactly unchanged for the
+///  * network_units() never increases (and is exactly unchanged for the
 ///    per-node-folded plans this library's planners emit);
 ///  * layering an already-layered plan is a no-op.
 RepairPlan layer_plan(const RepairPlan& plan, std::span<const int> node_racks,

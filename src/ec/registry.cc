@@ -2,7 +2,9 @@
 
 #include <charconv>
 
+#include "ec/clay.h"
 #include "ec/local_polygon.h"
+#include "ec/piggyback.h"
 #include "ec/polygon.h"
 #include "ec/raid_mirror.h"
 #include "ec/replication.h"
@@ -34,6 +36,12 @@ Result<std::unique_ptr<CodeScheme>> make_code(const std::string& spec) {
   }
   if (spec == "heptagon-local") {
     return std::unique_ptr<CodeScheme>(std::make_unique<LocalPolygonCode>(7));
+  }
+  if (spec == "clay-6-4") {
+    return std::unique_ptr<CodeScheme>(std::make_unique<ClayCode>());
+  }
+  if (spec == "pgy-10-4") {
+    return std::unique_ptr<CodeScheme>(std::make_unique<PiggybackCode>());
   }
   if (spec.ends_with("-rep")) {
     if (const auto r = parse_int(spec.substr(0, spec.size() - 4)); r && *r >= 1) {

@@ -17,6 +17,8 @@ namespace dblrep::ec {
 ///   "heptagon-local", "polygon-<n>-local"
 ///   "raidm-<k>"  (the (k+1,k) RAID+m scheme; paper uses raidm-9, raidm-11)
 ///   "rs-<k>-<m>"
+///   "clay-6-4"   (sub-packetized MSR, alpha = 8)
+///   "pgy-10-4"   (piggybacked RS(10,4), alpha = 2)
 Result<std::unique_ptr<CodeScheme>> make_code(const std::string& spec);
 
 /// Spec strings for every scheme that appears in the paper's evaluation.

@@ -23,7 +23,7 @@ std::size_t RepairPlan::relay_sends() const {
 
 std::string RepairPlan::to_string() const {
   std::ostringstream os;
-  os << "plan: " << aggregates.size() << " network blocks ("
+  os << "plan: " << aggregates.size() << " network units ("
      << partial_parity_sends() << " partial parities)\n";
   for (std::size_t i = 0; i < aggregates.size(); ++i) {
     const auto& send = aggregates[i];

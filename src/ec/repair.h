@@ -1,6 +1,8 @@
 // Repair plans: first-class, executable descriptions of recovery traffic.
 //
-// A RepairPlan says exactly which blocks cross the network, so the same
+// A RepairPlan says exactly which unit-sized payloads cross the network
+// (whole blocks for α == 1 schemes, block/α sub-chunks for sub-packetized
+// ones), so the same
 // object drives (a) actual byte-level recovery in the ec/hdfs layers and
 // (b) the repair-bandwidth numbers of the paper's Section 2.1/3.1 (pentagon
 // two-node repair = 10 blocks; degraded read = 3 blocks vs RAID+m's 9).
@@ -88,8 +90,19 @@ struct RepairPlan {
   std::vector<AggregateSend> aggregates;
   std::vector<Reconstruction> reconstructions;
 
-  /// Network cost in units of one block -- the metric the paper reports.
-  std::size_t network_blocks() const { return aggregates.size(); }
+  /// Network cost in units: each aggregate ships one unit-sized payload
+  /// (a full block for α == 1 schemes, a block_size/α sub-chunk for
+  /// sub-packetized ones). For α == 1 this is exactly the block count the
+  /// paper reports; mixed-α comparisons must go through network_bytes().
+  std::size_t network_units() const { return aggregates.size(); }
+
+  /// Network cost in bytes for a stripe of `block_size`-byte blocks under
+  /// `sub_chunks`-way sub-packetization. block_size must be divisible by
+  /// sub_chunks.
+  std::size_t network_bytes(std::size_t block_size,
+                            std::size_t sub_chunks) const {
+    return aggregates.size() * (block_size / sub_chunks);
+  }
 
   /// Number of sends that are partial parities rather than plain copies.
   std::size_t partial_parity_sends() const;

@@ -24,22 +24,27 @@ std::size_t StripeCodec::batch_stripes(std::size_t block_size) const {
 std::span<const ByteSpan> StripeCodec::encode_stripe(ByteSpan stripe_data,
                                                      std::size_t block_size) {
   DBLREP_CHECK_GT(block_size, 0u);
-  const std::size_t k = code_->data_blocks();
+  DBLREP_CHECK_EQ(block_size % code_->sub_chunks(), 0u);
+  // Unit granularity: data unit u = sub-chunk u % alpha of block u / alpha
+  // starts at byte u * unit_size of the stripe, so unit views tile the
+  // caller's contiguous data exactly like block views do when alpha == 1.
+  const std::size_t unit_size = block_size / code_->sub_chunks();
+  const std::size_t units = code_->data_units();
   const std::size_t num_symbols = code_->num_symbols();
   DBLREP_CHECK_LE(stripe_data.size(), stripe_bytes(block_size));
 
   arena_.reset();
   data_views_.clear();
 
-  // Full blocks are zero-copy views into the caller's data; the ragged tail
+  // Full units are zero-copy views into the caller's data; the ragged tail
   // (if any) is staged through the arena, which zero-fills on alloc.
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t begin = i * block_size;
-    if (begin + block_size <= stripe_data.size()) {
-      data_views_.push_back(stripe_data.subspan(begin, block_size));
+  for (std::size_t i = 0; i < units; ++i) {
+    const std::size_t begin = i * unit_size;
+    if (begin + unit_size <= stripe_data.size()) {
+      data_views_.push_back(stripe_data.subspan(begin, unit_size));
       continue;
     }
-    MutableByteSpan staged = arena_.alloc(block_size);
+    MutableByteSpan staged = arena_.alloc(unit_size);
     if (begin < stripe_data.size()) {
       const std::size_t len = stripe_data.size() - begin;
       std::memcpy(staged.data(), stripe_data.data() + begin, len);
@@ -50,9 +55,9 @@ std::span<const ByteSpan> StripeCodec::encode_stripe(ByteSpan stripe_data,
   parity_views_.clear();
   // Uninitialized on purpose: matrix_apply fully overwrites every row.
   MutableByteSpan parity_block =
-      arena_.alloc_uninit((num_symbols - k) * block_size);
-  for (std::size_t j = 0; j < num_symbols - k; ++j) {
-    parity_views_.push_back(parity_block.subspan(j * block_size, block_size));
+      arena_.alloc_uninit((num_symbols - units) * unit_size);
+  for (std::size_t j = 0; j < num_symbols - units; ++j) {
+    parity_views_.push_back(parity_block.subspan(j * unit_size, unit_size));
   }
   gf::matrix_apply(code_->parity_coeffs(), data_views_, parity_views_);
 
@@ -67,8 +72,10 @@ Status StripeCodec::encode_batch(
     const std::function<Status(std::size_t, std::span<const ByteSpan>)>&
         sink) {
   DBLREP_CHECK_GT(block_size, 0u);
-  const std::size_t k = code_->data_blocks();
-  const std::size_t num_parity = code_->num_symbols() - k;
+  DBLREP_CHECK_EQ(block_size % code_->sub_chunks(), 0u);
+  const std::size_t unit_size = block_size / code_->sub_chunks();
+  const std::size_t units = code_->data_units();
+  const std::size_t num_parity = code_->num_symbols() - units;
   const std::size_t per_stripe = stripe_bytes(block_size);
   const std::size_t stripes = stripe_count(data.size(), block_size);
   const std::size_t max_batch = batch_stripes(block_size);
@@ -80,18 +87,18 @@ Status StripeCodec::encode_batch(
     parity_views_.clear();
 
     // Sources for every stripe in the batch, in group order: stripe s
-    // occupies data_views_[s*k, (s+1)*k). Full blocks are zero-copy views
-    // into the caller's data; only the ragged tail of the final stripe is
-    // staged through the arena (zero-filled on alloc).
+    // occupies data_views_[s*units, (s+1)*units). Full units are zero-copy
+    // views into the caller's data; only the ragged tail of the final
+    // stripe is staged through the arena (zero-filled on alloc).
     for (std::size_t s = 0; s < batch; ++s) {
       const std::size_t stripe_begin = (base + s) * per_stripe;
-      for (std::size_t i = 0; i < k; ++i) {
-        const std::size_t begin = stripe_begin + i * block_size;
-        if (begin + block_size <= data.size()) {
-          data_views_.push_back(data.subspan(begin, block_size));
+      for (std::size_t i = 0; i < units; ++i) {
+        const std::size_t begin = stripe_begin + i * unit_size;
+        if (begin + unit_size <= data.size()) {
+          data_views_.push_back(data.subspan(begin, unit_size));
           continue;
         }
-        MutableByteSpan staged = arena_.alloc(block_size);
+        MutableByteSpan staged = arena_.alloc(unit_size);
         if (begin < data.size()) {
           std::memcpy(staged.data(), data.data() + begin,
                       data.size() - begin);
@@ -105,17 +112,17 @@ Status StripeCodec::encode_batch(
     // once per 32 KiB chunk across all stripes instead of once per stripe.
     // Uninitialized on purpose: matrix_apply_batch fully overwrites rows.
     MutableByteSpan parity_block =
-        arena_.alloc_uninit(batch * num_parity * block_size);
+        arena_.alloc_uninit(batch * num_parity * unit_size);
     for (std::size_t j = 0; j < batch * num_parity; ++j) {
       parity_views_.push_back(
-          parity_block.subspan(j * block_size, block_size));
+          parity_block.subspan(j * unit_size, unit_size));
     }
     gf::matrix_apply_batch(code_->parity_coeffs(), data_views_, parity_views_,
                            batch);
 
     for (std::size_t s = 0; s < batch; ++s) {
-      symbol_views_.assign(data_views_.begin() + s * k,
-                           data_views_.begin() + (s + 1) * k);
+      symbol_views_.assign(data_views_.begin() + s * units,
+                           data_views_.begin() + (s + 1) * units);
       symbol_views_.insert(
           symbol_views_.end(), parity_views_.begin() + s * num_parity,
           parity_views_.begin() + (s + 1) * num_parity);

@@ -61,9 +61,11 @@ class StripeCodec {
 
   /// Encodes one stripe. `stripe_data` holds up to stripe_bytes() logical
   /// bytes (shorter inputs are zero-padded). Returns num_symbols views in
-  /// symbol order; systematic views alias `stripe_data` where possible,
-  /// parity views point into the arena. All views are invalidated by the
-  /// next encode_stripe()/encode_batch()/encode_file() call.
+  /// symbol order, each block_size / sub_chunks() bytes (a full block for
+  /// alpha == 1 schemes); systematic views alias `stripe_data` where
+  /// possible, parity views point into the arena. All views are
+  /// invalidated by the next encode_stripe()/encode_batch()/encode_file()
+  /// call. block_size must be divisible by sub_chunks().
   std::span<const ByteSpan> encode_stripe(ByteSpan stripe_data,
                                           std::size_t block_size);
 

@@ -1,0 +1,131 @@
+#include "ec/subchunk.h"
+
+#include <algorithm>
+#include <map>
+
+#include "gf/gf256.h"
+
+namespace dblrep::ec {
+
+bool RowSpace::add(std::span<const gf::Elem> row) {
+  std::vector<gf::Elem> work(row.begin(), row.end());
+  reduce(work);
+  const auto lead = leading(work);
+  if (lead == cols_) return false;
+  const gf::Elem scale = gf::inv(work[lead]);
+  for (auto& cell : work) cell = gf::mul(cell, scale);
+  // Keep reduced_ sorted by leading column so reduce() is one pass.
+  reduced_.push_back({lead, std::move(work)});
+  std::sort(reduced_.begin(), reduced_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return true;
+}
+
+std::size_t RowSpace::leading(const std::vector<gf::Elem>& row) const {
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (row[c] != 0) return c;
+  }
+  return cols_;
+}
+
+void RowSpace::reduce(std::vector<gf::Elem>& row) const {
+  for (const auto& [lead, basis_row] : reduced_) {
+    if (row[lead] == 0) continue;
+    const gf::Elem factor = row[lead];
+    for (std::size_t c = 0; c < cols_; ++c) {
+      row[c] = gf::add(row[c], gf::mul(factor, basis_row[c]));
+    }
+  }
+}
+
+Result<std::vector<gf::Elem>> express_over_rows(
+    const gf::Matrix& generator, const std::vector<std::size_t>& basis_rows,
+    std::size_t target_row) {
+  // Solve basis^T coeffs = target (one column per right-hand side).
+  const std::size_t cols = generator.cols();
+  gf::Matrix basis_t(cols, basis_rows.size());
+  for (std::size_t j = 0; j < basis_rows.size(); ++j) {
+    const auto row = generator.row(basis_rows[j]);
+    for (std::size_t c = 0; c < cols; ++c) basis_t.set(c, j, row[c]);
+  }
+  gf::Matrix target_t(cols, 1);
+  const auto target = generator.row(target_row);
+  for (std::size_t c = 0; c < cols; ++c) target_t.set(c, 0, target[c]);
+  auto solved = basis_t.solve(target_t);
+  if (!solved.is_ok()) return solved.status();
+  std::vector<gf::Elem> coeffs(basis_rows.size());
+  for (std::size_t j = 0; j < basis_rows.size(); ++j) {
+    coeffs[j] = solved->at(j, 0);
+  }
+  return coeffs;
+}
+
+Result<RepairPlan> plan_from_unit_reads(
+    const gf::Matrix& generator, const StripeLayout& layout, NodeIndex dest,
+    const std::vector<std::size_t>& lost_slots,
+    const std::vector<std::size_t>& read_slots) {
+  for (std::size_t slot : lost_slots) {
+    DBLREP_CHECK_EQ(layout.node_of_slot(slot), dest);
+  }
+  for (std::size_t slot : read_slots) {
+    DBLREP_CHECK_NE(layout.node_of_slot(slot), dest);
+  }
+
+  // Greedy independent basis over the read rows, then the lost rows in
+  // rebuild order (a lost row dependent on the reads stays expressible
+  // through them; an independent one lets later reconstructions lean on
+  // the earlier-rebuilt unit as a local term).
+  RowSpace space(generator.cols());
+  std::vector<std::size_t> basis_rows;   // generator row (== symbol) index
+  std::vector<std::size_t> basis_slots;  // the slot carrying that row
+  auto consider = [&](std::size_t slot) {
+    const std::size_t sym = layout.symbol_of_slot(slot);
+    if (space.add(generator.row(sym))) {
+      basis_rows.push_back(sym);
+      basis_slots.push_back(slot);
+    }
+  };
+  for (std::size_t slot : read_slots) consider(slot);
+  std::vector<bool> rebuilt(layout.num_slots(), false);
+
+  RepairPlan plan;
+  // Aggregate index per read slot, created lazily on first use so unused
+  // reads never hit the wire.
+  std::map<std::size_t, std::size_t> aggregate_of_slot;
+  auto aggregate_for = [&](std::size_t slot) {
+    const auto it = aggregate_of_slot.find(slot);
+    if (it != aggregate_of_slot.end()) return it->second;
+    plan.aggregates.push_back(
+        {layout.node_of_slot(slot), dest, {{slot, 1}}, {}});
+    return aggregate_of_slot.emplace(slot, plan.aggregates.size() - 1)
+        .first->second;
+  };
+
+  for (std::size_t lost : lost_slots) {
+    const std::size_t sym = layout.symbol_of_slot(lost);
+    auto coeffs = express_over_rows(generator, basis_rows, sym);
+    if (!coeffs.is_ok()) {
+      return data_loss_error("read set cannot reconstruct lost unit " +
+                             std::to_string(lost));
+    }
+    Reconstruction rec;
+    rec.symbol = sym;
+    rec.dest_slot = lost;
+    for (std::size_t j = 0; j < basis_slots.size(); ++j) {
+      if ((*coeffs)[j] == 0) continue;
+      const std::size_t src = basis_slots[j];
+      if (layout.node_of_slot(src) == dest) {
+        DBLREP_CHECK(rebuilt[src]);  // only earlier-rebuilt slots are local
+        rec.local_terms.push_back({src, (*coeffs)[j]});
+      } else {
+        rec.from_aggregates.emplace_back(aggregate_for(src), (*coeffs)[j]);
+      }
+    }
+    plan.reconstructions.push_back(std::move(rec));
+    rebuilt[lost] = true;
+    consider(lost);  // later reconstructions may use this unit locally
+  }
+  return plan;
+}
+
+}  // namespace dblrep::ec

@@ -1,0 +1,65 @@
+// Shared linear-algebra helpers for repair planning: incremental GF(2^8)
+// row-space tracking (greedy basis selection) and a generic
+// build-plan-from-read-set utility used by the sub-packetized schemes
+// (clay, piggyback). Extracted from the generic planners in code.cc so
+// scheme-specific planners solve their reconstruction coefficients over
+// the very same generator the encoder uses -- the plan is correct by
+// construction or fails loudly at plan time.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "ec/layout.h"
+#include "ec/repair.h"
+#include "gf/matrix.h"
+
+namespace dblrep::ec {
+
+/// Incremental GF(2^8) row-space tracker for greedy basis selection.
+class RowSpace {
+ public:
+  explicit RowSpace(std::size_t cols) : cols_(cols) {}
+
+  std::size_t rank() const { return reduced_.size(); }
+
+  /// Tries to add `row`; returns true iff it was independent of the span.
+  bool add(std::span<const gf::Elem> row);
+
+ private:
+  std::size_t leading(const std::vector<gf::Elem>& row) const;
+  void reduce(std::vector<gf::Elem>& row) const;
+
+  std::size_t cols_;
+  std::vector<std::pair<std::size_t, std::vector<gf::Elem>>> reduced_;
+};
+
+/// Expresses generator row `target_row` as a linear combination of rows
+/// `basis_rows` (which must be linearly independent): returns coefficients
+/// c with sum_j c[j] * generator.row(basis_rows[j]) == generator.row(
+/// target_row), or an error if the target is outside the span.
+Result<std::vector<gf::Elem>> express_over_rows(
+    const gf::Matrix& generator, const std::vector<std::size_t>& basis_rows,
+    std::size_t target_row);
+
+/// Builds a repair plan for `dest` from an explicit unit read set: one
+/// plain-copy aggregate per read slot actually used, then one
+/// reconstruction per lost slot (in the given order), each solving its
+/// generator row over the read rows plus the lost slots rebuilt earlier in
+/// the plan (those become local_terms at the replacement -- the executor
+/// lets later reconstructions read earlier-rebuilt slots). Every lost slot
+/// must live on `dest`; read slots must live on other nodes. Errors with
+/// DATA_LOSS if some lost row is outside the span of the reads.
+///
+/// This is how a sub-packetized scheme states "helpers send exactly these
+/// β units each" and gets a plan whose network_units() is exactly the
+/// number of read slots referenced.
+Result<RepairPlan> plan_from_unit_reads(const gf::Matrix& generator,
+                                        const StripeLayout& layout,
+                                        NodeIndex dest,
+                                        const std::vector<std::size_t>& lost_slots,
+                                        const std::vector<std::size_t>& read_slots);
+
+}  // namespace dblrep::ec

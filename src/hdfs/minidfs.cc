@@ -87,8 +87,13 @@ Result<const ec::RepairPlan*> MiniDfs::cached_repair_plan(
     if (it != plan_cache_.end()) return &it->second;
   }
   // Planning (the basis solve) runs outside any lock; losing the insertion
-  // race just discards a duplicate plan.
-  auto plan = code.plan_multi_node_repair(failed);
+  // race just discards a duplicate plan. Single failures route through the
+  // virtual plan_node_repair so sub-packetized schemes (Clay, piggyback)
+  // can serve their bandwidth-optimal sub-chunk plans; for every other
+  // scheme that call delegates straight back to plan_multi_node_repair.
+  auto plan = failed.size() == 1
+                  ? code.plan_node_repair(*failed.begin())
+                  : code.plan_multi_node_repair(failed);
   if (!plan.is_ok()) return plan.status();
   std::unique_lock<std::shared_mutex> lock(plan_mu_);
   return &plan_cache_.try_emplace(key, std::move(*plan)).first->second;
@@ -101,6 +106,15 @@ Status MiniDfs::begin_write(const std::string& path,
   auto rt_result = runtime(code_spec);  // validates the spec
   if (!rt_result.is_ok()) return rt_result.status();
   const ec::CodeScheme& code = *(*rt_result)->code;
+  // Sub-packetized schemes slice every block into α sub-chunks; a block
+  // size that does not divide evenly would silently change the stripe
+  // geometry, so reject it at transaction open.
+  if (block_size % code.sub_chunks() != 0) {
+    return invalid_argument_error(
+        "block size " + std::to_string(block_size) + " not divisible by " +
+        code_spec + "'s " + std::to_string(code.sub_chunks()) +
+        " sub-chunks");
+  }
 
   // Enough live nodes to place a stripe? Checked here so an impossible
   // transaction fails fast, and re-checked per allocation (membership can
@@ -194,8 +208,12 @@ Status MiniDfs::store_stripe_bytes(SchemeRuntime& rt, std::size_t block_size,
     const cluster::NodeId node = namenode_.node_of({stripe, slot});
     DBLREP_RETURN_IF_ERROR(datanodes_[static_cast<std::size_t>(node)].put(
         {stripe, slot}, symbols[layout.symbol_of_slot(slot)]));
-    // Client -> datanode transfer (the client is off-cluster).
-    account_upload(node, static_cast<double>(block_size),
+    // Client -> datanode transfer (the client is off-cluster), charged at
+    // the slot payload size: a full block for α == 1, one sub-chunk for
+    // sub-packetized schemes.
+    account_upload(node,
+                   static_cast<double>(
+                       symbols[layout.symbol_of_slot(slot)].size()),
                    net::TransferClass::kClientWrite);
   }
   return Status::ok();
@@ -228,7 +246,9 @@ Status MiniDfs::store_stripe_batch(SchemeRuntime& rt, std::size_t block_size,
           DBLREP_RETURN_IF_ERROR(
               datanodes_[static_cast<std::size_t>(node)].put(
                   {stripe, slot}, symbols[layout.symbol_of_slot(slot)]));
-          account_upload(node, static_cast<double>(block_size),
+          account_upload(node,
+                         static_cast<double>(
+                             symbols[layout.symbol_of_slot(slot)].size()),
                          net::TransferClass::kClientWrite);
         }
         return Status::ok();
@@ -361,18 +381,44 @@ ec::SlotStore MiniDfs::gather_stripe(cluster::StripeId stripe) const {
   return store;
 }
 
-Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
-                                    cluster::StripeId stripe,
-                                    std::size_t symbol) {
+Result<Buffer> MiniDfs::read_data_block(const FileInfo& file,
+                                        cluster::StripeId stripe,
+                                        std::size_t block) {
   const ec::CodeScheme& code = *namenode_.stripe(stripe).code;
-  // Try each replica in turn; CRC failures and down nodes fall through.
-  for (std::size_t slot : code.layout().slots_of_symbol(symbol)) {
-    const cluster::NodeId node = namenode_.node_of({stripe, slot});
-    auto bytes = datanodes_[static_cast<std::size_t>(node)].get({stripe, slot});
-    if (bytes.is_ok()) {
-      account_delivery(node, static_cast<double>(bytes->size()),
-                       net::TransferClass::kClientRead);
-      return bytes;
+  const std::size_t alpha = code.sub_chunks();
+  // Fast path: every sub-chunk of the block served from a replica. Gather
+  // all α units first and account the deliveries only once the whole block
+  // is in hand -- a miss on any unit means the block is served degraded
+  // instead, and the abandoned replica reads must not be charged. For
+  // α == 1 this is exactly the old single-replica block read.
+  {
+    std::vector<std::pair<cluster::NodeId, Buffer>> units;
+    units.reserve(alpha);
+    for (std::size_t unit = block * alpha; unit < (block + 1) * alpha;
+         ++unit) {
+      // Try each replica in turn; CRC failures and down nodes fall through.
+      bool got = false;
+      for (std::size_t slot : code.layout().slots_of_symbol(unit)) {
+        const cluster::NodeId node = namenode_.node_of({stripe, slot});
+        auto bytes =
+            datanodes_[static_cast<std::size_t>(node)].get({stripe, slot});
+        if (bytes.is_ok()) {
+          units.emplace_back(node, std::move(*bytes));
+          got = true;
+          break;
+        }
+      }
+      if (!got) break;
+    }
+    if (units.size() == alpha) {
+      Buffer out;
+      out.reserve(file.block_size);
+      for (auto& [node, bytes] : units) {
+        account_delivery(node, static_cast<double>(bytes.size()),
+                         net::TransferClass::kClientRead);
+        out.insert(out.end(), bytes.begin(), bytes.end());
+      }
+      return out;
     }
   }
   // On-the-fly repair (Section 3.1): gather the verifiably-good bytes of
@@ -394,37 +440,46 @@ Result<Buffer> MiniDfs::read_symbol(const FileInfo& file,
       }
     }
   }
-  auto plan_result = code.plan_degraded_read(symbol, failed);
+  auto plan_result = code.plan_degraded_block(block, failed);
   if (!plan_result.is_ok()) return plan_result.status();
   ec::RepairPlan plan = std::move(*plan_result);
   const auto& group = namenode_.stripe(stripe).group;
   // Layered mode: each rack combines its partials locally and sends the
-  // client one block per rack instead of one per helper.
+  // client one payload per rack instead of one per helper.
   if (options_.layered_repair) {
     plan = ec::layer_plan(plan, group_racks(group));
   }
   auto lease = runtime_pool_for(code).acquire();
   auto delivered = lease->executor.execute(plan, store);
   if (!delivered.is_ok()) return delivered.status();
-  if (delivered->size() != 1) {
-    return internal_error("degraded read returned unexpected block count");
+  if (delivered->size() != alpha) {
+    return internal_error("degraded read returned unexpected unit count");
   }
-  // Account every aggregate that crossed the wire.
+  // Account every aggregate that crossed the wire, at the unit payload
+  // size the stripe actually stores (block_size / α; the full block for
+  // α == 1 schemes).
+  const double unit_bytes =
+      store.empty() ? 0.0 : static_cast<double>(store.begin()->second.size());
   for (const auto& send : plan.aggregates) {
     const cluster::NodeId from =
         group[static_cast<std::size_t>(send.from_node)];
     if (send.to_node == ec::kClientNode) {
-      account_delivery(from, static_cast<double>(file.block_size),
-                       net::TransferClass::kClientRead);
+      account_delivery(from, unit_bytes, net::TransferClass::kClientRead);
     } else {
       account(from, group[static_cast<std::size_t>(send.to_node)],
-              static_cast<double>(file.block_size),
-              net::TransferClass::kClientRead);
+              unit_bytes, net::TransferClass::kClientRead);
     }
   }
   // One degraded read = one dependency-chained flow in a captured replay.
   if (options_.transfer_log != nullptr) options_.transfer_log->mark();
-  return std::move((*delivered)[0]);
+  // plan_degraded_block delivers the α client units in unit order, so they
+  // concatenate straight back into the logical block.
+  Buffer out;
+  out.reserve(file.block_size);
+  for (Buffer& unit : *delivered) {
+    out.insert(out.end(), unit.begin(), unit.end());
+  }
+  return out;
 }
 
 Result<Buffer> MiniDfs::read_block(const std::string& path,
@@ -440,8 +495,8 @@ Result<Buffer> MiniDfs::read_block(const std::string& path,
     return invalid_argument_error("block index beyond end of file");
   }
   const std::size_t stripe_index = block_index / code.data_blocks();
-  const std::size_t symbol = block_index % code.data_blocks();
-  return read_symbol(info, info.stripes[stripe_index], symbol);
+  const std::size_t block = block_index % code.data_blocks();
+  return read_data_block(info, info.stripes[stripe_index], block);
 }
 
 Result<Buffer> MiniDfs::pread_span(const FileInfo& info,
@@ -466,12 +521,12 @@ Result<Buffer> MiniDfs::pread_span(const FileInfo& info,
   const Status read_status = exec::parallel_for_all(
       *pool_, last_stripe - first_stripe + 1, [&](std::size_t i) -> Status {
         const std::size_t si = first_stripe + i;
-        const std::size_t sym_lo = si == first_stripe ? first_block % k : 0;
-        const std::size_t sym_hi = si == last_stripe ? last_block % k : k - 1;
-        for (std::size_t symbol = sym_lo; symbol <= sym_hi; ++symbol) {
-          auto block = read_symbol(info, info.stripes[si], symbol);
+        const std::size_t blk_lo = si == first_stripe ? first_block % k : 0;
+        const std::size_t blk_hi = si == last_stripe ? last_block % k : k - 1;
+        for (std::size_t blk = blk_lo; blk <= blk_hi; ++blk) {
+          auto block = read_data_block(info, info.stripes[si], blk);
           if (!block.is_ok()) return block.status();
-          const std::size_t block_begin = (si * k + symbol) * block_size;
+          const std::size_t block_begin = (si * k + blk) * block_size;
           const std::size_t copy_begin = std::max(block_begin, offset);
           const std::size_t copy_end =
               std::min(block_begin + block_size, offset + want);
@@ -619,7 +674,24 @@ std::set<cluster::NodeId> MiniDfs::down_nodes() const {
 }
 
 Status MiniDfs::repair_stripe(cluster::StripeId stripe) {
-  // Skip tombstones (deleted) and unsealed stripes (writes in flight).
+  // Pin the stripe against deletion for the whole pass: a delete or rename
+  // arriving mid-repair now drain-waits on this lease instead of pulling
+  // the catalog entry out from under us. A delete that announced itself
+  // first (ABORTED) or already finished (NOT_FOUND) makes this repair a
+  // clean no-op -- there is nothing left worth rebuilding.
+  const Status lease_status = namenode_.begin_repair(stripe);
+  if (lease_status.code() == StatusCode::kAborted ||
+      lease_status.code() == StatusCode::kNotFound) {
+    return Status::ok();
+  }
+  DBLREP_RETURN_IF_ERROR(lease_status);
+  struct LeaseGuard {
+    NameNode* nn;
+    cluster::StripeId id;
+    ~LeaseGuard() { nn->end_repair(id); }
+  } lease_guard{&namenode_, stripe};
+
+  // Skip unsealed stripes (writes in flight).
   if (!namenode_.is_sealed(stripe)) return Status::ok();
   const auto& info = namenode_.stripe(stripe);
   const ec::CodeScheme& code = *info.code;
@@ -693,9 +765,9 @@ Status MiniDfs::repair_stripe(cluster::StripeId stripe) {
   // repair run independently (and that parallelism is the storm a captured
   // replay must reproduce).
   if (options_.transfer_log != nullptr) options_.transfer_log->mark();
-  // Re-check the seal before persisting: a write or delete overlapping this
-  // repair (the documented unsupported race) must fail loudly rather than
-  // let the repair resurrect dropped blocks.
+  // Re-check the seal before persisting. The repair lease already excludes
+  // deletion, so this is a backstop against plan or state corruption: if
+  // it ever fires, fail loudly rather than resurrect dropped blocks.
   if (!namenode_.is_sealed(stripe)) {
     return failed_precondition_error(
         "stripe " + std::to_string(stripe) +
@@ -827,10 +899,13 @@ Result<std::size_t> MiniDfs::scrub_repair() {
                 datanodes_[static_cast<std::size_t>(node)].put(
                     {stripe, slot},
                     symbols[code.layout().symbol_of_slot(slot)]));
-            // The rewrite is sourced from the decoding site; count one
-            // block of traffic per healed replica.
-            account_upload(node, static_cast<double>(info.block_size),
-                           net::TransferClass::kScrub);
+            // The rewrite is sourced from the decoding site; count the
+            // slot's payload (one unit) of traffic per healed replica.
+            account_upload(
+                node,
+                static_cast<double>(
+                    symbols[code.layout().symbol_of_slot(slot)].size()),
+                net::TransferClass::kScrub);
             healed.fetch_add(1);
           }
           return Status::ok();

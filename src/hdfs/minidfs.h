@@ -40,9 +40,12 @@
 //    out per worker from an exec::RuntimePool per scheme.
 //  * Repair plans are cached per (code, failure-pattern) under a
 //    shared-read lock and replayed across stripes and threads.
-//  * Not supported: deleting or renaming a file concurrently with a repair
-//    or scrub that covers its stripes (catalog references would dangle) --
-//    the same restriction a NameNode lease would enforce.
+//  * Deletes and renames are safe to run concurrently with repair and
+//    scrub: each repair pass pins its stripe with a catalog repair lease
+//    (NameNode::begin_repair), so a racing delete drain-waits for the
+//    lease -- or, if it wins the race, the repair aborts cleanly and
+//    skips the stripe. Scrub passes hold the per-path shared lock, which
+//    a delete's exclusive acquisition already excludes.
 #pragma once
 
 #include <deque>
@@ -132,8 +135,7 @@ class MiniDfs {
   // while store_stripe is safe to run from many threads concurrently for
   // distinct stripes of the same transaction. commit_write / abort_write
   // must not overlap in-flight allocate/store calls of the same
-  // transaction: the owner drains its stores first (FileWriter does), the
-  // same discipline the delete-during-repair restriction below demands --
+  // transaction: the owner drains its stores first (FileWriter does) --
   // the primitives do not guard against it. Until commit, the path is
   // visible only to stat() (with FileInfo::sealed == false); readers get
   // NOT_FOUND.
@@ -332,9 +334,11 @@ class MiniDfs {
   std::vector<int> group_racks(
       const std::vector<cluster::NodeId>& group) const;
 
-  /// Reads one symbol of one stripe with all fallbacks; records traffic.
-  Result<Buffer> read_symbol(const FileInfo& file, cluster::StripeId stripe,
-                             std::size_t symbol);
+  /// Reads one data block (all α sub-chunk units) of one stripe with all
+  /// fallbacks -- replica reads first, then a degraded read through
+  /// plan_degraded_block; records traffic at unit granularity.
+  Result<Buffer> read_data_block(const FileInfo& file,
+                                 cluster::StripeId stripe, std::size_t block);
 
   /// Range-read core shared by pread and read_file: fans the covering
   /// stripes out across the pool, trimming the first and last block to the

@@ -539,6 +539,18 @@ std::set<ec::NodeIndex> NameNode::failed_in_stripe(
   return shards_[route(id)]->catalog.failed_in_stripe(id, down_nodes);
 }
 
+Status NameNode::begin_repair(cluster::StripeId id) {
+  std::uint32_t shard = 0;
+  if (!try_route(id, shard)) {
+    return not_found_error("stripe " + std::to_string(id) + " unknown");
+  }
+  return shards_[shard]->catalog.begin_repair(id);
+}
+
+void NameNode::end_repair(cluster::StripeId id) {
+  shards_[route(id)]->catalog.end_repair(id);
+}
+
 std::shared_mutex& NameNode::path_mutex(const std::string& path) const {
   return shards_[shard_of(path)]->path_locks.of(path);
 }

@@ -193,6 +193,13 @@ class NameNode {
   std::set<ec::NodeIndex> failed_in_stripe(
       cluster::StripeId id, const std::set<cluster::NodeId>& down_nodes) const;
 
+  /// Repair lease on the owning shard's catalog: pins the stripe so a
+  /// concurrent delete/rename-driven unregistration waits for the lease to
+  /// drain (or the repair aborts cleanly with ABORTED if the delete got
+  /// there first). NOT_FOUND if the stripe is unknown anywhere.
+  Status begin_repair(cluster::StripeId id);
+  void end_repair(cluster::StripeId id);
+
   /// Per-path data-plane exclusion lock (shared for reads, exclusive for
   /// delete), from the owning shard's striped mutex.
   std::shared_mutex& path_mutex(const std::string& path) const;

@@ -161,8 +161,8 @@ JobMetrics run_terasort(const ec::CodeScheme& code, sched::Scheduler& scheduler,
       }
       info.is_degraded = true;
       ++degraded;
-      info.read_bytes =
-          static_cast<double>(plan->network_blocks()) * config.block_bytes;
+      info.read_bytes = static_cast<double>(
+          plan->network_bytes(config.block_bytes, code.sub_chunks()));
       // Approximation: charge the read against the first contributing
       // node's disk (the fan-in of partial parities is spread thinner).
       info.remote_source = placement.group[static_cast<std::size_t>(

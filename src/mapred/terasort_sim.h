@@ -19,7 +19,7 @@
 //    separately, matching the scale of the paper's traffic panels;
 //  * with injected node failures, a task whose every replica holder is
 //    down performs an on-the-fly repair (Section 3.1): its read volume is
-//    the repair plan's network_blocks -- 3 blocks for a pentagon
+//    the repair plan's network_bytes -- 3 blocks for a pentagon
 //    doubly-lost block vs 9 for (10,9) RAID+m.
 //
 // Absolute seconds depend on service-time calibration (documented in

@@ -103,9 +103,15 @@ TEST_P(AllCodesTest, EncodeProducesReplicaConsistentSlots) {
       EXPECT_EQ(slots[replicas[i]], slots[replicas[0]]);
     }
   }
-  // Systematic: data symbols hold data verbatim.
-  for (std::size_t i = 0; i < code_->data_blocks(); ++i) {
-    EXPECT_EQ(slots[code_->layout().slots_of_symbol(i)[0]], data[i]);
+  // Systematic: data symbols hold data verbatim (unit u is sub-chunk
+  // u % alpha of block u / alpha; alpha == 1 reduces to whole blocks).
+  const std::size_t alpha = code_->sub_chunks();
+  const std::size_t unit_size = kBlockSize / alpha;
+  for (std::size_t u = 0; u < code_->data_units(); ++u) {
+    const auto& block = data[u / alpha];
+    const Buffer expected(block.begin() + (u % alpha) * unit_size,
+                          block.begin() + (u % alpha + 1) * unit_size);
+    EXPECT_EQ(slots[code_->layout().slots_of_symbol(u)[0]], expected);
   }
 }
 
@@ -237,6 +243,8 @@ INSTANTIATE_TEST_SUITE_P(
         CodeCase{"raidm-9", 20.0 / 9.0, 20, 3},
         CodeCase{"raidm-11", 24.0 / 11.0, 24, 3},
         CodeCase{"rs-10-4", 14.0 / 10.0, 14, 4},
+        CodeCase{"clay-6-4", 1.5, 6, 2},
+        CodeCase{"pgy-10-4", 14.0 / 10.0, 14, 4},
         CodeCase{"polygon-4", 12.0 / 5.0, 4, 2},
         CodeCase{"polygon-6", 30.0 / 14.0, 6, 2},
         CodeCase{"polygon-5-local", 42.0 / 18.0, 11, 3}),
@@ -374,6 +382,8 @@ TEST(Registry, NamesRoundTrip) {
   EXPECT_EQ(make_code("pentagon").value()->params().name, "pentagon");
   EXPECT_EQ(make_code("raidm-9").value()->params().name, "(10,9) RAID+m");
   EXPECT_EQ(make_code("rs-10-4").value()->params().name, "RS(10,4)");
+  EXPECT_EQ(make_code("clay-6-4").value()->params().name, "Clay(6,4)");
+  EXPECT_EQ(make_code("pgy-10-4").value()->params().name, "PgyRS(10,4)");
   EXPECT_EQ(make_code("heptagon-local").value()->params().name,
             "heptagon-local");
 }

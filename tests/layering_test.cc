@@ -4,7 +4,9 @@
 // unlayered plan, and keep the total block count unchanged.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "ec/layering.h"
@@ -61,7 +63,7 @@ void check_repair_equivalence(const CodeScheme& code,
   const RepairPlan layered = layer_plan(*plan, racks);
 
   EXPECT_LE(cross_rack_sends(layered, racks), cross_rack_sends(*plan, racks));
-  EXPECT_EQ(layered.network_blocks(), plan->network_blocks());
+  EXPECT_EQ(layered.network_units(), plan->network_units());
 
   PlanExecutor executor(code.layout());
   auto plain_store = store_without_nodes(code, data, failed);
@@ -79,6 +81,8 @@ TEST(LayerPlan, EveryCodeEveryFailurePatternIsEquivalent) {
   auto specs = paper_code_specs();
   specs.push_back("rs-10-4");
   specs.push_back("rs-6-3");
+  specs.push_back("clay-6-4");
+  specs.push_back("pgy-10-4");
   for (const auto& spec : specs) {
     SCOPED_TRACE(spec);
     const auto code = make_code(spec).value();
@@ -144,7 +148,7 @@ TEST(LayerPlan, RsSingleFailureCollapsesToOneSendPerRack) {
   // Layered: one relay per remote rack that contributed >= 2 helpers.
   EXPECT_LE(cross_rack_sends(layered, racks), 2u);
   EXPECT_GT(layered.relay_sends(), 0u);
-  EXPECT_EQ(layered.network_blocks(), plan->network_blocks());
+  EXPECT_EQ(layered.network_units(), plan->network_units());
 }
 
 TEST(LayerPlan, SingleRackIsANoOp) {
@@ -191,6 +195,56 @@ TEST(LayerPlan, GroupPerRackHeptagonLocalRepairStaysInRack) {
   EXPECT_LT(cross_rack_sends(global_layered, racks),
             cross_rack_sends(*global_plan, racks));
   EXPECT_LE(cross_rack_sends(global_layered, racks), 4u);
+}
+
+TEST(LayerPlan, SubChunkNodeRepairPlansLayerEquivalently) {
+  // The sub-packetized schemes' plan_node_repair produces sub-chunk plans
+  // (helpers ship beta < alpha units); layering must preserve bytes and
+  // unit counts for every failed-node choice, and the unit counts must hit
+  // the schemes' exact repair bandwidth: clay-6-4 reads beta * d =
+  // 4 * 5 = 20 units for every node; pgy-10-4 reads 10 + |group| units for
+  // a data node (14 for the piggyback-free first group, 13 otherwise) and
+  // falls back to the generic k * alpha = 20 units for a parity node.
+  for (const char* spec : {"clay-6-4", "pgy-10-4"}) {
+    SCOPED_TRACE(spec);
+    const auto code = make_code(spec).value();
+    const auto racks = round_robin_racks(*code, 3);
+    const auto data = random_data(*code, 17);
+    const auto pristine = code->encode(data);
+    const auto n = static_cast<NodeIndex>(code->num_nodes());
+    for (NodeIndex f = 0; f < n; ++f) {
+      SCOPED_TRACE(static_cast<int>(f));
+      const auto plan = code->plan_node_repair(f);
+      ASSERT_TRUE(plan.is_ok());
+      if (std::string(spec) == "clay-6-4") {
+        EXPECT_EQ(plan->network_units(), 20u);
+        // beta * helpers exactly: each of the d = 5 helpers ships beta = 4.
+        std::map<NodeIndex, std::size_t> per_helper;
+        for (const auto& send : plan->aggregates) ++per_helper[send.from_node];
+        EXPECT_EQ(per_helper.size(), 5u);
+        for (const auto& [helper, count] : per_helper) EXPECT_EQ(count, 4u);
+      } else if (f < static_cast<NodeIndex>(code->data_blocks())) {
+        EXPECT_EQ(plan->network_units(), f < 4 ? 14u : 13u);
+      } else {
+        EXPECT_EQ(plan->network_units(), 20u);
+      }
+
+      const RepairPlan layered = layer_plan(*plan, racks);
+      EXPECT_LE(cross_rack_sends(layered, racks),
+                cross_rack_sends(*plan, racks));
+      EXPECT_EQ(layered.network_units(), plan->network_units());
+      PlanExecutor executor(code->layout());
+      auto plain_store = store_without_nodes(*code, data, {f});
+      auto layered_store = store_without_nodes(*code, data, {f});
+      ASSERT_TRUE(executor.execute(*plan, plain_store).is_ok());
+      ASSERT_TRUE(executor.execute(layered, layered_store).is_ok());
+      for (std::size_t s = 0; s < pristine.size(); ++s) {
+        ASSERT_TRUE(layered_store.contains(s)) << "slot " << s << " missing";
+        EXPECT_EQ(layered_store.at(s), pristine[s]) << "slot " << s;
+        EXPECT_EQ(layered_store.at(s), plain_store.at(s)) << "slot " << s;
+      }
+    }
+  }
 }
 
 // ----------------------------------------------------- executor contracts

@@ -39,12 +39,12 @@ TEST_P(PolygonSweep, StructuralCounts) {
 TEST_P(PolygonSweep, RepairCostsFollowClosedForms) {
   const int n = GetParam();
   PolygonCode code(n);
-  EXPECT_EQ(code.plan_node_repair(0)->network_blocks(),
+  EXPECT_EQ(code.plan_node_repair(0)->network_units(),
             static_cast<std::size_t>(n - 1));
-  EXPECT_EQ(code.plan_multi_node_repair({0, 1})->network_blocks(),
+  EXPECT_EQ(code.plan_multi_node_repair({0, 1})->network_units(),
             static_cast<std::size_t>(3 * (n - 2) + 1));
   EXPECT_EQ(code.plan_degraded_read(code.shared_symbol(0, 1), {0, 1})
-                ->network_blocks(),
+                ->network_units(),
             static_cast<std::size_t>(n - 2));
 }
 

@@ -47,7 +47,7 @@ TEST(PentagonRepair, SingleNodeIsRepairByTransfer) {
     const auto plan = pentagon.plan_node_repair(failed);
     ASSERT_TRUE(plan.is_ok());
     // Exactly n-1 = 4 transfers, all plain copies, no partial parities.
-    EXPECT_EQ(plan->network_blocks(), 4u);
+    EXPECT_EQ(plan->network_units(), 4u);
     EXPECT_EQ(plan->partial_parity_sends(), 0u);
     for (const auto& send : plan->aggregates) {
       EXPECT_TRUE(send.is_plain_copy());
@@ -64,7 +64,7 @@ TEST(PentagonRepair, TwoNodeRepairCostsTenBlocks) {
     for (NodeIndex b = a + 1; b < 5; ++b) {
       const auto plan = pentagon.plan_multi_node_repair({a, b});
       ASSERT_TRUE(plan.is_ok());
-      EXPECT_EQ(plan->network_blocks(), 10u) << "pair " << a << "," << b;
+      EXPECT_EQ(plan->network_units(), 10u) << "pair " << a << "," << b;
       // The paper's canonical plan sends three 3-term partial parities; the
       // planner may fold terms differently (e.g. 3+2+1), but the shared
       // block must be rebuilt from folded multi-term sends, never from 9
@@ -106,7 +106,7 @@ TEST(HeptagonRepair, SingleNodeIsSixCopies) {
   PolygonCode heptagon(7);
   const auto plan = heptagon.plan_node_repair(3);
   ASSERT_TRUE(plan.is_ok());
-  EXPECT_EQ(plan->network_blocks(), 6u);
+  EXPECT_EQ(plan->network_units(), 6u);
   EXPECT_EQ(plan->partial_parity_sends(), 0u);
 }
 
@@ -116,7 +116,7 @@ TEST(HeptagonRepair, TwoNodeRepairCostsSixteenBlocks) {
   PolygonCode heptagon(7);
   const auto plan = heptagon.plan_multi_node_repair({2, 5});
   ASSERT_TRUE(plan.is_ok());
-  EXPECT_EQ(plan->network_blocks(), 16u);
+  EXPECT_EQ(plan->network_units(), 16u);
   EXPECT_GE(plan->partial_parity_sends(), 4u);
 }
 
@@ -130,7 +130,7 @@ TEST(DegradedRead, PentagonDoublyLostBlockCostsThreeBlocks) {
       const std::size_t sym = pentagon.shared_symbol(a, b);
       const auto plan = pentagon.plan_degraded_read(sym, {a, b});
       ASSERT_TRUE(plan.is_ok());
-      EXPECT_EQ(plan->network_blocks(), 3u);
+      EXPECT_EQ(plan->network_units(), 3u);
       EXPECT_EQ(plan->partial_parity_sends(), 3u);
     }
   }
@@ -143,7 +143,7 @@ TEST(DegradedRead, RaidMirrorDoublyLostBlockCostsNineBlocks) {
     const auto [a, b] = raidm.mirror_nodes(sym);
     const auto plan = raidm.plan_degraded_read(sym, {a, b});
     ASSERT_TRUE(plan.is_ok());
-    EXPECT_EQ(plan->network_blocks(), 9u) << "symbol " << sym;
+    EXPECT_EQ(plan->network_units(), 9u) << "symbol " << sym;
   }
 }
 
@@ -153,7 +153,7 @@ TEST(DegradedRead, SurvivingReplicaIsSingleCopy) {
   const std::size_t sym = pentagon.shared_symbol(0, 1);
   const auto plan = pentagon.plan_degraded_read(sym, {0});
   ASSERT_TRUE(plan.is_ok());
-  EXPECT_EQ(plan->network_blocks(), 1u);
+  EXPECT_EQ(plan->network_units(), 1u);
   ASSERT_EQ(plan->aggregates.size(), 1u);
   EXPECT_TRUE(plan->aggregates[0].is_plain_copy());
   EXPECT_EQ(plan->aggregates[0].from_node, 1);
@@ -165,7 +165,7 @@ TEST(DegradedRead, HeptagonDoublyLostBlockCostsFiveBlocks) {
   const std::size_t sym = heptagon.shared_symbol(1, 4);
   const auto plan = heptagon.plan_degraded_read(sym, {1, 4});
   ASSERT_TRUE(plan.is_ok());
-  EXPECT_EQ(plan->network_blocks(), 5u);  // n - 2
+  EXPECT_EQ(plan->network_units(), 5u);  // n - 2
 }
 
 TEST(DegradedRead, DeliversCorrectBytesUnderDoubleFailure) {
@@ -200,7 +200,7 @@ TEST(HeptagonLocalRepair, SingleFailureRepairsWithinTheRack) {
   LocalPolygonCode code(7);
   const auto plan = code.plan_node_repair(3);  // node in local 0
   ASSERT_TRUE(plan.is_ok());
-  EXPECT_EQ(plan->network_blocks(), 6u);  // repair-by-transfer, 6 blocks
+  EXPECT_EQ(plan->network_units(), 6u);  // repair-by-transfer, 6 blocks
   for (const auto& send : plan->aggregates) {
     EXPECT_EQ(code.rack_of_node(send.from_node), 0)
         << "single-node repair must stay rack-local";
@@ -302,7 +302,7 @@ TEST(RepairPlan, ToStringMentionsPartialParities) {
   ASSERT_TRUE(plan.is_ok());
   const std::string text = plan->to_string();
   EXPECT_NE(text.find("partial parities"), std::string::npos);
-  EXPECT_NE(text.find("10 network blocks"), std::string::npos);
+  EXPECT_NE(text.find("10 network units"), std::string::npos);
 }
 
 }  // namespace
