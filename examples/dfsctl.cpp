@@ -26,6 +26,18 @@
 //   fail <node> | restart <node>   membership control
 //   repair <node> | repair-all     rebuild lost blocks
 //   scrub | heal                   verify / verify-and-fix all stripes
+//   heat [<path>]                  decayed access heat (every client read/
+//                                  write feeds a tier::HeatTracker; the
+//                                  logical clock ticks one second per
+//                                  command). With a path: that file's heat,
+//                                  age, and the tier the policy would move
+//                                  it to. Without: all tracked files,
+//                                  hottest first
+//   tier <path> [--target=<code>]  re-encode along the tiering ladder:
+//                                  with --target, force that layout (must
+//                                  be on the ladder); without, execute the
+//                                  policy's decision for the file's current
+//                                  heat (a no-op when already at target)
 //   traffic                        show network counters: the intra-rack /
 //                                  cross-rack / client / total split, the
 //                                  top per-node senders and receivers, and
@@ -62,6 +74,7 @@
 #include "net/model.h"
 #include "net/transfer.h"
 #include "sim/event_queue.h"
+#include "tier/engine.h"
 
 int main(int argc, char** argv) {
   using namespace dblrep;
@@ -85,11 +98,14 @@ int main(int argc, char** argv) {
   }
   net::TransferLog transfer_log;
   std::vector<net::TransferRecord> captured;  // everything since start
+  tier::HeatTracker heat;
   hdfs::MiniDfsOptions options;
+  options.access_observer = &heat;
   if (with_net) options.transfer_log = &transfer_log;
   hdfs::MiniDfs dfs(topology, /*seed=*/2014, &exec::default_pool(), options);
   hdfs::Client client(dfs);
   hdfs::RaidNode raid(dfs);
+  tier::TieringEngine engine(dfs, heat, tier::TieringPolicy{});
   std::map<std::string, hdfs::FileWriter> writers;  // open append handles
 
   std::cout << "mini-DFS up: " << topology.num_nodes << " nodes, "
@@ -103,11 +119,13 @@ int main(int argc, char** argv) {
 
   std::string line;
   std::uint64_t write_seed = 1;
+  double clock_s = 0;  // logical heat clock: one second per command
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
     std::string cmd;
     if (!(in >> cmd) || cmd.empty() || cmd[0] == '#') continue;
     if (cmd == "quit" || cmd == "exit") break;
+    heat.advance_to(clock_s += 1.0);
 
     if (cmd == "write") {
       std::string path, code;
@@ -275,6 +293,91 @@ int main(int argc, char** argv) {
         std::cout << "healed " << *healed << " block(s)\n";
       } else {
         std::cout << healed.status().to_string() << "\n";
+      }
+    } else if (cmd == "heat") {
+      const auto& policy = engine.policy();
+      const auto describe = [&](const std::string& path, double h) {
+        std::cout << path << ": heat=" << h << ", age=" << heat.age_s(path)
+                  << "s";
+        const auto info = dfs.stat(path);
+        if (info.is_ok()) {
+          const auto current = policy.tier_of(info->code_spec);
+          if (current.is_ok()) {
+            const std::size_t target = policy.target_tier(h, *current);
+            std::cout << ", tier " << info->code_spec;
+            if (target != *current) {
+              std::cout << " -> " << policy.ladder()[target];
+            } else {
+              std::cout << " (at policy target)";
+            }
+          } else {
+            std::cout << ", layout " << info->code_spec << " (off ladder)";
+          }
+        }
+        std::cout << "\n";
+      };
+      std::string path;
+      if (in >> path) {
+        const auto info = dfs.stat(path);
+        if (!info.is_ok()) {
+          note(false);
+          std::cout << info.status().to_string() << "\n";
+          continue;
+        }
+        describe(path, heat.heat(path));
+      } else {
+        const auto samples = heat.snapshot();
+        if (samples.empty()) std::cout << "(no tracked files)\n";
+        for (const auto& sample : samples) describe(sample.path, sample.heat);
+      }
+    } else if (cmd == "tier") {
+      std::string path, target, arg;
+      in >> path;
+      bool bad_arg = false;
+      while (in >> arg) {
+        if (arg.rfind("--target=", 0) == 0 && arg.size() > 9) {
+          target = arg.substr(9);
+        } else {
+          bad_arg = true;
+        }
+      }
+      if (path.empty() || bad_arg) {
+        note(false);
+        std::cout << "usage: tier <path> [--target=<code>]\n";
+        continue;
+      }
+      if (target.empty()) {
+        // No override: execute the policy's decision for this file.
+        const auto info = dfs.stat(path);
+        if (!info.is_ok()) {
+          note(false);
+          std::cout << info.status().to_string() << "\n";
+          continue;
+        }
+        const auto current = engine.policy().tier_of(info->code_spec);
+        if (!current.is_ok()) {
+          note(false);
+          std::cout << "tier: " << path << " layout " << info->code_spec
+                    << " is off the ladder (use --target=)\n";
+          continue;
+        }
+        const std::size_t want =
+            engine.policy().target_tier(heat.heat(path), *current);
+        if (want == *current) {
+          std::cout << path << " already at policy target ("
+                    << info->code_spec << ")\n";
+          continue;
+        }
+        target = engine.policy().ladder()[want];
+      }
+      const auto report = engine.force_transition(path, target);
+      note(report.is_ok());
+      if (report.is_ok()) {
+        std::cout << "tiered " << path << " -> " << target << ": "
+                  << report->bytes_before << " -> " << report->bytes_after
+                  << " stored bytes\n";
+      } else {
+        std::cout << report.status().to_string() << "\n";
       }
     } else if (cmd == "traffic") {
       const auto& meter = dfs.traffic();

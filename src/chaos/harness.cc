@@ -9,6 +9,7 @@
 #include "ec/registry.h"
 #include "exec/thread_pool.h"
 #include "hdfs/client.h"
+#include "hdfs/raidnode.h"
 #include "hdfs/workload_driver.h"
 
 namespace dblrep::chaos {
@@ -55,6 +56,7 @@ struct Run {
   const ChaosConfig& config;
   hdfs::MiniDfs dfs;
   hdfs::Client client{dfs};  // one client for all streaming events
+  hdfs::RaidNode raid{dfs};  // tier transitions (kRetier-classed streams)
   TruthMap truth;
   ChaosReport report;
   std::set<std::string> seen_violations;  // dedup across checker passes
@@ -481,6 +483,96 @@ std::string Run::apply(std::size_t step, const ChaosEvent& event) {
       if (before != after) {
         add_violation(step, event,
                       "namenode recovery changed the catalog fingerprint");
+      }
+      break;
+    }
+    case EventKind::kTierTransition: {
+      // Re-encode one tracked file along the tier ladder through the same
+      // kRetier-classed publish-then-delete swap the TieringEngine drives.
+      // Odd sub-picks land a node crash mid-stream and read the file back
+      // *during* the transition: the old layout must stay published (and
+      // readable within tolerance) until the swap, the tentpole's
+      // always-recoverable invariant.
+      const auto paths = tracked_paths();
+      if (paths.empty()) {
+        os << "noop (no files)";
+        break;
+      }
+      const std::string& path = paths[event.pick % paths.size()];
+      const auto info = dfs.stat(path);
+      if (!info.is_ok() || !info->sealed) {
+        os << "noop (" << path << " not transitionable)";
+        break;
+      }
+      static constexpr const char* kLadder[] = {"3-rep", "heptagon-local",
+                                                "rs-10-4"};
+      std::size_t target = mix64(event.pick) % 3;
+      if (info->code_spec == kLadder[target]) target = (target + 1) % 3;
+      const std::uint64_t sub = mix64(mix64(event.pick));
+      const bool mid_crash = (sub & 1) != 0;
+      const FileTruth& file = truth.at(path);
+      const std::size_t total_blocks =
+          (file.expected.size() + file.block_size - 1) / file.block_size;
+      if (mid_crash) {
+        const auto victim =
+            static_cast<cluster::NodeId>((sub >> 1) % num_nodes());
+        const std::size_t block =
+            total_blocks == 0 ? 0 : mix64(sub) % total_blocks;
+        raid.set_mid_stream_hook([&, victim, block, step] {
+          if (!dfs.down_nodes().contains(victim)) {
+            (void)dfs.fail_node(victim);
+          }
+          if (total_blocks == 0) return;
+          ++report.reads;
+          const auto start = Clock::now();
+          const auto result = dfs.read_block(path, block);
+          report.degraded_read_us.add(micros_since(start));
+          if (result.is_ok()) {
+            const std::size_t offset = block * file.block_size;
+            const std::size_t want =
+                std::min(file.block_size, file.expected.size() - offset);
+            if (result->size() < want ||
+                std::memcmp(result->data(), file.expected.data() + offset,
+                            want) != 0) {
+              add_violation(step, event,
+                            "tier: mid-transition read of " + path +
+                                " block " + std::to_string(block) +
+                                " returned wrong bytes");
+            }
+          } else {
+            ++report.read_errors;
+            // Mid-transition, the old layout is still the published one;
+            // a read may fail only beyond the scheme's tolerance.
+            const auto mid_info = dfs.stat(path);
+            const auto code = dfs.code_for(path);
+            if (mid_info.is_ok() && code.is_ok()) {
+              const std::size_t k = (*code)->data_blocks();
+              const cluster::StripeId stripe = mid_info->stripes[block / k];
+              if ((*code)->is_recoverable(probe_failed_nodes(dfs, stripe))) {
+                add_violation(step, event,
+                              "tier: mid-transition read of " + path +
+                                  " block " + std::to_string(block) +
+                                  " failed within tolerance: " +
+                                  result.status().to_string());
+              }
+            }
+          }
+        });
+      } else {
+        raid.set_mid_stream_hook(nullptr);
+      }
+      const bool live_at_start = down.empty();
+      const auto raided = raid.raid_file(path, kLadder[target]);
+      raid.set_mid_stream_hook(nullptr);
+      os << "tier " << path << " " << info->code_spec << " -> "
+         << kLadder[target] << (mid_crash ? " (mid-crash)" : "")
+         << ": " << code_name(raided.status());
+      if (raided.is_ok()) {
+        // The file now lives on a freshly placed layout; the strict
+        // placement promises apply iff no node was down at any point of
+        // the stream.
+        truth.at(path).written_fully_live =
+            live_at_start && dfs.down_nodes().empty();
       }
       break;
     }

@@ -531,11 +531,21 @@ void check_network_conservation(const net::NetworkModel& model,
   }
 }
 
+void check_tier_hygiene(const hdfs::MiniDfs& dfs,
+                        std::vector<std::string>& violations) {
+  for (const std::string& path : dfs.list_files()) {
+    if (path.ends_with(".raid-tmp")) {
+      violations.push_back("tier: orphaned transition temp file " + path);
+    }
+  }
+}
+
 void check_all(const hdfs::MiniDfs& dfs, const TruthMap& truth,
                std::vector<std::string>& violations) {
   check_durability(dfs, truth, violations);
   check_placement(dfs, truth, violations);
   check_catalog_recovery(dfs, violations);
+  check_tier_hygiene(dfs, violations);
   check_traffic_conservation(dfs, violations);
 }
 

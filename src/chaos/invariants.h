@@ -28,6 +28,10 @@
 //  * Catalog recovery -- at every quiescent instant the metadata plane's
 //    durability artifacts (per-shard snapshot + write-ahead journal) must
 //    rebuild a catalog whose fingerprint matches the live NameNode's.
+//  * Tier hygiene -- no orphaned re-encode scaffolding: every `.raid-tmp`
+//    temp file a tier transition (or raid pass) streams into is swapped or
+//    deleted before the operation returns, so at every quiescent instant
+//    the namespace contains none.
 //  * Traffic conservation -- every recorded byte lands in exactly one of
 //    the intra-rack / cross-rack / client buckets, the buckets sum to the
 //    independently-accumulated total, and per-node sent/received sums
@@ -94,6 +98,12 @@ void check_traffic_conservation(const hdfs::MiniDfs& dfs,
 /// (the crash-point fuzzer in recovery_test owns that regime).
 void check_catalog_recovery(const hdfs::MiniDfs& dfs,
                             std::vector<std::string>& violations);
+
+/// Tier hygiene -- RaidNode's publish-then-delete swap must never leave its
+/// `.raid-tmp` scaffolding published at a quiescent instant: a completed
+/// transition swapped it, a failed one deleted it.
+void check_tier_hygiene(const hdfs::MiniDfs& dfs,
+                        std::vector<std::string>& violations);
 
 /// Network conservation over a net::NetworkModel, valid at any instant
 /// (mid-flight included): globally, bytes injected == bytes delivered +

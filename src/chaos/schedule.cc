@@ -27,6 +27,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kRepairAll:     return "repair_all";
     case EventKind::kScrubRepair:   return "scrub_repair";
     case EventKind::kNameNodeCrash: return "namenode_crash";
+    case EventKind::kTierTransition: return "tier_transition";
   }
   return "unknown";
 }
@@ -59,6 +60,7 @@ FaultMix FaultMix::crash_heavy() {
   mix.repair_all_rate = 0.2;
   mix.read_rate = 1.0;
   mix.write_rate = 0.25;
+  mix.tier_rate = 0.1;
   return mix;
 }
 
@@ -103,6 +105,7 @@ FaultMix FaultMix::mixed() {
   mix.repair_node_rate = 0.12;
   mix.repair_all_rate = 0.15;
   mix.scrub_rate = 0.1;
+  mix.tier_rate = 0.1;
   return mix;
 }
 
@@ -192,6 +195,9 @@ std::vector<ChaosEvent> generate_schedule(const ChaosConfig& config,
   }});
   processes.push_back({mix.namenode_crash_rate, [&](sim::SimTime t) {
     emit(t, EventKind::kNameNodeCrash, rng.next_u64());
+  }});
+  processes.push_back({mix.tier_rate, [&](sim::SimTime t) {
+    emit(t, EventKind::kTierTransition, rng.next_u64());
   }});
 
   // Everything below is synchronous inside this call, so the recursive

@@ -24,11 +24,13 @@ std::size_t resolve_max_inflight(const MiniDfs& dfs,
 // ----------------------------------------------------------- FileWriter
 
 FileWriter::FileWriter(MiniDfs* dfs, std::string path,
-                       std::size_t stripe_bytes, std::size_t max_inflight)
+                       std::size_t stripe_bytes, std::size_t max_inflight,
+                       net::TransferClass write_class)
     : dfs_(dfs),
       path_(std::move(path)),
       stripe_bytes_(stripe_bytes),
       max_inflight_(std::max<std::size_t>(max_inflight, 1)),
+      write_class_(write_class),
       open_(true) {}
 
 FileWriter::FileWriter(FileWriter&& other) noexcept
@@ -36,6 +38,7 @@ FileWriter::FileWriter(FileWriter&& other) noexcept
       path_(std::move(other.path_)),
       stripe_bytes_(other.stripe_bytes_),
       max_inflight_(other.max_inflight_),
+      write_class_(other.write_class_),
       buffer_(std::move(other.buffer_)),
       inflight_(std::move(other.inflight_)),
       deferred_(std::move(other.deferred_)),
@@ -80,9 +83,10 @@ Status FileWriter::dispatch(Buffer stripe_data) {
   MiniDfs* dfs = dfs_;
   const std::string path = path_;
   const cluster::StripeId stripe = *stripe_id;
+  const net::TransferClass cls = write_class_;
   inflight_.push_back(exec::spawn(
-      dfs_->pool(), [dfs, path, stripe, data = std::move(stripe_data)] {
-        return dfs->store_stripe(path, stripe, data);
+      dfs_->pool(), [dfs, path, stripe, cls, data = std::move(stripe_data)] {
+        return dfs->store_stripe(path, stripe, data, cls);
       }));
   return Status::ok();
 }
@@ -96,9 +100,10 @@ Status FileWriter::dispatch_view(ByteSpan stripe_data) {
   MiniDfs* dfs = dfs_;
   const std::string path = path_;
   const cluster::StripeId stripe = *stripe_id;
+  const net::TransferClass cls = write_class_;
   inflight_.push_back(
-      exec::spawn(dfs_->pool(), [dfs, path, stripe, stripe_data] {
-        return dfs->store_stripe(path, stripe, stripe_data);
+      exec::spawn(dfs_->pool(), [dfs, path, stripe, cls, stripe_data] {
+        return dfs->store_stripe(path, stripe, stripe_data, cls);
       }));
   views_inflight_ = true;
   return Status::ok();
@@ -199,7 +204,10 @@ Status FileWriter::abort() {
 // --------------------------------------------------------------- Client
 
 Client::Client(MiniDfs& dfs, ClientOptions options)
-    : dfs_(&dfs), max_inflight_(resolve_max_inflight(dfs, options)) {}
+    : dfs_(&dfs),
+      max_inflight_(resolve_max_inflight(dfs, options)),
+      read_class_(options.read_class),
+      write_class_(options.write_class) {}
 
 Result<FileWriter> Client::create(const std::string& path,
                                   const std::string& code_spec,
@@ -211,7 +219,7 @@ Result<FileWriter> Client::create(const std::string& path,
     return code_result.status();
   }
   return FileWriter(dfs_, path, (*code_result)->data_blocks() * block_size,
-                    max_inflight_);
+                    max_inflight_, write_class_);
 }
 
 Status Client::write(const std::string& path, ByteSpan data,
@@ -220,17 +228,17 @@ Status Client::write(const std::string& path, ByteSpan data,
 }
 
 Result<Buffer> Client::read(const std::string& path) {
-  return dfs_->read_file(path);
+  return dfs_->read_file(path, read_class_);
 }
 
 Result<Buffer> Client::pread(const std::string& path, std::size_t offset,
                              std::size_t len) {
-  return dfs_->pread(path, offset, len);
+  return dfs_->pread(path, offset, len, read_class_);
 }
 
 Result<Buffer> Client::read_block(const std::string& path,
                                   std::size_t block_index) {
-  return dfs_->read_block(path, block_index);
+  return dfs_->read_block(path, block_index, read_class_);
 }
 
 exec::Future<Status> Client::write_async(std::string path, Buffer data,
@@ -247,8 +255,9 @@ exec::Future<Status> Client::write_async(std::string path, Buffer data,
 
 exec::Future<Result<Buffer>> Client::read_async(std::string path) {
   MiniDfs* dfs = dfs_;
-  return exec::spawn(dfs_->pool(), [dfs, path = std::move(path)] {
-    return dfs->read_file(path);
+  const net::TransferClass cls = read_class_;
+  return exec::spawn(dfs_->pool(), [dfs, cls, path = std::move(path)] {
+    return dfs->read_file(path, cls);
   });
 }
 
@@ -256,9 +265,11 @@ exec::Future<Result<Buffer>> Client::pread_async(std::string path,
                                                  std::size_t offset,
                                                  std::size_t len) {
   MiniDfs* dfs = dfs_;
-  return exec::spawn(dfs_->pool(), [dfs, path = std::move(path), offset, len] {
-    return dfs->pread(path, offset, len);
-  });
+  const net::TransferClass cls = read_class_;
+  return exec::spawn(dfs_->pool(),
+                     [dfs, cls, path = std::move(path), offset, len] {
+                       return dfs->pread(path, offset, len, cls);
+                     });
 }
 
 }  // namespace dblrep::hdfs

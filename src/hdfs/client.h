@@ -52,6 +52,13 @@ struct ClientOptions {
   /// buffers. 0 = auto: DBLREP_CLIENT_INFLIGHT when set, else
   /// 2 * (pool workers + 1).
   std::size_t max_inflight_stripes = 0;
+
+  /// Transfer classes this handle's traffic is accounted under. Foreground
+  /// clients keep the defaults; the tiering re-encode path constructs its
+  /// Client with both set to kRetier, making transition bytes visible to
+  /// the QoS throttler and the TransferLog like repair bytes.
+  net::TransferClass read_class = net::TransferClass::kClientRead;
+  net::TransferClass write_class = net::TransferClass::kClientWrite;
 };
 
 /// Byte-accounting probe for the append path: how much of the ingested
@@ -104,7 +111,7 @@ class FileWriter {
  private:
   friend class Client;
   FileWriter(MiniDfs* dfs, std::string path, std::size_t stripe_bytes,
-             std::size_t max_inflight);
+             std::size_t max_inflight, net::TransferClass write_class);
 
   /// append() body; leaves zero-copy stores in flight (views_inflight_)
   /// for append() to drain before the caller reclaims its span.
@@ -134,6 +141,7 @@ class FileWriter {
   std::string path_;
   std::size_t stripe_bytes_;
   std::size_t max_inflight_;
+  net::TransferClass write_class_;
   Buffer buffer_;  // the partial stripe not yet dispatched
   std::deque<exec::Future<Status>> inflight_;  // stores, in stripe order
   Status deferred_;  // first failure; poisons the writer
@@ -192,6 +200,8 @@ class Client {
  private:
   MiniDfs* dfs_;
   std::size_t max_inflight_;
+  net::TransferClass read_class_;
+  net::TransferClass write_class_;
 };
 
 }  // namespace dblrep::hdfs

@@ -188,7 +188,8 @@ Result<cluster::StripeId> MiniDfs::allocate_stripe(const std::string& path) {
 
 Status MiniDfs::store_stripe_bytes(SchemeRuntime& rt, std::size_t block_size,
                                    cluster::StripeId stripe,
-                                   ByteSpan stripe_data) {
+                                   ByteSpan stripe_data,
+                                   net::TransferClass cls) {
   const ec::CodeScheme& code = *rt.code;
   if (stripe_data.empty() ||
       stripe_data.size() > code.data_blocks() * block_size) {
@@ -214,7 +215,7 @@ Status MiniDfs::store_stripe_bytes(SchemeRuntime& rt, std::size_t block_size,
     account_upload(node,
                    static_cast<double>(
                        symbols[layout.symbol_of_slot(slot)].size()),
-                   net::TransferClass::kClientWrite);
+                   cls);
   }
   return Status::ok();
 }
@@ -256,15 +257,16 @@ Status MiniDfs::store_stripe_batch(SchemeRuntime& rt, std::size_t block_size,
 }
 
 Status MiniDfs::store_stripe(const std::string& path,
-                             cluster::StripeId stripe, ByteSpan stripe_data) {
+                             cluster::StripeId stripe, ByteSpan stripe_data,
+                             net::TransferClass cls) {
   const auto open = namenode_.stat(path);
   if (!open.is_ok() || open->sealed) {
     return failed_precondition_error("no write transaction open for " + path);
   }
   auto rt_result = runtime(open->code_spec);
   if (!rt_result.is_ok()) return rt_result.status();
-  DBLREP_RETURN_IF_ERROR(
-      store_stripe_bytes(**rt_result, open->block_size, stripe, stripe_data));
+  DBLREP_RETURN_IF_ERROR(store_stripe_bytes(**rt_result, open->block_size,
+                                            stripe, stripe_data, cls));
 
   // Progress accounting (journaled) for stat() of the open write.
   return namenode_.record_store(path, stripe, stripe_data.size());
@@ -274,7 +276,12 @@ Status MiniDfs::commit_write(const std::string& path) {
   // Seal-at-commit: the NameNode seals every stripe and publishes the path
   // in one journaled critical section, so no stripe is ever both sealed
   // and abortable.
-  return namenode_.commit_write(path);
+  DBLREP_RETURN_IF_ERROR(namenode_.commit_write(path));
+  if (options_.access_observer != nullptr) {
+    const auto info = namenode_.lookup(path);
+    options_.access_observer->on_write(path, info.is_ok() ? info->length : 0);
+  }
+  return Status::ok();
 }
 
 Status MiniDfs::abort_write(const std::string& path) {
@@ -383,7 +390,8 @@ ec::SlotStore MiniDfs::gather_stripe(cluster::StripeId stripe) const {
 
 Result<Buffer> MiniDfs::read_data_block(const FileInfo& file,
                                         cluster::StripeId stripe,
-                                        std::size_t block) {
+                                        std::size_t block,
+                                        net::TransferClass cls) {
   const ec::CodeScheme& code = *namenode_.stripe(stripe).code;
   const std::size_t alpha = code.sub_chunks();
   // Fast path: every sub-chunk of the block served from a replica. Gather
@@ -414,8 +422,7 @@ Result<Buffer> MiniDfs::read_data_block(const FileInfo& file,
       Buffer out;
       out.reserve(file.block_size);
       for (auto& [node, bytes] : units) {
-        account_delivery(node, static_cast<double>(bytes.size()),
-                         net::TransferClass::kClientRead);
+        account_delivery(node, static_cast<double>(bytes.size()), cls);
         out.insert(out.end(), bytes.begin(), bytes.end());
       }
       return out;
@@ -464,10 +471,10 @@ Result<Buffer> MiniDfs::read_data_block(const FileInfo& file,
     const cluster::NodeId from =
         group[static_cast<std::size_t>(send.from_node)];
     if (send.to_node == ec::kClientNode) {
-      account_delivery(from, unit_bytes, net::TransferClass::kClientRead);
+      account_delivery(from, unit_bytes, cls);
     } else {
       account(from, group[static_cast<std::size_t>(send.to_node)],
-              unit_bytes, net::TransferClass::kClientRead);
+              unit_bytes, cls);
     }
   }
   // One degraded read = one dependency-chained flow in a captured replay.
@@ -483,7 +490,8 @@ Result<Buffer> MiniDfs::read_data_block(const FileInfo& file,
 }
 
 Result<Buffer> MiniDfs::read_block(const std::string& path,
-                                   std::size_t block_index) {
+                                   std::size_t block_index,
+                                   net::TransferClass cls) {
   std::shared_lock<std::shared_mutex> path_lock(namenode_.path_mutex(path));
   DBLREP_ASSIGN_OR_RETURN(const FileInfo info, lookup_copy(path));
   auto code_result = scheme(info.code_spec);
@@ -496,12 +504,18 @@ Result<Buffer> MiniDfs::read_block(const std::string& path,
   }
   const std::size_t stripe_index = block_index / code.data_blocks();
   const std::size_t block = block_index % code.data_blocks();
-  return read_data_block(info, info.stripes[stripe_index], block);
+  auto out = read_data_block(info, info.stripes[stripe_index], block, cls);
+  if (out.is_ok() && options_.access_observer != nullptr &&
+      cls == net::TransferClass::kClientRead) {
+    options_.access_observer->on_read(path, out->size());
+  }
+  return out;
 }
 
 Result<Buffer> MiniDfs::pread_span(const FileInfo& info,
                                    const ec::CodeScheme& code,
-                                   std::size_t offset, std::size_t len) {
+                                   std::size_t offset, std::size_t len,
+                                   net::TransferClass cls) {
   // Reads past EOF are clamped; a zero-length window is an empty buffer
   // that touches no datanode (and therefore moves no bytes).
   const std::size_t want = std::min(len, info.length - offset);
@@ -524,7 +538,7 @@ Result<Buffer> MiniDfs::pread_span(const FileInfo& info,
         const std::size_t blk_lo = si == first_stripe ? first_block % k : 0;
         const std::size_t blk_hi = si == last_stripe ? last_block % k : k - 1;
         for (std::size_t blk = blk_lo; blk <= blk_hi; ++blk) {
-          auto block = read_data_block(info, info.stripes[si], blk);
+          auto block = read_data_block(info, info.stripes[si], blk, cls);
           if (!block.is_ok()) return block.status();
           const std::size_t block_begin = (si * k + blk) * block_size;
           const std::size_t copy_begin = std::max(block_begin, offset);
@@ -541,7 +555,7 @@ Result<Buffer> MiniDfs::pread_span(const FileInfo& info,
 }
 
 Result<Buffer> MiniDfs::pread(const std::string& path, std::size_t offset,
-                              std::size_t len) {
+                              std::size_t len, net::TransferClass cls) {
   std::shared_lock<std::shared_mutex> path_lock(namenode_.path_mutex(path));
   // Resolve once: one namespace lookup and one scheme resolution for the
   // whole range, then pread_span moves the bytes.
@@ -553,11 +567,19 @@ Result<Buffer> MiniDfs::pread(const std::string& path, std::size_t offset,
         "pread offset " + std::to_string(offset) + " beyond EOF of " + path +
         " (" + std::to_string(info.length) + " bytes)");
   }
-  return pread_span(info, **code_result, offset, len);
+  auto out = pread_span(info, **code_result, offset, len, cls);
+  // Heat tracking sees foreground reads only: a re-encode streaming the
+  // file under kRetier must not keep it hot.
+  if (out.is_ok() && options_.access_observer != nullptr &&
+      cls == net::TransferClass::kClientRead) {
+    options_.access_observer->on_read(path, out->size());
+  }
+  return out;
 }
 
-Result<Buffer> MiniDfs::read_file(const std::string& path) {
-  return pread(path, 0, std::numeric_limits<std::size_t>::max());
+Result<Buffer> MiniDfs::read_file(const std::string& path,
+                                  net::TransferClass cls) {
+  return pread(path, 0, std::numeric_limits<std::size_t>::max(), cls);
 }
 
 Status MiniDfs::delete_file(const std::string& path) {
@@ -578,13 +600,46 @@ Status MiniDfs::delete_file(const std::string& path) {
       if (dn.has({placement.id, slot})) (void)dn.drop({placement.id, slot});
     }
   }
+  if (options_.access_observer != nullptr) {
+    options_.access_observer->on_delete(path);
+  }
   return Status::ok();
 }
 
 Status MiniDfs::rename(const std::string& from, const std::string& to) {
   // Fully a metadata operation: the NameNode takes both path locks and --
   // cross-shard -- runs the journaled rename intent protocol.
-  return namenode_.rename(from, to);
+  DBLREP_RETURN_IF_ERROR(namenode_.rename(from, to));
+  if (options_.access_observer != nullptr) {
+    options_.access_observer->on_rename(from, to);
+  }
+  return Status::ok();
+}
+
+Status MiniDfs::replace_file(const std::string& from, const std::string& to) {
+  // The tiering transition's commit: publish-then-delete in one journaled
+  // metadata step (NameNode::replace takes both path locks, drops `to`'s
+  // old stripes, and moves `from` over it), then drop the old layout's
+  // blocks from the datanodes using the placements handed back. Readers
+  // either resolve the old layout (complete until the swap) or the new one
+  // (complete since its commit_write) -- never a torn mix.
+  auto removed = namenode_.replace(from, to);
+  if (!removed.is_ok()) return removed.status();
+  for (const StripePlacement& placement : removed->stripes) {
+    auto code_result = scheme(placement.code_spec);
+    if (!code_result.is_ok()) return code_result.status();
+    const auto& layout = (*code_result)->layout();
+    for (std::size_t slot = 0; slot < layout.num_slots(); ++slot) {
+      const cluster::NodeId node = placement.group[static_cast<std::size_t>(
+          layout.node_of_slot(slot))];
+      auto& dn = datanodes_[static_cast<std::size_t>(node)];
+      if (dn.has({placement.id, slot})) (void)dn.drop({placement.id, slot});
+    }
+  }
+  if (options_.access_observer != nullptr) {
+    options_.access_observer->on_replace(from, to);
+  }
+  return Status::ok();
 }
 
 Result<FileInfo> MiniDfs::stat(const std::string& path) const {

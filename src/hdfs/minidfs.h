@@ -72,6 +72,42 @@
 
 namespace dblrep::hdfs {
 
+/// Observer of namespace-level client access, for heat tracking (the
+/// tiering layer's tier::HeatTracker implements this; the hdfs layer only
+/// knows the interface, keeping the dependency arrow tier -> hdfs).
+///
+/// Callbacks fire from client read/commit/delete/rename paths, possibly
+/// concurrently -- implementations must be thread-safe. Reads under a
+/// background TransferClass (repair, scrub, retier) never call on_read, so
+/// a re-encode does not heat the file it is cooling; the re-encode's temp
+/// file does accrue an on_write at its commit, which on_replace tells the
+/// observer to discard.
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+  /// A client read delivered `bytes` logical bytes of `path`.
+  virtual void on_read(const std::string& path, std::size_t bytes) {
+    (void)path;
+    (void)bytes;
+  }
+  /// A client write committed `path` at `bytes` logical bytes.
+  virtual void on_write(const std::string& path, std::size_t bytes) {
+    (void)path;
+    (void)bytes;
+  }
+  virtual void on_delete(const std::string& path) { (void)path; }
+  virtual void on_rename(const std::string& from, const std::string& to) {
+    (void)from;
+    (void)to;
+  }
+  /// replace_file(from, to) succeeded: `from`'s bytes now serve `to`. The
+  /// temp path's tracking state should be dropped, `to`'s kept.
+  virtual void on_replace(const std::string& from, const std::string& to) {
+    (void)from;
+    (void)to;
+  }
+};
+
 /// Data-plane knobs fixed at construction.
 struct MiniDfsOptions {
   /// How stripe groups map onto cluster nodes (and therefore racks).
@@ -101,6 +137,10 @@ struct MiniDfsOptions {
   /// Auto-snapshot a metadata shard once its write-ahead journal holds
   /// this many records (0 = manual snapshot_namenode() only).
   std::size_t meta_snapshot_every = 0;
+
+  /// Access observer for heat tracking (see AccessObserver). Not owned;
+  /// must outlive the DFS. nullptr (the default) changes nothing.
+  AccessObserver* access_observer = nullptr;
 };
 
 class MiniDfs {
@@ -156,10 +196,13 @@ class MiniDfs {
 
   /// Encodes up to one stripe of logical bytes (shorter spans are
   /// zero-padded), stores every slot on its placed node, and charges the
-  /// client-upload traffic. The stripe stays unsealed -- invisible to
-  /// repair and scrub -- until commit_write.
+  /// upload traffic under `cls` (client write by default; the tiering
+  /// re-encode path passes kRetier so its bytes are throttleable like
+  /// repair). The stripe stays unsealed -- invisible to repair and scrub --
+  /// until commit_write.
   Status store_stripe(const std::string& path, cluster::StripeId stripe,
-                      ByteSpan stripe_data);
+                      ByteSpan stripe_data,
+                      net::TransferClass cls = net::TransferClass::kClientWrite);
 
   /// Seals every stored stripe and publishes the path: repair, scrub, and
   /// readers all see the file from here on. Sealing and publishing happen
@@ -179,8 +222,12 @@ class MiniDfs {
   Status write_file(const std::string& path, ByteSpan data,
                     const std::string& code_spec, std::size_t block_size);
 
-  /// Whole-file read: pread of [0, length).
-  Result<Buffer> read_file(const std::string& path);
+  /// Whole-file read: pread of [0, length). `cls` classes the delivery
+  /// traffic (client read by default; kRetier for tiering re-encode
+  /// streams).
+  Result<Buffer> read_file(
+      const std::string& path,
+      net::TransferClass cls = net::TransferClass::kClientRead);
 
   /// Byte-range read: resolves only the stripes covering
   /// [offset, offset + len) and streams them in parallel, with the same
@@ -189,14 +236,26 @@ class MiniDfs {
   /// min(len, length - offset) bytes; len may overshoot); an offset beyond
   /// EOF is INVALID_ARGUMENT, and a zero-length range is an empty buffer.
   Result<Buffer> pread(const std::string& path, std::size_t offset,
-                       std::size_t len);
+                       std::size_t len,
+                       net::TransferClass cls = net::TransferClass::kClientRead);
 
   /// Reads one data block (index within the file). Indices at or past the
   /// file's last logical block are INVALID_ARGUMENT.
-  Result<Buffer> read_block(const std::string& path, std::size_t block_index);
+  Result<Buffer> read_block(
+      const std::string& path, std::size_t block_index,
+      net::TransferClass cls = net::TransferClass::kClientRead);
 
   Status delete_file(const std::string& path);
   Status rename(const std::string& from, const std::string& to);
+
+  /// Atomic publish-then-delete swap: `from` (a fully written temp file)
+  /// takes over path `to`, whose old stripes and blocks are dropped. This
+  /// is the tiering transition's commit step -- at every instant `to`
+  /// resolves to a complete, readable layout (the old one until the swap,
+  /// the new one after). NOT_FOUND if either path is missing, so a
+  /// transition racing a delete of `to` loses cleanly and can drop its
+  /// temp file.
+  Status replace_file(const std::string& from, const std::string& to);
 
   /// Metadata of a published file, or of a write in flight (then with
   /// sealed == false and length == bytes stored so far).
@@ -310,7 +369,8 @@ class MiniDfs {
   /// already resolved: the bulk write_file path calls this straight from
   /// its workers so they touch no namespace state.
   Status store_stripe_bytes(SchemeRuntime& rt, std::size_t block_size,
-                            cluster::StripeId stripe, ByteSpan stripe_data);
+                            cluster::StripeId stripe, ByteSpan stripe_data,
+                            net::TransferClass cls);
 
   /// Batched form: encodes every stripe covering `data` through one leased
   /// codec (cross-stripe fused parity passes, see StripeCodec::encode_batch)
@@ -338,13 +398,15 @@ class MiniDfs {
   /// fallbacks -- replica reads first, then a degraded read through
   /// plan_degraded_block; records traffic at unit granularity.
   Result<Buffer> read_data_block(const FileInfo& file,
-                                 cluster::StripeId stripe, std::size_t block);
+                                 cluster::StripeId stripe, std::size_t block,
+                                 net::TransferClass cls);
 
   /// Range-read core shared by pread and read_file: fans the covering
   /// stripes out across the pool, trimming the first and last block to the
   /// requested window. `offset` must be <= info.length.
   Result<Buffer> pread_span(const FileInfo& info, const ec::CodeScheme& code,
-                            std::size_t offset, std::size_t len);
+                            std::size_t offset, std::size_t len,
+                            net::TransferClass cls);
 
   /// Repairs one stripe's holes as part of repair_node(node).
   Status repair_stripe(cluster::StripeId stripe);

@@ -414,6 +414,152 @@ Status NameNode::rename(const std::string& from, const std::string& to) {
   return Status::ok();
 }
 
+Result<RemovedFile> NameNode::replace(const std::string& from,
+                                      const std::string& to) {
+  if (from == to) {
+    return invalid_argument_error("replace: from == to: " + from);
+  }
+  const std::size_t a = shard_of(from);
+  const std::size_t b = shard_of(to);
+  // Both data-plane path locks, exclusive, ordered by (shard, stripe) --
+  // the same global order as rename and every single-path locker. Readers
+  // of `to` are excluded for the duration of the swap.
+  const std::size_t stripe_a = shards_[a]->path_locks.stripe_of(from);
+  const std::size_t stripe_b = shards_[b]->path_locks.stripe_of(to);
+  std::unique_lock<std::shared_mutex> path_first;
+  std::unique_lock<std::shared_mutex> path_second;
+  if (a == b && stripe_a == stripe_b) {
+    path_first = std::unique_lock(shards_[a]->path_locks.of(from));
+  } else if (std::pair(a, stripe_a) < std::pair(b, stripe_b)) {
+    path_first = std::unique_lock(shards_[a]->path_locks.of(from));
+    path_second = std::unique_lock(shards_[b]->path_locks.of(to));
+  } else {
+    path_first = std::unique_lock(shards_[b]->path_locks.of(to));
+    path_second = std::unique_lock(shards_[a]->path_locks.of(from));
+  }
+
+  RemovedFile removed;
+  // Stripes of the outgoing layout owned by neither namespace shard are
+  // GC-journaled per owner after the shard locks drop -- like remove_file,
+  // no extra shard lock is ever nested.
+  std::map<std::uint32_t, std::vector<cluster::StripeId>> foreign;
+
+  if (a == b) {
+    Shard& shard = *shards_[a];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    const auto it_from = shard.files.find(from);
+    if (it_from == shard.files.end()) return not_found_error(from);
+    const auto it_to = shard.files.find(to);
+    if (it_to == shard.files.end()) return not_found_error(to);
+    // Delete the outgoing layout, then move `from` over the path -- both
+    // under one lock hold, so no reader can observe the gap.
+    JournalRecord del;
+    del.kind = JournalRecordKind::kDelete;
+    del.seq = next_seq_locked();
+    del.path = to;
+    shard.journal.append(del);
+    removed.info = std::move(it_to->second);
+    shard.files.erase(it_to);
+    for (cluster::StripeId id : removed.info.stripes) {
+      const std::uint32_t owner = route(id);
+      if (owner == a) {
+        removed.stripes.push_back(unregister_locked(shard, id));
+      } else {
+        foreign[owner].push_back(id);
+      }
+    }
+    JournalRecord rec;
+    rec.kind = JournalRecordKind::kRename;
+    rec.seq = next_seq_locked();
+    rec.path = from;
+    rec.path2 = to;
+    shard.journal.append(rec);
+    FileInfo info = std::move(it_from->second);
+    shard.files.erase(it_from);
+    shard.files.emplace(to, std::move(info));
+    maybe_snapshot_locked(a);
+  } else {
+    // Cross-shard: both shard locks in index order, kDelete journaled in
+    // the destination, then the rename intent protocol -- all before any
+    // lock drops, so the namespace never shows the path missing.
+    Shard& src = *shards_[a];
+    Shard& dst = *shards_[b];
+    std::unique_lock<std::shared_mutex> lock_lo(a < b ? src.mu : dst.mu);
+    std::unique_lock<std::shared_mutex> lock_hi(a < b ? dst.mu : src.mu);
+    const auto it_from = src.files.find(from);
+    if (it_from == src.files.end()) return not_found_error(from);
+    const auto it_to = dst.files.find(to);
+    if (it_to == dst.files.end()) return not_found_error(to);
+    JournalRecord del;
+    del.kind = JournalRecordKind::kDelete;
+    del.seq = next_seq_locked();
+    del.path = to;
+    dst.journal.append(del);
+    removed.info = std::move(it_to->second);
+    dst.files.erase(it_to);
+    std::vector<cluster::StripeId> src_owned;
+    for (cluster::StripeId id : removed.info.stripes) {
+      const std::uint32_t owner = route(id);
+      if (owner == b) {
+        removed.stripes.push_back(unregister_locked(dst, id));
+      } else if (owner == a) {
+        src_owned.push_back(id);  // src lock already held: GC inline
+      } else {
+        foreign[owner].push_back(id);
+      }
+    }
+    if (!src_owned.empty()) {
+      JournalRecord gc;
+      gc.kind = JournalRecordKind::kGcStripes;
+      gc.seq = next_seq_locked();
+      gc.stripes.assign(src_owned.begin(), src_owned.end());
+      src.journal.append(gc);
+      for (cluster::StripeId id : src_owned) {
+        removed.stripes.push_back(unregister_locked(src, id));
+      }
+    }
+    const FileState state = to_file_state(it_from->second);
+    JournalRecord out;
+    out.kind = JournalRecordKind::kRenameOut;
+    out.seq = next_seq_locked();
+    out.path = from;
+    out.path2 = to;
+    out.file = state;
+    src.journal.append(out);
+    JournalRecord in;
+    in.kind = JournalRecordKind::kRenameIn;
+    in.seq = next_seq_locked();
+    in.path2 = to;
+    in.file = state;
+    dst.journal.append(in);
+    JournalRecord ack;
+    ack.kind = JournalRecordKind::kRenameAck;
+    ack.seq = next_seq_locked();
+    ack.path = from;
+    src.journal.append(ack);
+    FileInfo info = std::move(it_from->second);
+    src.files.erase(it_from);
+    dst.files.emplace(to, std::move(info));
+    maybe_snapshot_locked(a);
+    maybe_snapshot_locked(b);
+  }
+
+  for (const auto& [owner, ids] : foreign) {
+    Shard& other = *shards_[owner];
+    std::unique_lock<std::shared_mutex> lock(other.mu);
+    JournalRecord rec;
+    rec.kind = JournalRecordKind::kGcStripes;
+    rec.seq = next_seq_locked();
+    rec.stripes.assign(ids.begin(), ids.end());
+    other.journal.append(rec);
+    for (cluster::StripeId id : ids) {
+      removed.stripes.push_back(unregister_locked(other, id));
+    }
+    maybe_snapshot_locked(owner);
+  }
+  return removed;
+}
+
 // ------------------------------------------------------------------ reads
 
 Result<FileInfo> NameNode::lookup(const std::string& path) const {

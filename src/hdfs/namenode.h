@@ -164,6 +164,14 @@ class NameNode {
   /// protocol under both shard locks (taken in shard-index order).
   Status rename(const std::string& from, const std::string& to);
 
+  /// Atomic publish-then-delete swap for tier transitions: `from` (a
+  /// published file, typically a freshly re-encoded temp) takes over path
+  /// `to`, whose metadata is removed and returned for block GC. Journaled
+  /// as kDelete(to) + the rename records, under both path locks, so `to`
+  /// always resolves to a complete layout. NOT_FOUND if either path is not
+  /// published -- a transition racing a delete of `to` loses cleanly.
+  Result<RemovedFile> replace(const std::string& from, const std::string& to);
+
   // --------------------------------------------------------------- reads
 
   /// Published files only (readers): NOT_FOUND while a write is open.

@@ -21,14 +21,19 @@ Result<RaidReport> RaidNode::raid_file(const std::string& path,
   // Stream through the client path: pread stripe-sized chunks of the old
   // layout (degraded stripes decode on the fly) into a FileWriter on the
   // new layout, so the re-encode never holds more than the in-flight
-  // window in memory -- files larger than memory RAID fine.
-  Client client(*dfs_);
+  // window in memory -- files larger than memory RAID fine. The handle is
+  // classed kRetier on both directions: re-encode bytes show up as
+  // background (repair-class) traffic, and the reads do not feed heat
+  // tracking.
+  Client client(*dfs_, {.read_class = net::TransferClass::kRetier,
+                        .write_class = net::TransferClass::kRetier});
   const std::string temp_path = path + ".raid-tmp";
   auto writer = client.create(temp_path, target_code_spec, info->block_size);
   if (!writer.is_ok()) return writer.status();
   const std::size_t chunk =
       std::max<std::size_t>(info->block_size, 1) * 16;
   std::size_t offset = 0;
+  bool hook_fired = false;
   while (offset < info->length) {
     auto piece = client.pread(path, offset, chunk);
     if (!piece.is_ok()) {
@@ -41,12 +46,23 @@ Result<RaidReport> RaidNode::raid_file(const std::string& path,
       return appended;
     }
     offset += piece->size();
+    if (!hook_fired && mid_stream_hook_) {
+      hook_fired = true;
+      mid_stream_hook_();
+    }
   }
-  // The new layout lands under a temporary name first, then swaps -- the
-  // original survives any failure during re-encode.
+  // Publish-then-delete: close() publishes the complete new layout under
+  // the temp name, then replace_file atomically swaps it over `path` and
+  // hands the old layout's blocks to GC. The original serves every read
+  // until the swap; the swap itself excludes readers via both path locks.
+  // If `path` was deleted while we streamed, replace_file loses with
+  // NOT_FOUND and the temp layout is dropped -- the delete wins cleanly.
   DBLREP_RETURN_IF_ERROR(writer->close());
-  DBLREP_RETURN_IF_ERROR(dfs_->delete_file(path));
-  DBLREP_RETURN_IF_ERROR(dfs_->rename(temp_path, path));
+  const Status swapped = dfs_->replace_file(temp_path, path);
+  if (!swapped.is_ok()) {
+    (void)dfs_->delete_file(temp_path);
+    return swapped;
+  }
 
   auto raided = dfs_->stat(path);
   if (!raided.is_ok()) return raided.status();

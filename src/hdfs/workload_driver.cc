@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -20,6 +21,29 @@ double micros_since(Clock::time_point start) {
 }
 
 }  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.reserve(std::max<std::size_t>(n, 1));
+  double total = 0;
+  for (std::size_t r = 0; r < std::max<std::size_t>(n, 1); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against fp round-down at the tail
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
 
 void OpStats::record(double us, bool ok) {
   latency_us.add(us);
@@ -124,6 +148,14 @@ void WorkloadDriver::client_loop(std::size_t client_index, Rng rng,
   std::optional<FileWriter> writer;
   std::size_t append_files = 0;
   std::size_t append_offset = 0;
+  // Zipf-skewed popularity over the preloaded files (rank 0 = hottest).
+  // Constructed -- and consulted -- only when zipf_s > 0: the uniform path
+  // below keeps its original next_below draws, so per-seed op sequences of
+  // existing mixes and chaos replays are byte-identical.
+  std::optional<ZipfSampler> zipf;
+  if (options_.zipf_s > 0 && !preloaded_.empty()) {
+    zipf.emplace(preloaded_.size(), options_.zipf_s);
+  }
 
   for (std::size_t op = 0; op < options_.ops_per_client; ++op) {
     const double pick = rng.next_double();
@@ -141,8 +173,11 @@ void WorkloadDriver::client_loop(std::size_t client_index, Rng rng,
       // Byte-range read: a random window of a random preloaded file, sized
       // around a couple of blocks -- the split-granularity access pattern
       // MapReduce tasks issue.
-      const auto& path = preloaded_[static_cast<std::size_t>(
-          rng.next_below(preloaded_.size()))];
+      const auto& path =
+          preloaded_[zipf.has_value()
+                         ? zipf->sample(rng)
+                         : static_cast<std::size_t>(
+                               rng.next_below(preloaded_.size()))];
       const std::size_t offset =
           static_cast<std::size_t>(rng.next_below(payload_.size()));
       const std::size_t len = 1 + static_cast<std::size_t>(rng.next_below(
@@ -202,8 +237,11 @@ void WorkloadDriver::client_loop(std::size_t client_index, Rng rng,
     // Plain read (also the fallback when nothing is degraded). Note the
     // block may still be served degraded while the cluster has failures --
     // categories describe intent, the DFS decides the path.
-    const auto& path = preloaded_[static_cast<std::size_t>(
-        rng.next_below(preloaded_.size()))];
+    const auto& path =
+        preloaded_[zipf.has_value()
+                       ? zipf->sample(rng)
+                       : static_cast<std::size_t>(
+                             rng.next_below(preloaded_.size()))];
     const std::size_t block =
         static_cast<std::size_t>(rng.next_below(blocks_per_file));
     const auto start = Clock::now();

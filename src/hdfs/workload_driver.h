@@ -73,7 +73,32 @@ struct WorkloadOptions {
   /// clients -- the workload-under-repair scenario.
   bool repair_concurrently = false;
 
+  /// Zipf exponent of the preloaded-file popularity distribution the read
+  /// and pread mixes draw from. 0 (the default) keeps the original uniform
+  /// pick -- and the exact per-seed RNG draw sequence, so existing mixes
+  /// and chaos replays are byte-identical. s > 0 skews toward the first
+  /// preloaded files (rank 0 = hottest), the access pattern tiering is
+  /// built for; s around 1 matches the classic web/MapReduce skew.
+  double zipf_s = 0;
+
   std::uint64_t seed = 1;
+};
+
+/// Inverse-CDF sampler over ranks {0, ..., n-1} with probability
+/// proportional to 1 / (rank + 1)^s. One next_double per sample, so
+/// swapping it in for a uniform pick consumes the same RNG budget per op.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws a rank (0 = most popular).
+  std::size_t sample(Rng& rng) const;
+
+  /// P(rank) under the distribution.
+  double probability(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r), last entry 1.0
 };
 
 /// Per-operation-type latency record. Latencies are microseconds.

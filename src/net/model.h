@@ -178,7 +178,7 @@ class NetworkModel {
   double injected_bytes_ = 0;
   double delivered_bytes_ = 0;
   double in_flight_bytes_ = 0;
-  double delivered_class_bytes_[kNumTransferClasses] = {0, 0, 0, 0};
+  double delivered_class_bytes_[kNumTransferClasses] = {};
   std::size_t transfers_injected_ = 0;
   std::size_t transfers_delivered_ = 0;
 

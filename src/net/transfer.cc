@@ -14,6 +14,8 @@ const char* to_string(TransferClass cls) {
       return "repair";
     case TransferClass::kScrub:
       return "scrub";
+    case TransferClass::kRetier:
+      return "retier";
   }
   return "unknown";
 }

@@ -27,21 +27,23 @@ namespace dblrep::net {
 /// through another node's NIC.
 inline constexpr cluster::NodeId kClientEndpoint = -1;
 
-/// Traffic class of a transfer; repair-class traffic (kRepair, kScrub) is
-/// what the QosThrottler paces against the foreground classes.
+/// Traffic class of a transfer; repair-class traffic (kRepair, kScrub,
+/// kRetier) is what the QosThrottler paces against the foreground classes.
 enum class TransferClass {
   kClientWrite = 0,  // client -> node block upload
   kClientRead = 1,   // node -> client delivery (incl. degraded-read helpers)
   kRepair = 2,       // helper/aggregator/destination repair chain sends
   kScrub = 3,        // scrub-heal rewrites
+  kRetier = 4,       // tier re-encode streams (TieringEngine / RaidNode)
 };
-inline constexpr std::size_t kNumTransferClasses = 4;
+inline constexpr std::size_t kNumTransferClasses = 5;
 
 const char* to_string(TransferClass cls);
 
 /// True for the background classes the QoS throttler paces.
 inline bool is_repair_class(TransferClass cls) {
-  return cls == TransferClass::kRepair || cls == TransferClass::kScrub;
+  return cls == TransferClass::kRepair || cls == TransferClass::kScrub ||
+         cls == TransferClass::kRetier;
 }
 
 struct TransferRecord {
